@@ -1,0 +1,53 @@
+"""Application-level bench: whole programs, dynamic cycle counts.
+
+Extends the paper's basic-block evaluation to complete kernels: each
+application compiles on the control-flow machine, executes on the
+simulator against the reference interpreter, and reports static code
+size (the paper's ROM metric) plus dynamic cycles and slot utilisation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asmgen import compile_function
+from repro.eval.applications import APPLICATIONS
+from repro.ir import interpret_function
+from repro.isdl import control_flow_architecture
+from repro.simulator import profile_run, run_program
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return control_flow_architecture(4)
+
+
+def test_bench_application_suite(benchmark, machine):
+    def compile_all():
+        return {
+            app.name: compile_function(app.build(), machine)
+            for app in APPLICATIONS
+        }
+
+    compiled = benchmark.pedantic(compile_all, rounds=1, iterations=1)
+    lines = [
+        "app       static instr  dyn cycles  NOPs  bus busy%  validated"
+    ]
+    for app in APPLICATIONS:
+        program = compiled[app.name].program
+        reference = interpret_function(app.build(), app.inputs)
+        result = run_program(program, machine, app.inputs)
+        ok = all(
+            result.variables[o] == reference[o] for o in app.outputs
+        )
+        stats = profile_run(program, machine, app.inputs)
+        bus = stats.slot_utilization(machine)["B1"]
+        lines.append(
+            f"{app.name:8s}  {len(program.instructions):12d}  "
+            f"{result.cycles:10d}  {stats.nops:4d}  {100 * bus:8.0f}%  "
+            f"{'yes' if ok else 'NO'}"
+        )
+        assert ok, app.name
+    write_result("applications.txt", "\n".join(lines))

@@ -1,0 +1,92 @@
+"""Concurrent vs. phase-ordered code generation (Section I-B's thesis).
+
+"Decisions made in one phase have a profound effect on the other
+phases" — the paper's motivation for solving instruction selection,
+resource allocation, and scheduling together.  This bench compares the
+concurrent engine against the sequential baseline (naive unit binding →
+transfer insertion → list scheduling) on the Table I workloads.
+
+Expected shape: the baseline never wins; on blocks with real unit-
+assignment choice it loses by one or more instructions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import sequential_block_solution
+from repro.covering import HeuristicConfig, generate_block_solution
+from repro.eval import WORKLOADS
+from repro.isdl import example_architecture
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    machine = example_architecture(4)
+    rows = []
+    for load in WORKLOADS:
+        dag = load.build()
+        aviv = generate_block_solution(
+            dag, machine, HeuristicConfig.default()
+        )
+        first = sequential_block_solution(dag, machine, strategy="first")
+        round_robin = sequential_block_solution(
+            dag, machine, strategy="round_robin"
+        )
+        rows.append((load.name, aviv, first, round_robin))
+    return rows
+
+
+def test_bench_concurrent_vs_sequential(benchmark, comparison):
+    machine = example_architecture(4)
+    dag = WORKLOADS[2].build()
+    benchmark.pedantic(
+        sequential_block_solution, args=(dag, machine), rounds=1, iterations=1
+    )
+    lines = ["Block  AVIV  seq(first)  seq(round-robin)"]
+    for name, aviv, first, round_robin in comparison:
+        lines.append(
+            f"{name:5s}  {aviv.instruction_count:4d}  "
+            f"{first.instruction_count:10d}  "
+            f"{round_robin.instruction_count:16d}"
+        )
+        # Per block the baseline may luck into a near-tie (the heuristic
+        # engine is itself approximate — its own paper gap on Ex5 is +2),
+        # but it must never win by more than an instruction.
+        assert first.instruction_count >= aviv.instruction_count - 1
+        assert round_robin.instruction_count >= aviv.instruction_count - 1
+    total_aviv = sum(r[1].instruction_count for r in comparison)
+    total_seq = sum(
+        min(r[2].instruction_count, r[3].instruction_count)
+        for r in comparison
+    )
+    lines.append(
+        f"total  {total_aviv}  (best sequential: {total_seq}, "
+        f"overhead {100.0 * (total_seq - total_aviv) / total_aviv:.1f}%)"
+    )
+    write_result("baseline_sequential.txt", "\n".join(lines))
+    # Across the suite, phase ordering must cost something.
+    assert total_seq > total_aviv
+
+
+def test_bench_sequential_is_faster_but_worse(benchmark, comparison):
+    """The classic trade: the baseline runs faster (no search) but
+    produces larger code."""
+    machine = example_architecture(4)
+    dag = WORKLOADS[4].build()
+
+    def run_both():
+        aviv = generate_block_solution(dag, machine)
+        seq = sequential_block_solution(dag, machine)
+        return aviv, seq
+
+    aviv, seq = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    write_result(
+        "baseline_tradeoff.txt",
+        f"Ex5: AVIV {aviv.instruction_count} instr in "
+        f"{aviv.cpu_seconds:.3f}s; sequential {seq.instruction_count} "
+        f"instr in {seq.cpu_seconds:.3f}s",
+    )
+    assert seq.instruction_count >= aviv.instruction_count - 1

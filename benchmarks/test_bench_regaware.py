@@ -1,0 +1,82 @@
+"""Ablation: the register-aware assignment cost (Section VI, ongoing
+work).
+
+"We are currently working on modifying the initial functional unit
+assignment cost function to incorporate register resource limits so
+that it can detect assignments that are likely to require spills to
+memory."  This repo implements that extension
+(``HeuristicConfig.register_aware_assignment``); the bench measures its
+effect on the spill rows of Table I (Ex4/Ex5 at 2 registers per file)
+and on a register-hungry wide reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.covering import HeuristicConfig, generate_block_solution
+from repro.eval import workload
+from repro.ir import BlockDAG, Opcode
+from repro.isdl import example_architecture
+
+from conftest import write_result
+
+
+def _wide(width: int) -> BlockDAG:
+    dag = BlockDAG()
+    products = [
+        dag.operation(Opcode.MUL, (dag.var(f"x{i}"), dag.var(f"y{i}")))
+        for i in range(width)
+    ]
+    total = products[0]
+    for product in products[1:]:
+        total = dag.operation(Opcode.ADD, (total, product))
+    dag.store("sum", total)
+    return dag
+
+
+CASES = [
+    ("Ex4@2", lambda: workload("Ex4").build()),
+    ("Ex5@2", lambda: workload("Ex5").build()),
+    ("wide6@2", lambda: _wide(6)),
+    ("wide8@2", lambda: _wide(8)),
+]
+
+
+def test_bench_register_aware_assignment(benchmark):
+    machine = example_architecture(2)
+    plain_config = HeuristicConfig.default()
+    aware_config = plain_config.with_(register_aware_assignment=True)
+
+    def sweep():
+        rows = []
+        for name, build in CASES:
+            dag = build()
+            plain = generate_block_solution(dag, machine, plain_config)
+            aware = generate_block_solution(dag, machine, aware_config)
+            rows.append((name, plain, aware))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Register-aware assignment cost (paper's ongoing work)",
+        "case     instr(off)  spills(off)  instr(on)  spills(on)",
+    ]
+    for name, plain, aware in rows:
+        lines.append(
+            f"{name:8s}  {plain.instruction_count:9d}  "
+            f"{plain.spill_count:11d}  {aware.instruction_count:9d}  "
+            f"{aware.spill_count:10d}"
+        )
+        aware.validate()
+        # The extension must not explode code size, and never increases
+        # spills on these workloads.
+        assert aware.instruction_count <= plain.instruction_count + 2
+        assert aware.spill_count <= plain.spill_count + 1
+    total_plain = sum(p.spill_count for _n, p, _a in rows)
+    total_aware = sum(a.spill_count for _n, _p, a in rows)
+    lines.append(
+        f"total spills: {total_plain} (off) vs {total_aware} (on)"
+    )
+    write_result("ablation_register_aware.txt", "\n".join(lines))
+    assert total_aware <= total_plain

@@ -1,0 +1,73 @@
+"""Design-space sweep benches (the paper's co-design pitch, Section I).
+
+Two systematic sweeps over the Table I workloads:
+
+- register-file depth: where does shrinking the banks start costing
+  instructions (the Ex6/Ex7 crossover, measured as a curve instead of
+  two points);
+- utilisation: slot occupancy per resource on the Fig. 3 machine,
+  showing the single shared bus as the structural bottleneck of this
+  architecture family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asmgen import compile_dag
+from repro.eval import WORKLOADS, register_file_sweep, workload
+from repro.isdl import example_architecture
+from repro.simulator import profile_run
+
+from conftest import write_result
+
+REGISTER_COUNTS = (2, 3, 4, 6, 8)
+
+
+def test_bench_register_file_sweep(benchmark):
+    loads = [(w.name, w.build()) for w in WORKLOADS]
+    result = benchmark.pedantic(
+        register_file_sweep,
+        args=(loads, example_architecture, REGISTER_COUNTS),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("sweep_register_files.txt", result.table())
+    totals = {
+        name: result.total_instructions(name)
+        for name in result.machines()
+    }
+    ordered = [totals[f"arch1_r{count}"] for count in REGISTER_COUNTS]
+    # Code size is monotone non-increasing in register count, and the
+    # curve flattens: beyond the knee extra registers buy nothing.
+    assert ordered == sorted(ordered, reverse=True)
+    assert ordered[-1] == ordered[-2], "curve should flatten by 6-8 regs"
+    # The 2-register point costs something relative to 4 (Ex6/Ex7 story).
+    assert ordered[0] > ordered[2]
+
+
+def test_bench_bus_is_bottleneck(benchmark):
+    machine = example_architecture(4)
+
+    def measure():
+        rows = []
+        for load in WORKLOADS:
+            compiled = compile_dag(load.build(), machine)
+            stats = profile_run(compiled.program, machine, load.inputs)
+            rows.append((load.name, stats.slot_utilization(machine)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    resources = machine.unit_names() + machine.bus_names()
+    lines = [
+        "Block  " + "  ".join(f"{r:>5s}" for r in resources)
+    ]
+    for name, use in rows:
+        lines.append(
+            f"{name:5s}  "
+            + "  ".join(f"{100 * use[r]:4.0f}%" for r in resources)
+        )
+        # The shared bus is the busiest resource on every block: with
+        # memory-resident operands, transfers gate the schedule.
+        assert use["B1"] == max(use.values()), name
+    write_result("sweep_utilization.txt", "\n".join(lines))

@@ -1,0 +1,63 @@
+"""Developer tooling: the stepping debugger and execution statistics.
+
+Run with::
+
+    python examples/debugging.py
+
+Compiles a looped kernel, steps it under the debugger (breakpoint on
+the loop header, register inspection per iteration), and prints the
+resource-activity profile an architect would use to find the
+bottleneck.
+"""
+
+from repro import compile_function, compile_source
+from repro.isdl import control_flow_architecture
+from repro.simulator import Debugger, profile_run
+
+SOURCE = """
+    # sum of squares 1..n
+    s = 0;
+    i = 1;
+    while (i <= n) {
+        s = s + i * i;
+        i = i + 1;
+    }
+"""
+
+
+def main() -> None:
+    machine = control_flow_architecture(4)
+    function = compile_source(SOURCE)
+    compiled = compile_function(function, machine)
+    program = compiled.program
+    print(program.listing())
+    print()
+
+    # Find the loop-header label (the block evaluating the condition).
+    header = next(
+        name
+        for name, block in compiled.blocks.items()
+        if block.solution.graph.condition_read is not None
+    )
+    debugger = Debugger(program, machine, {"n": 4})
+    debugger.add_breakpoint(header)
+    iteration = 0
+    while debugger.run() == "breakpoint":
+        iteration += 1
+        print(
+            f"hit {debugger.where()}  i={debugger.variable('i')} "
+            f"s={debugger.variable('s')}  RF1={debugger.registers('RF1')}"
+        )
+        if iteration > 10:
+            break
+    print(f"finished after {debugger.state.cycle} cycles: "
+          f"s = {debugger.variable('s')}")
+    assert debugger.variable("s") == 1 + 4 + 9 + 16
+
+    print("\nactivity profile:")
+    stats = profile_run(program, machine, {"n": 4})
+    print(stats.describe(machine))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""A DSP workload end to end: an unrolled FIR filter on three machines.
+
+Run with::
+
+    python examples/fir_filter.py
+
+Demonstrates the paper's motivating flow: the front end unrolls the
+filter loop (Section II's machine-independent parallelism extraction),
+the covering engine packs multiplies and adds across functional units,
+and retargeting is a one-line machine swap.
+"""
+
+from repro import (
+    architecture_two,
+    compile_function,
+    compile_source,
+    example_architecture,
+    interpret_function,
+    run_program,
+)
+from repro.isdl import mac_dsp_architecture
+
+TAPS = 4
+
+SOURCE = f"""
+    # {TAPS}-tap FIR: acc = sum(x[i] * h[i]); the for loop is fully
+    # unrolled by the optimizer, exposing all taps to the scheduler.
+    acc = 0;
+    for (i = 0; i < {TAPS}; i = i + 1) {{
+        acc = acc + x[i] * h[i];
+    }}
+    y = acc;
+"""
+
+
+def main() -> None:
+    function = compile_source(SOURCE)
+    signal = [3, -1, 4, 1]
+    coefficients = [2, 7, 1, 8]
+    inputs = {f"x[{i}]": signal[i] for i in range(TAPS)}
+    inputs.update({f"h[{i}]": coefficients[i] for i in range(TAPS)})
+    expected = sum(s * c for s, c in zip(signal, coefficients))
+    reference = interpret_function(function, inputs)
+    assert reference["y"] == expected
+
+    machines = [
+        ("Fig. 3 VLIW (3 units)", example_architecture(4)),
+        ("Architecture II (2 units)", architecture_two(4)),
+        ("DSP with MAC instruction", mac_dsp_architecture(4)),
+    ]
+    print(f"{TAPS}-tap FIR, y = {expected}\n")
+    for label, machine in machines:
+        compiled = compile_function(function, machine)
+        result = run_program(compiled.program, machine, inputs)
+        assert result.variables["y"] == expected, label
+        block = compiled.blocks[next(iter(compiled.blocks))]
+        mac_used = any(
+            task.op_name == "MAC"
+            for task in block.solution.graph.tasks.values()
+            if task.op_name is not None
+        )
+        note = "  (uses complex MAC op)" if mac_used else ""
+        print(
+            f"{label:28s}: {compiled.total_instructions:3d} instructions, "
+            f"{result.cycles:3d} cycles{note}"
+        )
+    print("\nall three machines compute the same filter — retargeting is "
+          "a machine-description swap")
+
+
+if __name__ == "__main__":
+    main()

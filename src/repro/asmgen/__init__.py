@@ -1,0 +1,33 @@
+"""Assembly generation: VLIW instruction model, per-block emission,
+control-flow code (paper, Section III-C), and whole-function programs."""
+
+from repro.asmgen.instruction import (
+    RegRef,
+    MemRef,
+    OpSlot,
+    TransferSlot,
+    ControlSlot,
+    ControlKind,
+    Instruction,
+    Program,
+)
+from repro.asmgen.layout import DataLayout
+from repro.asmgen.emit import emit_block
+from repro.asmgen.program import CompiledBlock, CompiledFunction, compile_function, compile_dag
+
+__all__ = [
+    "RegRef",
+    "MemRef",
+    "OpSlot",
+    "TransferSlot",
+    "ControlSlot",
+    "ControlKind",
+    "Instruction",
+    "Program",
+    "DataLayout",
+    "emit_block",
+    "CompiledBlock",
+    "CompiledFunction",
+    "compile_function",
+    "compile_dag",
+]

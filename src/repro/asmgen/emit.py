@@ -1,0 +1,152 @@
+"""Lowering a scheduled block solution to VLIW instructions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AssemblerError
+from repro.ir.ops import Opcode
+from repro.asmgen.instruction import (
+    Instruction,
+    MemRef,
+    OpSlot,
+    RegRef,
+    TransferSlot,
+)
+from repro.asmgen.layout import DataLayout
+from repro.covering.solution import BlockSolution
+from repro.covering.taskgraph import ReadRef, Task, TaskKind
+from repro.regalloc.allocator import RegisterAssignment
+
+
+def _memory_address(
+    layout: DataLayout,
+    block_name: str,
+    solution: BlockSolution,
+    read: ReadRef,
+) -> int:
+    """Data-memory address a read with ``storage == DM`` refers to."""
+    if read.producer is None:
+        # Resident since block entry: a variable or a constant leaf.
+        leaf = solution.graph.dag.node(read.value)
+        if leaf.opcode is Opcode.VAR:
+            return layout.variable(leaf.symbol)
+        if leaf.opcode is Opcode.CONST:
+            return layout.constant(leaf.value)
+        raise AssemblerError(
+            f"value n{read.value} has no producing task but is not a leaf"
+        )
+    producer = solution.graph.tasks[read.producer]
+    if producer.is_spill:
+        return layout.spill_slot(block_name, read.producer)
+    if producer.store_symbol is not None:
+        return layout.variable(producer.store_symbol)
+    raise AssemblerError(
+        f"task t{read.producer} delivered into memory but is neither a "
+        f"spill nor a store"
+    )
+
+
+def _source_location(
+    layout: DataLayout,
+    block_name: str,
+    solution: BlockSolution,
+    registers: RegisterAssignment,
+    read: ReadRef,
+):
+    machine = solution.graph.machine
+    if read.storage == machine.data_memory:
+        return MemRef(
+            machine.data_memory,
+            _memory_address(layout, block_name, solution, read),
+        )
+    if read.producer is None:
+        raise AssemblerError(
+            f"register read of n{read.value} has no producing task"
+        )
+    return RegRef(read.storage, registers.register_of[read.producer])
+
+
+def _destination_location(
+    layout: DataLayout,
+    block_name: str,
+    solution: BlockSolution,
+    registers: RegisterAssignment,
+    task: Task,
+):
+    machine = solution.graph.machine
+    if task.dest_storage == machine.data_memory:
+        if task.store_symbol is not None:
+            return MemRef(machine.data_memory, layout.variable(task.store_symbol))
+        if task.is_spill:
+            return MemRef(
+                machine.data_memory, layout.spill_slot(block_name, task.task_id)
+            )
+        raise AssemblerError(
+            f"{task.describe()} writes memory but is neither store nor spill"
+        )
+    return RegRef(task.dest_storage, registers.register_of[task.task_id])
+
+
+def emit_block(
+    solution: BlockSolution,
+    registers: RegisterAssignment,
+    layout: DataLayout,
+    block_name: str = "block",
+) -> List[Instruction]:
+    """Emit one VLIW instruction per scheduled cycle of the block body."""
+    instructions: List[Instruction] = []
+    graph = solution.graph
+    for members in solution.schedule:
+        ops: List[OpSlot] = []
+        transfers: List[TransferSlot] = []
+        for task_id in members:
+            task = graph.tasks[task_id]
+            if task.kind is TaskKind.OP:
+                sources = tuple(
+                    _source_location(layout, block_name, solution, registers, r)
+                    for r in task.reads
+                )
+                if any(isinstance(s, MemRef) for s in sources):
+                    raise AssemblerError(
+                        f"{task.describe()} reads an operand straight from "
+                        f"memory; operands must be register-resident"
+                    )
+                ops.append(
+                    OpSlot(
+                        unit=task.unit,
+                        op_name=task.op_name,
+                        destination=_destination_location(
+                            layout, block_name, solution, registers, task
+                        ),
+                        sources=sources,
+                    )
+                )
+            else:
+                transfers.append(
+                    TransferSlot(
+                        bus=task.bus,
+                        source=_source_location(
+                            layout, block_name, solution, registers, task.reads[0]
+                        ),
+                        destination=_destination_location(
+                            layout, block_name, solution, registers, task
+                        ),
+                    )
+                )
+        instructions.append(
+            Instruction(ops=tuple(ops), transfers=tuple(transfers))
+        )
+    return instructions
+
+
+def condition_register(
+    solution: BlockSolution, registers: RegisterAssignment
+) -> Optional[RegRef]:
+    """Register holding the block's branch condition, if pinned."""
+    read = solution.graph.condition_read
+    if read is None:
+        return None
+    if read.producer is None:
+        raise AssemblerError("branch condition was not delivered to a register")
+    return RegRef(read.storage, registers.register_of[read.producer])

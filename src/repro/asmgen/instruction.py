@@ -1,0 +1,145 @@
+"""The VLIW instruction model.
+
+One :class:`Instruction` is one machine word / one cycle: at most one
+operation per functional unit, at most one transfer per bus, and at most
+one control action.  A :class:`Program` is a flat instruction sequence
+with labels, a symbol table mapping variables to data-memory addresses,
+and initial data-memory contents (the constant pool).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """A register: ``register_file.R<index>``."""
+
+    register_file: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.register_file}.R{self.index}"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory word: ``memory[address]``."""
+
+    memory: str
+    address: int
+
+    def __str__(self) -> str:
+        return f"{self.memory}[{self.address}]"
+
+
+Location = Union[RegRef, MemRef]
+
+
+@dataclass(frozen=True)
+class OpSlot:
+    """One functional-unit operation: ``unit: OP srcs -> dst``."""
+
+    unit: str
+    op_name: str
+    destination: RegRef
+    sources: Tuple[RegRef, ...]
+
+    def __str__(self) -> str:
+        sources = ", ".join(str(s) for s in self.sources)
+        return f"{self.unit}: {self.op_name} {sources} -> {self.destination}"
+
+
+@dataclass(frozen=True)
+class TransferSlot:
+    """One bus transfer: ``bus: source -> destination``."""
+
+    bus: str
+    source: Location
+    destination: Location
+
+    def __str__(self) -> str:
+        return f"{self.bus}: {self.source} -> {self.destination}"
+
+
+class ControlKind(enum.Enum):
+    """Kinds of control action a word can carry."""
+    JMP = "JMP"
+    BNZ = "BNZ"  # branch if condition register non-zero
+    BEZ = "BEZ"  # branch if condition register zero
+    HALT = "HALT"
+
+
+@dataclass(frozen=True)
+class ControlSlot:
+    """A control action: jump / conditional branch / halt."""
+
+    kind: ControlKind
+    target: Optional[str] = None  # label
+    condition: Optional[RegRef] = None
+
+    def __str__(self) -> str:
+        if self.kind is ControlKind.HALT:
+            return "HALT"
+        if self.kind is ControlKind.JMP:
+            return f"JMP {self.target}"
+        return f"{self.kind.value} {self.condition}, {self.target}"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One VLIW word: parallel op and transfer slots plus control."""
+
+    ops: Tuple[OpSlot, ...] = ()
+    transfers: Tuple[TransferSlot, ...] = ()
+    control: Optional[ControlSlot] = None
+
+    def is_empty(self) -> bool:
+        """True for a NOP word (no ops, transfers, or control)."""
+        return not self.ops and not self.transfers and self.control is None
+
+    def __str__(self) -> str:
+        parts: List[str] = [str(op) for op in self.ops]
+        parts.extend(str(t) for t in self.transfers)
+        if self.control is not None:
+            parts.append(str(self.control))
+        return " | ".join(parts) if parts else "NOP"
+
+
+@dataclass
+class Program:
+    """A complete executable program for one machine."""
+
+    machine_name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: variable name -> data-memory address
+    symbols: Dict[str, int] = field(default_factory=dict)
+    #: initial data-memory contents (constant pool)
+    data: Dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def listing(self) -> str:
+        """Human-readable assembly listing."""
+        address_labels: Dict[int, List[str]] = {}
+        for label, address in self.labels.items():
+            address_labels.setdefault(address, []).append(label)
+        lines: List[str] = [f"; program for {self.machine_name}"]
+        if self.symbols:
+            lines.append("; data layout:")
+            for name, address in sorted(self.symbols.items(), key=lambda kv: kv[1]):
+                initial = self.data.get(address)
+                suffix = f" = {initial}" if initial is not None else ""
+                lines.append(f";   {name} @ {address}{suffix}")
+        for index, instruction in enumerate(self.instructions):
+            for label in sorted(address_labels.get(index, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  {instruction}")
+        for label in sorted(address_labels.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines)

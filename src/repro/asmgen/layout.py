@@ -1,0 +1,73 @@
+"""Data-memory layout: variables, constant pool, spill slots."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import AssemblerError
+
+
+class DataLayout:
+    """Assigns data-memory addresses for one program.
+
+    Variables come first (in the order given), then interned constants,
+    then spill slots allocated on demand.  The layout is shared across
+    all basic blocks of a function so that variables written by one block
+    are read from the same address by another.
+    """
+
+    def __init__(self, memory_size: int = 1024):
+        self._memory_size = memory_size
+        self._variables: Dict[str, int] = {}
+        self._constants: Dict[int, int] = {}
+        self._spills: Dict[Tuple[str, int], int] = {}
+        self._next = 0
+
+    def _allocate(self) -> int:
+        if self._next >= self._memory_size:
+            raise AssemblerError(
+                f"data memory exhausted ({self._memory_size} words)"
+            )
+        address = self._next
+        self._next += 1
+        return address
+
+    def add_variables(self, names: Iterable[str]) -> None:
+        """Assign addresses to the given variables (idempotent)."""
+        for name in names:
+            if name not in self._variables:
+                self._variables[name] = self._allocate()
+
+    def variable(self, name: str) -> int:
+        """Address of ``name``, allocating on first use."""
+        if name not in self._variables:
+            self._variables[name] = self._allocate()
+        return self._variables[name]
+
+    def constant(self, value: int) -> int:
+        """Address of the pool slot holding ``value``."""
+        if value not in self._constants:
+            self._constants[value] = self._allocate()
+        return self._constants[value]
+
+    def spill_slot(self, block: str, task_id: int) -> int:
+        """Address of the spill slot for a (block, task) pair."""
+        key = (block, task_id)
+        if key not in self._spills:
+            self._spills[key] = self._allocate()
+        return self._spills[key]
+
+    @property
+    def symbols(self) -> Dict[str, int]:
+        """Variable name -> address (for program metadata)."""
+        return dict(self._variables)
+
+    @property
+    def initial_data(self) -> Dict[int, int]:
+        """Address -> value for the constant pool."""
+        return {address: value for value, address in self._constants.items()}
+
+    @property
+    def words_used(self) -> int:
+        """Total data-memory words allocated so far."""
+        return self._next

@@ -1,0 +1,32 @@
+"""Assembler and disassembler (the Fig. 1 framework's assembler).
+
+The paper's ISDL tooling generates an assembler that turns compiler
+output into a binary for the instruction-level simulator.  This package
+provides both directions:
+
+- :mod:`repro.assembler.text` — a parseable assembly text format
+  (``program_to_text`` / ``parse_assembly``);
+- :mod:`repro.assembler.encoder` — machine-derived binary instruction
+  encoding (``encode_program`` / ``decode_program``), with field widths
+  computed from the machine description.
+"""
+
+from repro.assembler.text import program_to_text, parse_assembly
+from repro.assembler.encoder import (
+    EncodingLayout,
+    encode_program,
+    decode_program,
+    BinaryImage,
+)
+from repro.assembler.objfile import save_object, load_object
+
+__all__ = [
+    "program_to_text",
+    "parse_assembly",
+    "EncodingLayout",
+    "encode_program",
+    "decode_program",
+    "BinaryImage",
+    "save_object",
+    "load_object",
+]

@@ -1,0 +1,327 @@
+"""Binary instruction encoding derived from the machine description.
+
+Field widths are computed from the machine: one slot per functional unit
+(valid bit, op index, destination register, source registers up to the
+unit's widest arity), one slot per bus (valid bit, source and destination
+locations), and one control slot.  A *location* encodes a kind bit
+(register/memory), a storage index (over the machine's declaration-
+ordered storages), and an element index wide enough for the largest
+register file or memory.
+
+``encode_program`` resolves labels to instruction indices; the decoder
+reconstructs labels as ``L<index>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isdl.model import Machine
+from repro.asmgen.instruction import (
+    ControlKind,
+    ControlSlot,
+    Instruction,
+    Location,
+    MemRef,
+    OpSlot,
+    Program,
+    RegRef,
+    TransferSlot,
+)
+
+_CONTROL_CODES = {
+    None: 0,
+    ControlKind.JMP: 1,
+    ControlKind.BNZ: 2,
+    ControlKind.BEZ: 3,
+    ControlKind.HALT: 4,
+}
+_CONTROL_BY_CODE = {v: k for k, v in _CONTROL_CODES.items()}
+
+
+def _bits_for(count: int) -> int:
+    """Bits needed to represent values in [0, count)."""
+    if count <= 1:
+        return 1
+    return (count - 1).bit_length()
+
+
+class _Cursor:
+    """Sequential bit writer/reader over a single integer word."""
+
+    def __init__(self, value: int = 0):
+        self.value = value
+        self.position = 0
+
+    def write(self, width: int, data: int) -> None:
+        """Append ``data`` as a ``width``-bit field."""
+        if data < 0 or data >= (1 << width):
+            raise AssemblerError(
+                f"field value {data} does not fit in {width} bits"
+            )
+        self.value |= data << self.position
+        self.position += width
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width``-bit field."""
+        data = (self.value >> self.position) & ((1 << width) - 1)
+        self.position += width
+        return data
+
+
+@dataclass
+class EncodingLayout:
+    """Derived field layout of one machine's instruction word."""
+
+    machine: Machine
+    target_bits: int = 16
+
+    def __post_init__(self) -> None:
+        machine = self.machine
+        self.storages: List[str] = machine.storage_names()
+        self.storage_bits = _bits_for(len(self.storages))
+        largest = max(
+            [rf.size for rf in machine.register_files]
+            + [m.size for m in machine.memories]
+        )
+        self.index_bits = _bits_for(largest)
+        self.location_bits = 1 + self.storage_bits + self.index_bits
+        self.unit_ops: Dict[str, List[str]] = {
+            unit.name: [op.name for op in unit.operations]
+            for unit in machine.units
+        }
+        self.unit_arity: Dict[str, int] = {
+            unit.name: max((op.arity for op in unit.operations), default=0)
+            for unit in machine.units
+        }
+        self.register_bits: Dict[str, int] = {
+            unit.name: _bits_for(machine.rf_of_unit(unit.name).size)
+            for unit in machine.units
+        }
+        self.word_bits = self._word_bits()
+
+    def _unit_slot_bits(self, unit: str) -> int:
+        return (
+            1
+            + _bits_for(len(self.unit_ops[unit]))
+            + self.register_bits[unit] * (1 + self.unit_arity[unit])
+        )
+
+    def _bus_slot_bits(self) -> int:
+        return 1 + 2 * self.location_bits
+
+    def _control_slot_bits(self) -> int:
+        return 3 + self.location_bits + self.target_bits
+
+    def _word_bits(self) -> int:
+        total = sum(
+            self._unit_slot_bits(u.name) for u in self.machine.units
+        )
+        total += self._bus_slot_bits() * len(self.machine.buses)
+        total += self._control_slot_bits()
+        return total
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes needed to store one instruction word."""
+        return (self.word_bits + 7) // 8
+
+    # -- location coding -------------------------------------------------
+
+    def _encode_location(self, cursor: _Cursor, location: Optional[Location]) -> None:
+        if location is None:
+            cursor.write(self.location_bits, 0)
+            return
+        if isinstance(location, RegRef):
+            kind, storage, index = 0, location.register_file, location.index
+        else:
+            kind, storage, index = 1, location.memory, location.address
+        try:
+            storage_code = self.storages.index(storage)
+        except ValueError:
+            raise AssemblerError(f"unknown storage {storage!r}") from None
+        cursor.write(1, kind)
+        cursor.write(self.storage_bits, storage_code)
+        cursor.write(self.index_bits, index)
+
+    def _decode_location(self, cursor: _Cursor) -> Location:
+        kind = cursor.read(1)
+        storage = self.storages[cursor.read(self.storage_bits)]
+        index = cursor.read(self.index_bits)
+        if kind == 0:
+            return RegRef(storage, index)
+        return MemRef(storage, index)
+
+    # -- instruction coding ------------------------------------------------
+
+    def encode_instruction(
+        self, instruction: Instruction, labels: Dict[str, int]
+    ) -> int:
+        """Pack one instruction into an integer word."""
+        cursor = _Cursor()
+        ops_by_unit = {op.unit: op for op in instruction.ops}
+        for unit in self.machine.units:
+            op_slot = ops_by_unit.get(unit.name)
+            op_bits = _bits_for(len(self.unit_ops[unit.name]))
+            reg_bits = self.register_bits[unit.name]
+            arity = self.unit_arity[unit.name]
+            if op_slot is None:
+                cursor.write(1 + op_bits + reg_bits * (1 + arity), 0)
+                continue
+            cursor.write(1, 1)
+            try:
+                op_code = self.unit_ops[unit.name].index(op_slot.op_name)
+            except ValueError:
+                raise AssemblerError(
+                    f"unit {unit.name} has no op {op_slot.op_name!r}"
+                ) from None
+            cursor.write(op_bits, op_code)
+            cursor.write(reg_bits, op_slot.destination.index)
+            for position in range(arity):
+                if position < len(op_slot.sources):
+                    cursor.write(reg_bits, op_slot.sources[position].index)
+                else:
+                    cursor.write(reg_bits, 0)
+        transfers_by_bus = {t.bus: t for t in instruction.transfers}
+        for bus in self.machine.buses:
+            transfer = transfers_by_bus.get(bus.name)
+            if transfer is None:
+                cursor.write(self._bus_slot_bits(), 0)
+                continue
+            cursor.write(1, 1)
+            self._encode_location(cursor, transfer.source)
+            self._encode_location(cursor, transfer.destination)
+        control = instruction.control
+        cursor.write(3, _CONTROL_CODES[control.kind if control else None])
+        self._encode_location(cursor, control.condition if control else None)
+        target = 0
+        if control is not None and control.target is not None:
+            if control.target not in labels:
+                raise AssemblerError(f"undefined label {control.target!r}")
+            target = labels[control.target]
+        cursor.write(self.target_bits, target)
+        return cursor.value
+
+    def decode_instruction(self, word: int) -> Tuple[Instruction, Optional[int]]:
+        """Decode one word; returns (instruction, raw branch target)."""
+        cursor = _Cursor(word)
+        ops: List[OpSlot] = []
+        for unit in self.machine.units:
+            op_bits = _bits_for(len(self.unit_ops[unit.name]))
+            reg_bits = self.register_bits[unit.name]
+            arity = self.unit_arity[unit.name]
+            used = cursor.read(1)
+            op_code = cursor.read(op_bits)
+            destination = cursor.read(reg_bits)
+            sources = [cursor.read(reg_bits) for _ in range(arity)]
+            if not used:
+                continue
+            op_name = self.unit_ops[unit.name][op_code]
+            machine_op = self.machine.unit(unit.name).op_named(op_name)
+            rf = unit.register_file
+            ops.append(
+                OpSlot(
+                    unit=unit.name,
+                    op_name=op_name,
+                    destination=RegRef(rf, destination),
+                    sources=tuple(
+                        RegRef(rf, s) for s in sources[: machine_op.arity]
+                    ),
+                )
+            )
+        transfers: List[TransferSlot] = []
+        for bus in self.machine.buses:
+            used = cursor.read(1)
+            source = self._decode_location(cursor)
+            destination = self._decode_location(cursor)
+            if used:
+                transfers.append(
+                    TransferSlot(bus.name, source, destination)
+                )
+        control_code = cursor.read(3)
+        condition = self._decode_location(cursor)
+        target = cursor.read(self.target_bits)
+        kind = _CONTROL_BY_CODE.get(control_code)
+        control: Optional[ControlSlot] = None
+        raw_target: Optional[int] = None
+        if kind is not None:
+            if kind is ControlKind.HALT:
+                control = ControlSlot(ControlKind.HALT)
+            elif kind is ControlKind.JMP:
+                control = ControlSlot(ControlKind.JMP, target=f"L{target}")
+                raw_target = target
+            else:
+                if not isinstance(condition, RegRef):
+                    raise AssemblerError("branch condition decoded as memory")
+                control = ControlSlot(
+                    kind, target=f"L{target}", condition=condition
+                )
+                raw_target = target
+        return Instruction(tuple(ops), tuple(transfers), control), raw_target
+
+
+@dataclass
+class BinaryImage:
+    """An encoded program: instruction words plus the data segment."""
+
+    machine_name: str
+    word_bits: int
+    words: List[int]
+    data: Dict[int, int]
+    symbols: Dict[str, int]
+
+    def to_bytes(self) -> bytes:
+        """The code segment as little-endian bytes."""
+        word_bytes = (self.word_bits + 7) // 8
+        return b"".join(
+            w.to_bytes(word_bytes, "little") for w in self.words
+        )
+
+    @property
+    def code_size_bytes(self) -> int:
+        """Size of the encoded code segment in bytes."""
+        return len(self.to_bytes())
+
+
+def encode_program(program: Program, machine: Machine) -> BinaryImage:
+    """Assemble a program into its binary image."""
+    if program.machine_name != machine.name:
+        raise AssemblerError(
+            f"program targets {program.machine_name!r}, "
+            f"machine is {machine.name!r}"
+        )
+    layout = EncodingLayout(machine)
+    words = [
+        layout.encode_instruction(i, program.labels)
+        for i in program.instructions
+    ]
+    return BinaryImage(
+        machine_name=machine.name,
+        word_bits=layout.word_bits,
+        words=words,
+        data=dict(program.data),
+        symbols=dict(program.symbols),
+    )
+
+
+def decode_program(image: BinaryImage, machine: Machine) -> Program:
+    """Disassemble a binary image back into a program.
+
+    Branch targets become labels ``L<index>`` at the referenced
+    instruction indices.
+    """
+    layout = EncodingLayout(machine)
+    program = Program(machine_name=machine.name)
+    program.data = dict(image.data)
+    program.symbols = dict(image.symbols)
+    targets: List[int] = []
+    for word in image.words:
+        instruction, raw_target = layout.decode_instruction(word)
+        program.instructions.append(instruction)
+        if raw_target is not None:
+            targets.append(raw_target)
+    for target in targets:
+        program.labels[f"L{target}"] = target
+    return program

@@ -1,0 +1,130 @@
+"""A self-describing object-file format for compiled programs.
+
+The Fig. 1 framework feeds the assembler's output "binary file" to the
+instruction-level simulator.  :func:`save_object` serialises a
+:class:`~repro.assembler.encoder.BinaryImage` (plus the symbol table and
+initial data the simulator needs) into a single byte string /
+file; :func:`load_object` restores it.  The format is deliberately
+simple and fully specified here:
+
+======  =====================================================
+offset  contents
+======  =====================================================
+0       magic ``b"AVIV"``
+4       format version (u16 LE)
+6       machine-name length (u16 LE), then the name (UTF-8)
+..      word_bits (u16 LE), instruction count (u32 LE)
+..      code: ceil(word_bits/8) bytes per instruction, LE
+..      data count (u32 LE), then (address u32, value i32) pairs
+..      symbol count (u32 LE), then (name-len u16, name, address u32)
+======  =====================================================
+
+All integers little-endian; values are two's-complement 32-bit.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.errors import AssemblerError
+from repro.assembler.encoder import BinaryImage
+
+MAGIC = b"AVIV"
+VERSION = 1
+
+
+def save_object(image: BinaryImage) -> bytes:
+    """Serialise ``image`` to object-file bytes."""
+    parts = [MAGIC, struct.pack("<H", VERSION)]
+    name = image.machine_name.encode("utf-8")
+    parts.append(struct.pack("<H", len(name)))
+    parts.append(name)
+    parts.append(struct.pack("<H", image.word_bits))
+    parts.append(struct.pack("<I", len(image.words)))
+    word_bytes = (image.word_bits + 7) // 8
+    for word in image.words:
+        parts.append(word.to_bytes(word_bytes, "little"))
+    parts.append(struct.pack("<I", len(image.data)))
+    for address in sorted(image.data):
+        parts.append(
+            struct.pack("<Ii", address, image.data[address])
+        )
+    parts.append(struct.pack("<I", len(image.symbols)))
+    for symbol in sorted(image.symbols):
+        encoded = symbol.encode("utf-8")
+        parts.append(struct.pack("<H", len(encoded)))
+        parts.append(encoded)
+        parts.append(struct.pack("<I", image.symbols[symbol]))
+    return b"".join(parts)
+
+
+class _Reader:
+    def __init__(self, blob: bytes):
+        self._blob = blob
+        self._offset = 0
+
+    def take(self, count: int) -> bytes:
+        """Consume ``count`` raw bytes."""
+        if self._offset + count > len(self._blob):
+            raise AssemblerError("truncated object file")
+        chunk = self._blob[self._offset : self._offset + count]
+        self._offset += count
+        return chunk
+
+    def unpack(self, fmt: str):
+        """Consume and decode one struct-format field group."""
+        size = struct.calcsize(fmt)
+        return struct.unpack(fmt, self.take(size))
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every input byte has been consumed."""
+        return self._offset == len(self._blob)
+
+
+def load_object(blob: bytes) -> BinaryImage:
+    """Parse object-file bytes back into a :class:`BinaryImage`.
+
+    Raises :class:`AssemblerError` on bad magic, unsupported version,
+    or truncation.
+    """
+    reader = _Reader(blob)
+    if reader.take(4) != MAGIC:
+        raise AssemblerError("not an AVIV object file (bad magic)")
+    (version,) = reader.unpack("<H")
+    if version != VERSION:
+        raise AssemblerError(
+            f"unsupported object format version {version} "
+            f"(this tool reads {VERSION})"
+        )
+    (name_length,) = reader.unpack("<H")
+    machine_name = reader.take(name_length).decode("utf-8")
+    (word_bits,) = reader.unpack("<H")
+    (instruction_count,) = reader.unpack("<I")
+    word_bytes = (word_bits + 7) // 8
+    words = [
+        int.from_bytes(reader.take(word_bytes), "little")
+        for _ in range(instruction_count)
+    ]
+    (data_count,) = reader.unpack("<I")
+    data = {}
+    for _ in range(data_count):
+        address, value = reader.unpack("<Ii")
+        data[address] = value
+    (symbol_count,) = reader.unpack("<I")
+    symbols = {}
+    for _ in range(symbol_count):
+        (length,) = reader.unpack("<H")
+        symbol = reader.take(length).decode("utf-8")
+        (address,) = reader.unpack("<I")
+        symbols[symbol] = address
+    if not reader.exhausted:
+        raise AssemblerError("trailing garbage after object file")
+    return BinaryImage(
+        machine_name=machine_name,
+        word_bits=word_bits,
+        words=words,
+        data=data,
+        symbols=symbols,
+    )

@@ -1,0 +1,212 @@
+"""Textual assembly: a strict, round-trippable program format.
+
+Example::
+
+    .machine arch1_r4
+    .symbol a 0
+    .symbol out 4
+    .word 5 2
+    entry:
+      U2: MUL RF2.R1, RF2.R0 -> RF2.R0 | B1: DM[0] -> RF1.R1
+      BNZ RF1.R0, entry
+      HALT
+
+Slots within an instruction are separated by ``|``; the slot's leading
+name (before ``:``) identifies the resource — a functional unit for
+operations, a bus for transfers — and bare mnemonics (JMP/BNZ/BEZ/HALT/
+NOP) form the control slot.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isdl.model import Machine
+from repro.asmgen.instruction import (
+    ControlKind,
+    ControlSlot,
+    Instruction,
+    Location,
+    MemRef,
+    OpSlot,
+    Program,
+    RegRef,
+    TransferSlot,
+)
+
+_REG_RE = re.compile(r"^(\w+)\.R(\d+)$")
+_MEM_RE = re.compile(r"^(\w+)\[(\d+)\]$")
+
+
+def program_to_text(program: Program) -> str:
+    """Serialise a program in the parseable text format."""
+    lines: List[str] = [f".machine {program.machine_name}"]
+    for name, address in sorted(program.symbols.items(), key=lambda kv: (kv[1], kv[0])):
+        lines.append(f".symbol {name} {address}")
+    for address, value in sorted(program.data.items()):
+        lines.append(f".word {address} {value}")
+    by_address: Dict[int, List[str]] = {}
+    for label, address in program.labels.items():
+        by_address.setdefault(address, []).append(label)
+    for index, instruction in enumerate(program.instructions):
+        for label in sorted(by_address.get(index, [])):
+            lines.append(f"{label}:")
+        lines.append(f"  {instruction}")
+    for label in sorted(by_address.get(len(program.instructions), [])):
+        lines.append(f"{label}:")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_location(text: str) -> Location:
+    text = text.strip()
+    match = _REG_RE.match(text)
+    if match:
+        return RegRef(match.group(1), int(match.group(2)))
+    match = _MEM_RE.match(text)
+    if match:
+        return MemRef(match.group(1), int(match.group(2)))
+    raise AssemblerError(f"cannot parse location {text!r}")
+
+
+def _parse_slot(
+    text: str, machine: Machine
+) -> Tuple[Optional[OpSlot], Optional[TransferSlot], Optional[ControlSlot]]:
+    text = text.strip()
+    if text == "HALT":
+        return None, None, ControlSlot(ControlKind.HALT)
+    if text.startswith("JMP "):
+        return None, None, ControlSlot(ControlKind.JMP, target=text[4:].strip())
+    for kind in (ControlKind.BNZ, ControlKind.BEZ):
+        prefix = kind.value + " "
+        if text.startswith(prefix):
+            rest = text[len(prefix):]
+            if "," not in rest:
+                raise AssemblerError(f"malformed branch {text!r}")
+            condition_text, target = rest.split(",", 1)
+            condition = _parse_location(condition_text)
+            if not isinstance(condition, RegRef):
+                raise AssemblerError(
+                    f"branch condition must be a register: {text!r}"
+                )
+            return None, None, ControlSlot(
+                kind, target=target.strip(), condition=condition
+            )
+    if ":" not in text:
+        raise AssemblerError(f"cannot parse slot {text!r}")
+    resource, body = text.split(":", 1)
+    resource = resource.strip()
+    body = body.strip()
+    if machine.has_bus(resource):
+        if "->" not in body:
+            raise AssemblerError(f"malformed transfer {text!r}")
+        source_text, destination_text = body.split("->", 1)
+        return (
+            None,
+            TransferSlot(
+                bus=resource,
+                source=_parse_location(source_text),
+                destination=_parse_location(destination_text),
+            ),
+            None,
+        )
+    if machine.has_unit(resource):
+        if "->" not in body:
+            raise AssemblerError(f"malformed operation {text!r}")
+        left, destination_text = body.split("->", 1)
+        parts = left.strip().split(None, 1)
+        op_name = parts[0]
+        sources: List[RegRef] = []
+        if len(parts) > 1:
+            for chunk in parts[1].split(","):
+                location = _parse_location(chunk)
+                if not isinstance(location, RegRef):
+                    raise AssemblerError(
+                        f"operands must be registers: {text!r}"
+                    )
+                sources.append(location)
+        destination = _parse_location(destination_text)
+        if not isinstance(destination, RegRef):
+            raise AssemblerError(f"op destination must be a register: {text!r}")
+        return (
+            OpSlot(
+                unit=resource,
+                op_name=op_name,
+                destination=destination,
+                sources=tuple(sources),
+            ),
+            None,
+            None,
+        )
+    raise AssemblerError(f"unknown resource {resource!r} in {text!r}")
+
+
+def parse_assembly(source: str, machine: Machine) -> Program:
+    """Parse assembly text into a :class:`Program` for ``machine``.
+
+    ``;`` starts a comment.  Raises :class:`AssemblerError` on any
+    malformed line or a machine-name mismatch.
+    """
+    program = Program(machine_name=machine.name)
+    declared_machine: Optional[str] = None
+    for raw_line in source.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".machine"):
+            declared_machine = line.split()[1]
+            if declared_machine != machine.name:
+                raise AssemblerError(
+                    f"assembly targets {declared_machine!r}, "
+                    f"machine is {machine.name!r}"
+                )
+            program.machine_name = declared_machine
+            continue
+        if line.startswith(".symbol"):
+            _, name, address = line.split()
+            program.symbols[name] = int(address)
+            continue
+        if line.startswith(".word"):
+            _, address, value = line.split()
+            program.data[int(address)] = int(value)
+            continue
+        if line.endswith(":") and "|" not in line:
+            label = line[:-1].strip()
+            if label in program.labels:
+                raise AssemblerError(f"duplicate label {label!r}")
+            program.labels[label] = len(program.instructions)
+            continue
+        if line == "NOP":
+            program.instructions.append(Instruction())
+            continue
+        ops: List[OpSlot] = []
+        transfers: List[TransferSlot] = []
+        control: Optional[ControlSlot] = None
+        for slot_text in line.split("|"):
+            op_slot, transfer_slot, control_slot = _parse_slot(
+                slot_text, machine
+            )
+            if op_slot is not None:
+                ops.append(op_slot)
+            if transfer_slot is not None:
+                transfers.append(transfer_slot)
+            if control_slot is not None:
+                if control is not None:
+                    raise AssemblerError(
+                        f"two control slots in one instruction: {line!r}"
+                    )
+                control = control_slot
+        program.instructions.append(
+            Instruction(
+                ops=tuple(ops), transfers=tuple(transfers), control=control
+            )
+        )
+    for instruction in program.instructions:
+        control = instruction.control
+        if control is not None and control.target is not None:
+            if control.target not in program.labels:
+                raise AssemblerError(
+                    f"undefined label {control.target!r}"
+                )
+    return program

@@ -1,0 +1,20 @@
+"""Comparison code generators.
+
+- :mod:`repro.baselines.sequential` — a conventional *phase-ordered*
+  code generator (select units, then insert transfers, then list-
+  schedule, then allocate).  This is the style of compiler the paper
+  argues against; the ablation benches measure the cost of decoupling
+  the phases.
+- :mod:`repro.baselines.exhaustive` — a branch-and-bound search for the
+  minimum instruction count, standing in for the paper's hand-coded
+  optimal solutions ("the hand-coded results are all optimal").
+"""
+
+from repro.baselines.sequential import sequential_block_solution
+from repro.baselines.exhaustive import OptimalResult, optimal_block_cost
+
+__all__ = [
+    "sequential_block_solution",
+    "OptimalResult",
+    "optimal_block_cost",
+]

@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``machines``
+    List the built-in target architectures.
+``describe --machine NAME``
+    Print a machine summary and its ISDL-lite source.
+``compile FILE --machine NAME [--asm OUT] [--bin OUT] [--no-peephole]``
+    Compile a minic source file and print the assembly listing; write
+    text assembly and/or the binary image on request.
+``run FILE --machine NAME [--set VAR=VAL ...] [--trace] [--stats]``
+    Compile and execute a minic program on the simulator, printing the
+    final variables (cross-checked against the IR interpreter).
+``disasm OBJECT --machine NAME``
+    Disassemble an object file written by ``compile --bin``.
+``simulate OBJECT --machine NAME [--set VAR=VAL ...] [--trace]``
+    Execute an object file on the simulator.
+``tables [--table {1,2,both}] [--heuristics-off] [--no-optimal]``
+    Regenerate the paper's Table I / Table II.
+
+Machines are named either by a built-in key (``arch1``, ``arch2``,
+``fig6``, ``dualbus``, ``mac``, ``single``, ``cf``, ``pipe``) with an
+optional ``:R`` register-count suffix (``arch1:2``), or by a path to an
+ISDL-lite description file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.ir.interp import interpret_function
+from repro.isdl.builtin_machines import BUILTIN_MACHINES
+from repro.isdl.model import Machine
+from repro.isdl.parser import parse_machine
+from repro.isdl.writer import machine_to_isdl
+
+
+def resolve_machine(spec: str) -> Machine:
+    """Turn a machine spec (builtin key[:regs] or file path) into a
+    validated :class:`Machine`."""
+    name, _, registers = spec.partition(":")
+    if name in BUILTIN_MACHINES:
+        factory = BUILTIN_MACHINES[name]
+        if registers:
+            return factory(int(registers))
+        return factory()
+    try:
+        with open(spec) as handle:
+            return parse_machine(handle.read())
+    except FileNotFoundError:
+        raise ReproError(
+            f"unknown machine {spec!r}: not a builtin "
+            f"({', '.join(sorted(BUILTIN_MACHINES))}) and no such file"
+        ) from None
+
+
+def _parse_bindings(pairs: List[str]) -> dict:
+    environment = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--set expects VAR=VALUE, got {pair!r}")
+        name, _, value = pair.partition("=")
+        environment[name] = int(value)
+    return environment
+
+
+def _cmd_machines(_args) -> int:
+    for key in sorted(BUILTIN_MACHINES):
+        machine = BUILTIN_MACHINES[key]()
+        units = ", ".join(
+            f"{u.name}{{{','.join(op.name for op in u.operations)}}}"
+            for u in machine.units
+        )
+        print(f"{key:8s} {machine.name:16s} {units}")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    machine = resolve_machine(args.machine)
+    print(machine.describe())
+    print()
+    print(machine_to_isdl(machine))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    from repro.asmgen.program import compile_function
+    from repro.assembler.encoder import encode_program
+    from repro.assembler.text import program_to_text
+    from repro.covering.config import HeuristicConfig
+
+    machine = resolve_machine(args.machine)
+    with open(args.source) as handle:
+        function = compile_source(handle.read())
+    config = HeuristicConfig.default()
+    if args.heuristics_off:
+        config = HeuristicConfig.heuristics_off()
+    compiled = compile_function(
+        function, machine, config, peephole=not args.no_peephole
+    )
+    print(compiled.program.listing())
+    print(
+        f"; {compiled.total_instructions} instructions, "
+        f"{compiled.total_spills} spills",
+        file=sys.stderr,
+    )
+    if args.asm:
+        with open(args.asm, "w") as handle:
+            handle.write(program_to_text(compiled.program))
+        print(f"; wrote {args.asm}", file=sys.stderr)
+    if args.bin:
+        from repro.assembler.objfile import save_object
+
+        image = encode_program(compiled.program, machine)
+        blob = save_object(image)
+        with open(args.bin, "wb") as handle:
+            handle.write(blob)
+        print(
+            f"; wrote {args.bin} ({len(blob)} bytes: "
+            f"{len(image.words)} x {image.word_bits}-bit words + data "
+            f"+ symbols)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    from repro.assembler.encoder import decode_program
+    from repro.assembler.objfile import load_object
+
+    machine = resolve_machine(args.machine)
+    with open(args.object, "rb") as handle:
+        image = load_object(handle.read())
+    program = decode_program(image, machine)
+    print(program.listing())
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.assembler.encoder import decode_program
+    from repro.assembler.objfile import load_object
+    from repro.simulator.executor import run_program
+
+    machine = resolve_machine(args.machine)
+    with open(args.object, "rb") as handle:
+        image = load_object(handle.read())
+    program = decode_program(image, machine)
+    environment = _parse_bindings(args.set or [])
+    result = run_program(program, machine, environment, trace=args.trace)
+    if args.trace:
+        for line in result.trace:
+            print(line)
+    for name in sorted(result.variables):
+        print(f"{name} = {result.variables[name]}")
+    print(f"; {result.cycles} cycles", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.asmgen.program import compile_function
+    from repro.simulator.executor import run_program
+
+    machine = resolve_machine(args.machine)
+    with open(args.source) as handle:
+        function = compile_source(handle.read())
+    environment = _parse_bindings(args.set or [])
+    compiled = compile_function(function, machine)
+    result = run_program(
+        compiled.program, machine, environment, trace=args.trace
+    )
+    if args.trace:
+        for line in result.trace:
+            print(line)
+    if args.stats:
+        from repro.simulator.stats import profile_run
+
+        stats = profile_run(compiled.program, machine, environment)
+        print(stats.describe(machine), file=sys.stderr)
+    reference = interpret_function(function, environment)
+    mismatches = []
+    for name in sorted(result.variables):
+        check = ""
+        if name in reference and reference[name] != result.variables[name]:
+            check = f"  !! interpreter says {reference[name]}"
+            mismatches.append(name)
+        print(f"{name} = {result.variables[name]}{check}")
+    print(f"; {result.cycles} cycles", file=sys.stderr)
+    return 1 if mismatches else 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.eval.experiments import (
+        PAPER_TABLE1,
+        PAPER_TABLE2,
+        run_table1,
+        run_table2,
+    )
+    from repro.eval.reporting import format_comparison, format_rows
+
+    want = args.table
+    if want in ("1", "both"):
+        rows = run_table1(
+            with_optimal=not args.no_optimal,
+            with_heuristics_off=args.heuristics_off,
+            optimal_budget=args.optimal_budget,
+        )
+        print(format_rows(rows, "Table I — example target architecture"))
+        print()
+        print(format_comparison(rows, PAPER_TABLE1, "vs. paper"))
+        print()
+    if want in ("2", "both"):
+        rows = run_table2(
+            with_optimal=not args.no_optimal,
+            optimal_budget=args.optimal_budget,
+        )
+        print(format_rows(rows, "Table II — Architecture II"))
+        print()
+        print(format_comparison(rows, PAPER_TABLE2, "vs. paper"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AVIV retargetable code generator (DAC 1998 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("machines", help="list built-in machines")
+
+    describe = commands.add_parser("describe", help="show a machine")
+    describe.add_argument("--machine", "-m", required=True)
+
+    compile_parser = commands.add_parser("compile", help="compile minic")
+    compile_parser.add_argument("source")
+    compile_parser.add_argument("--machine", "-m", required=True)
+    compile_parser.add_argument("--asm", help="write text assembly here")
+    compile_parser.add_argument("--bin", help="write binary image here")
+    compile_parser.add_argument(
+        "--no-peephole", action="store_true", help="skip peephole pass"
+    )
+    compile_parser.add_argument(
+        "--heuristics-off",
+        action="store_true",
+        help="exhaustive assignment exploration",
+    )
+
+    run_parser = commands.add_parser("run", help="compile and simulate")
+    run_parser.add_argument("source")
+    run_parser.add_argument("--machine", "-m", required=True)
+    run_parser.add_argument(
+        "--set", action="append", metavar="VAR=VAL", help="initial variable"
+    )
+    run_parser.add_argument("--trace", action="store_true")
+    run_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print resource-activity statistics",
+    )
+
+    disasm = commands.add_parser(
+        "disasm", help="disassemble an object file"
+    )
+    disasm.add_argument("object")
+    disasm.add_argument("--machine", "-m", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run an object file on the simulator"
+    )
+    simulate.add_argument("object")
+    simulate.add_argument("--machine", "-m", required=True)
+    simulate.add_argument(
+        "--set", action="append", metavar="VAR=VAL", help="initial variable"
+    )
+    simulate.add_argument("--trace", action="store_true")
+
+    tables = commands.add_parser("tables", help="reproduce paper tables")
+    tables.add_argument("--table", choices=["1", "2", "both"], default="both")
+    tables.add_argument("--heuristics-off", action="store_true")
+    tables.add_argument("--no-optimal", action="store_true")
+    tables.add_argument("--optimal-budget", type=int, default=20_000)
+
+    return parser
+
+
+_HANDLERS = {
+    "machines": _cmd_machines,
+    "describe": _cmd_describe,
+    "compile": _cmd_compile,
+    "run": _cmd_run,
+    "disasm": _cmd_disasm,
+    "simulate": _cmd_simulate,
+    "tables": _cmd_tables,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

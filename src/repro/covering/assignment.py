@@ -1,0 +1,266 @@
+"""Exploring split-node functional-unit assignments (paper, Section IV-A).
+
+The number of complete assignments grows multiplicatively with the block
+size, so the search is pruned with an *incremental cost* charged when a
+split node is bound to an alternative.  The cost captures the two factors
+the paper names: data transfers the binding makes necessary, and
+parallelism it forgoes.
+
+Split nodes are bound "in order of increasing level from the top of the
+Split-Node DAG"; at each node, only minimum-incremental-cost alternatives
+survive (Fig. 6's pruning) unless pruning is disabled, and finally the
+``num_assignments`` cheapest complete assignments are selected for
+in-depth covering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.dag import BlockDAG
+from repro.ir.ops import Opcode, is_leaf
+from repro.isdl.model import Machine
+from repro.covering.config import HeuristicConfig
+from repro.sndag.build import SplitNodeDAG
+from repro.sndag.nodes import Alternative
+from repro.utils.graph import transitive_closure
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A complete split-node covering assignment.
+
+    ``choice`` maps each original operation id to the alternative that
+    covers it.  Operations absorbed into a complex instruction map to the
+    *root's* alternative (so every operation id is a key).
+    """
+
+    choice: Dict[int, Alternative]
+    cost: int
+
+    def unit_of(self, op_id: int) -> str:
+        """Functional unit covering the given operation."""
+        return self.choice[op_id].unit
+
+    def covering_ops(self) -> List[Tuple[int, Alternative]]:
+        """(root op id, alternative) pairs, one per emitted machine op."""
+        seen: Set[int] = set()
+        result: List[Tuple[int, Alternative]] = []
+        for op_id in sorted(self.choice):
+            alternative = self.choice[op_id]
+            root = alternative.covers[0]
+            if root not in seen:
+                seen.add(root)
+                result.append((root, alternative))
+        return result
+
+    def signature(self) -> Tuple[Tuple[int, str, str], ...]:
+        """Hashable identity used to deduplicate assignments."""
+        return tuple(
+            (op_id, alt.unit, alt.op_name)
+            for op_id, alt in sorted(self.choice.items())
+        )
+
+
+@dataclass
+class _Partial:
+    """A partial assignment open during exploration."""
+
+    choice: Dict[int, Alternative]
+    cost: int
+    #: op ids absorbed by an already-chosen complex alternative
+    absorbed: Set[int] = field(default_factory=set)
+
+
+class _CostModel:
+    """Computes the incremental cost of binding one split node."""
+
+    def __init__(
+        self, sn: SplitNodeDAG, config: Optional[HeuristicConfig] = None
+    ):
+        self.config = config or HeuristicConfig.default()
+        self.sn = sn
+        self.machine = sn.machine
+        self.dag = sn.dag
+        self.consumers = self.dag.consumers()
+        # Dependence between operations: q depends on s if s is reachable
+        # from q through operand edges.
+        closure = transitive_closure(self.dag.adjacency())
+        self._descendants = closure
+        self._distance_cache: Dict[Tuple[str, str], int] = {}
+
+    def independent(self, a: int, b: int) -> bool:
+        """True when no dependence path connects the two original nodes."""
+        return b not in self._descendants[a] and a not in self._descendants[b]
+
+    def distance(self, source: str, destination: str) -> int:
+        """Cached bus-hop distance between two storages."""
+        key = (source, destination)
+        if key not in self._distance_cache:
+            self._distance_cache[key] = self.sn.transfer_db.distance(
+                source, destination
+            )
+        return self._distance_cache[key]
+
+    def incremental_cost(
+        self, partial: _Partial, op_id: int, alternative: Alternative
+    ) -> int:
+        """Transfers made necessary plus parallelism foregone (Fig. 6).
+
+        - one unit of cost per bus hop needed to deliver this node's
+          value to each already-assigned consumer (and to memory for each
+          store consumer);
+        - one unit per bus hop needed to load each *leaf* operand of the
+          alternative from data memory;
+        - one unit for each already-assigned, dependence-independent
+          operation placed on the same unit (a grouping opportunity
+          irrevocably lost).
+        """
+        machine = self.machine
+        rf = machine.unit(alternative.unit).register_file
+        cost = 0
+        covered = set(alternative.covers)
+        # Transfers to already-assigned consumers of the produced value.
+        root = alternative.covers[0]
+        for consumer_id in self.consumers.get(root, ()):  # users of root's value
+            consumer = self.dag.node(consumer_id)
+            if consumer.opcode is Opcode.STORE:
+                cost += self.distance(rf, machine.data_memory)
+                continue
+            chosen = partial.choice.get(consumer_id)
+            if chosen is None or consumer_id in covered:
+                continue
+            consumer_rf = machine.unit(chosen.unit).register_file
+            cost += self.distance(rf, consumer_rf)
+        # Loads for leaf operands of the alternative.
+        operand_ids = self._operands_of(op_id, alternative)
+        for operand_id in operand_ids:
+            if is_leaf(self.dag.node(operand_id).opcode):
+                cost += self.distance(machine.data_memory, rf)
+        # Parallelism foregone against every already-assigned operation.
+        for other_id, other_alt in partial.choice.items():
+            if other_id in covered or other_id in partial.absorbed:
+                continue
+            if other_alt.unit != alternative.unit:
+                continue
+            if other_alt.covers[0] != other_id:
+                continue  # only the root of a complex op occupies the unit
+            if self.independent(other_id, root):
+                cost += 1
+        if self.config.register_aware_assignment:
+            cost += self._register_penalty(partial, root, alternative)
+        return cost
+
+    def _register_penalty(
+        self, partial: _Partial, root: int, alternative: Alternative
+    ) -> int:
+        """Penalty for likely spills (the paper's ongoing-work extension).
+
+        Estimates how many values could be simultaneously live in the
+        unit's register bank: this operation's result plus every value
+        already produced on the same unit by an operation with no
+        dependence path to this one (an independent producer's value may
+        overlap ours).  Each value beyond the bank's capacity costs
+        ``spill_penalty`` units, steering the beam away from assignments
+        the covering step would have to rescue with loads and spills.
+        """
+        machine = self.machine
+        bank_size = machine.rf_of_unit(alternative.unit).size
+        overlapping = 1  # our own result
+        for other_id, other_alt in partial.choice.items():
+            if other_id in partial.absorbed:
+                continue
+            if other_alt.unit != alternative.unit:
+                continue
+            if other_alt.covers[0] != other_id:
+                continue
+            if self.independent(other_id, root):
+                overlapping += 1
+        excess = overlapping - bank_size
+        if excess <= 0:
+            return 0
+        return excess * self.config.spill_penalty
+
+    def _operands_of(
+        self, op_id: int, alternative: Alternative
+    ) -> Tuple[int, ...]:
+        if not alternative.from_pattern:
+            return self.dag.node(op_id).operands
+        # Complex alternative: external operands are those found by the
+        # pattern matcher.
+        for match in self.sn.pattern_matches:
+            if (
+                match.root == op_id
+                and match.unit == alternative.unit
+                and match.op.name == alternative.op_name
+            ):
+                return match.operands
+        return self.dag.node(op_id).operands
+
+
+def explore_assignments(
+    sn: SplitNodeDAG, config: Optional[HeuristicConfig] = None
+) -> List[Assignment]:
+    """Enumerate complete assignments, cheapest first.
+
+    With ``config.assignment_pruning`` the per-node minimum-incremental-
+    cost rule prunes the search (Fig. 6); the returned list is truncated
+    to ``config.num_assignments``.
+    """
+    config = config or HeuristicConfig.default()
+    model = _CostModel(sn, config)
+    dag = sn.dag
+    # Level from the top: process shallow (root-side) nodes first.
+    depth = dag.depth_from_roots()
+    op_ids = sorted(
+        sn.alternatives_of,
+        key=lambda op_id: (depth[op_id], op_id),
+    )
+    frontier: List[_Partial] = [_Partial(choice={}, cost=0)]
+    for op_id in op_ids:
+        next_frontier: List[_Partial] = []
+        for partial in frontier:
+            if op_id in partial.absorbed:
+                next_frontier.append(partial)
+                continue
+            scored: List[Tuple[int, Alternative]] = []
+            for alternative in sn.alternatives(op_id):
+                if any(c in partial.absorbed for c in alternative.covers):
+                    continue
+                increment = model.incremental_cost(partial, op_id, alternative)
+                scored.append((increment, alternative))
+            if not scored:
+                continue  # no usable alternative under this partial
+            if config.assignment_pruning:
+                best = min(increment for increment, _ in scored)
+                scored = [item for item in scored if item[0] == best]
+            for increment, alternative in scored:
+                choice = dict(partial.choice)
+                for covered_id in alternative.covers:
+                    choice[covered_id] = alternative
+                absorbed = set(partial.absorbed)
+                absorbed.update(alternative.covers[1:])
+                next_frontier.append(
+                    _Partial(choice, partial.cost + increment, absorbed)
+                )
+        if config.frontier_limit is not None and len(next_frontier) > config.frontier_limit:
+            next_frontier.sort(key=lambda p: p.cost)
+            next_frontier = next_frontier[: config.frontier_limit]
+        frontier = next_frontier
+    complete = [
+        Assignment(choice=partial.choice, cost=partial.cost)
+        for partial in frontier
+        if len(partial.choice) == len(sn.alternatives_of)
+    ]
+    complete.sort(key=lambda a: (a.cost, a.signature()))
+    deduped: List[Assignment] = []
+    seen: Set[Tuple] = set()
+    for assignment in complete:
+        signature = assignment.signature()
+        if signature not in seen:
+            seen.add(signature)
+            deduped.append(assignment)
+    if config.num_assignments is not None:
+        deduped = deduped[: config.num_assignments]
+    return deduped

@@ -1,0 +1,172 @@
+"""Maximal-clique generation and instruction legality (paper, IV-C).
+
+:func:`generate_maximal_cliques` is a faithful implementation of the
+Fig. 8 pseudo-code: a recursive generator over the pairwise-parallelism
+matrix whose first loop greedily absorbs every node that "will not
+preclude adding any other node", whose second loop branches on the
+remaining compatible nodes, and whose ``i < index`` test prunes cliques
+that an earlier seed already produced.
+
+:func:`legalize_cliques` implements IV-C.3: each proposed instruction is
+compared with the ISDL constraints; an illegal grouping is split into
+smaller cliques until every constraint is met.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.covering.taskgraph import Task, TaskGraph, TaskKind
+from repro.isdl.model import Constraint, Machine
+
+
+class _CliqueBudgetExceeded(Exception):
+    """Internal: unwinds the recursion when ``max_cliques`` is hit."""
+
+
+def generate_maximal_cliques(
+    matrix: np.ndarray, max_cliques: Optional[int] = None
+) -> List[FrozenSet[int]]:
+    """All maximal cliques of the parallelism graph (Fig. 8).
+
+    ``matrix`` is the conflict matrix (0 = parallel).  Returns cliques as
+    frozensets of *matrix indices*, deterministically ordered (by size
+    descending, then lexicographically).  Every node appears in at least
+    one clique; a clique may contain a single node.
+
+    ``max_cliques`` bounds the enumeration — the paper calls clique
+    generation "the most time consuming portion of our algorithm".  When
+    the budget trips, the cliques found so far are returned, topped up
+    with singletons for any node not yet covered (so covering always has
+    a usable candidate per node).
+
+    The candidate bookkeeping is vectorised over numpy boolean rows; the
+    recursion structure and the ``i < index`` pruning follow the paper's
+    pseudo-code exactly.
+    """
+    size = matrix.shape[0]
+    parallel = matrix == 0  # diagonal is False: a node never self-merges
+    found: Set[FrozenSet[int]] = set()
+    #: states already expanded, with the smallest ``index`` they were
+    #: expanded under — the second loop's branches reach the same clique
+    #: through different insertion orders, and a smaller index explores a
+    #: superset of branches, so only strictly-smaller revisits re-expand.
+    visited: Dict[FrozenSet[int], int] = {}
+
+    def gen_max_clique(members: List[int], index: int) -> None:
+        state = frozenset(members)
+        seen_index = visited.get(state)
+        if seen_index is not None and seen_index <= index:
+            return
+        visited[state] = index
+        while True:
+            compatible = parallel[members].all(axis=0)
+            candidates = np.flatnonzero(compatible)
+            if candidates.size == 0:
+                if max_cliques is not None and len(found) >= max_cliques:
+                    raise _CliqueBudgetExceeded
+                found.add(frozenset(members))
+                return
+            # First loop: absorb the lowest-numbered candidate that does
+            # not preclude any other candidate (all-pairwise-parallel
+            # within the candidate set).
+            sub = parallel[np.ix_(candidates, candidates)]
+            non_precluding = np.flatnonzero(
+                sub.sum(axis=1) == candidates.size - 1
+            )
+            if non_precluding.size:
+                node = int(candidates[non_precluding[0]])
+                if node < index:
+                    return  # pruning condition (Fig. 8)
+                members = members + [node]
+                continue
+            break
+        # Second loop: branch on each remaining compatible node.
+        for node in candidates:
+            gen_max_clique(members + [int(node)], max(int(node), index))
+
+    try:
+        for seed in range(size):
+            gen_max_clique([seed], seed)
+    except _CliqueBudgetExceeded:
+        covered = set().union(*found) if found else set()
+        for node in range(size):
+            if node not in covered:
+                found.add(frozenset({node}))
+    return sorted(found, key=lambda c: (-len(c), sorted(c)))
+
+
+def _matches_term(task: Task, resource: str, op_name: str) -> bool:
+    if task.resource != resource:
+        return False
+    if op_name == "*":
+        return True
+    return task.kind is TaskKind.OP and task.op_name == op_name
+
+
+def _violates(
+    tasks: Dict[int, Task], clique: FrozenSet[int], constraint: Constraint
+) -> List[List[int]]:
+    """Per constraint term, the clique members matching it (empty list
+    somewhere = constraint not violated)."""
+    matches: List[List[int]] = []
+    for term in constraint.terms:
+        matched = [
+            t
+            for t in sorted(clique)
+            if _matches_term(tasks[t], term.resource, term.op_name)
+        ]
+        if not matched:
+            return []
+        matches.append(matched)
+    return matches
+
+
+def is_legal_instruction(
+    graph: TaskGraph, clique: FrozenSet[int], machine: Machine
+) -> bool:
+    """True when ``clique`` violates no ISDL constraint."""
+    return all(
+        not _violates(graph.tasks, clique, constraint)
+        for constraint in machine.constraints
+    )
+
+
+def legalize_cliques(
+    graph: TaskGraph, cliques: Sequence[FrozenSet[int]], machine: Machine
+) -> List[FrozenSet[int]]:
+    """Split illegal cliques until every instruction meets the
+    constraints (IV-C.3), dropping results subsumed by larger cliques."""
+    if not machine.constraints:
+        return list(cliques)
+    legal: Set[FrozenSet[int]] = set()
+    work = list(cliques)
+    seen: Set[FrozenSet[int]] = set()
+    while work:
+        clique = work.pop()
+        if clique in seen or not clique:
+            continue
+        seen.add(clique)
+        violated = None
+        for constraint in machine.constraints:
+            matches = _violates(graph.tasks, clique, constraint)
+            if matches:
+                violated = matches
+                break
+        if violated is None:
+            legal.add(clique)
+            continue
+        # Break the violation: removing any node matching any term yields
+        # a smaller clique; branch on each possibility.
+        breakers = sorted({t for matched in violated for t in matched})
+        for task_id in breakers:
+            work.append(clique - {task_id})
+    # Drop cliques strictly contained in another legal clique.
+    result = [
+        c
+        for c in legal
+        if not any(c < other for other in legal)
+    ]
+    return sorted(result, key=lambda c: (-len(c), sorted(c)))

@@ -1,0 +1,413 @@
+"""Greedy minimum-cost clique covering with scheduling (paper, IV-D).
+
+The covering loop repeatedly selects the clique that covers the largest
+number of remaining uncovered *ready* tasks (tasks whose children have
+all been covered — so a schedule falls out of the selection order) whose
+register requirements stay within the per-bank liveness upper bound.
+Ties are broken by a lookahead estimate of the number of cliques still
+needed.  When no clique is register-feasible, a covered value is chosen
+for spilling — based on the most-needed bank and the number of reloads
+the spill will cause — the task graph is augmented with load/spill
+transfers (Fig. 9), and the maximal cliques are regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import CoverageError
+from repro.covering.cliques import generate_maximal_cliques, legalize_cliques
+from repro.covering.config import HeuristicConfig
+from repro.covering.parallelism import parallelism_matrix
+from repro.covering.pressure import PressureTracker
+from repro.covering.taskgraph import TaskGraph
+
+
+@dataclass
+class CoverResult:
+    """Outcome of covering one assignment."""
+
+    schedule: List[List[int]]
+    register_estimate: Dict[str, int]
+    spill_count: int
+    reload_count: int
+
+    @property
+    def instruction_count(self) -> int:
+        """Number of VLIW words in the covering (code size)."""
+        return len(self.schedule)
+
+
+def _build_cliques(
+    graph: TaskGraph, task_ids: List[int], config: HeuristicConfig
+) -> List[FrozenSet[int]]:
+    """Maximal legal cliques over ``task_ids``, as task-id frozensets."""
+    if not task_ids:
+        return []
+    matrix, index_map = parallelism_matrix(
+        graph, task_ids, level_window=config.level_window
+    )
+    cliques = generate_maximal_cliques(matrix, config.max_cliques)
+    as_tasks = [
+        frozenset(index_map[i] for i in clique) for clique in cliques
+    ]
+    return legalize_cliques(graph, as_tasks, graph.machine)
+
+
+def _lookahead_estimate(graph: TaskGraph, remaining: Set[int]) -> int:
+    """Lower-bound style estimate of cliques needed for ``remaining``:
+    the busiest resource's task count, or the longest dependence chain,
+    whichever is larger."""
+    if not remaining:
+        return 0
+    per_resource: Dict[str, int] = {}
+    for task_id in remaining:
+        resource = graph.tasks[task_id].resource
+        per_resource[resource] = per_resource.get(resource, 0) + 1
+    resource_bound = max(per_resource.values())
+    # Longest dependence chain within the remaining tasks.  Spill/reload
+    # rewiring can make ascending task ids non-topological, so order
+    # properly.
+    from repro.utils.graph import topological_order
+
+    adjacency = {
+        t: [d for d in graph.tasks[t].dependencies() if d in remaining]
+        for t in sorted(remaining)
+    }
+    depth: Dict[int, int] = {}
+    for task_id in reversed(topological_order(adjacency)):
+        best = 0
+        for dependency in adjacency[task_id]:
+            best = max(best, depth[dependency])
+        depth[task_id] = best + 1
+    return max(resource_bound, max(depth.values()))
+
+
+def _feasible_subset(
+    tracker: PressureTracker, clique: FrozenSet[int]
+) -> FrozenSet[int]:
+    """Largest-effort feasible subset: greedily keep members (ascending
+    id) while the subset stays within every bank's capacity."""
+    subset: Set[int] = set()
+    for task_id in sorted(clique):
+        candidate = subset | {task_id}
+        if tracker.feasible(candidate):
+            subset = candidate
+    return frozenset(subset)
+
+
+def _choose_spill_victim(
+    graph: TaskGraph,
+    tracker: PressureTracker,
+    candidates: List[FrozenSet[int]],
+    covered: Set[int],
+    ready: Optional[Set[int]] = None,
+    protected: Optional[Set[int]] = None,
+    focus_bank: Optional[str] = None,
+) -> int:
+    """Pick the delivery to spill (paper IV-D): most-needed bank first,
+    then — Belady-style — the value whose next use is *farthest* away
+    (measured in uncovered prerequisite tasks of its nearest consumer),
+    breaking ties toward the fewest reloads, the paper's criterion.
+
+    Values read by the focused consumer's own dependency subtree
+    (``protected``) are only spilled when nothing else is available, and
+    values whose every consumer is already schedulable come last: their
+    registers free on their own as soon as the consumers run.
+    """
+    bank_pressure: Dict[str, int] = {}
+    for clique in candidates:
+        for bank in tracker.blocked_banks(clique):
+            bank_pressure[bank] = bank_pressure.get(bank, 0) + 1
+    if not bank_pressure:
+        # Nothing schedulable at all and no blocked bank: every bank at
+        # capacity with pinned/live values; fall back to fullest bank.
+        for bank in tracker.banks():
+            bank_pressure[bank] = tracker.occupancy(bank)
+    ordered_banks = sorted(
+        bank_pressure, key=lambda b: (-bank_pressure[b], b)
+    )
+    if focus_bank is not None:
+        # Relieve the bank the focused consumer is blocked on first —
+        # spilling elsewhere cannot unblock it.
+        ordered_banks = [focus_bank] + [
+            b for b in ordered_banks if b != focus_bank
+        ]
+    for bank in ordered_banks:
+        victims = [
+            d
+            for d in tracker.live_deliveries(bank)
+            if d not in graph.pinned and tracker.pending_consumers(d)
+        ]
+        if victims:
+
+            def next_use_distance(delivery: int) -> int:
+                pending = tracker.pending_consumers(delivery)
+                return min(
+                    (
+                        len(_uncovered_ancestors(graph, c, covered)) - 1
+                        for c in pending
+                        if c in graph.tasks
+                    ),
+                    default=0,
+                )
+
+            def rank(delivery: int):
+                pending = tracker.pending_consumers(delivery)
+                future = [
+                    c
+                    for c in pending
+                    if ready is None or c not in ready
+                ]
+                shielded = protected is not None and delivery in protected
+                return (
+                    1 if shielded else 0,
+                    0 if future else 1,
+                    -next_use_distance(delivery),
+                    len(future) if future else len(pending),
+                    delivery,
+                )
+
+            return min(victims, key=rank)
+    raise CoverageError(
+        "register files exhausted but no spillable value exists "
+        "(all live values pinned); the block cannot be covered"
+    )
+
+
+def _uncovered_ancestors(
+    graph: TaskGraph, task_id: int, covered: Set[int]
+) -> Set[int]:
+    """``task_id`` plus every uncovered task it transitively depends on."""
+    result: Set[int] = set()
+    stack = [task_id]
+    while stack:
+        current = stack.pop()
+        if current in result or current in covered:
+            continue
+        result.add(current)
+        stack.extend(
+            d
+            for d in graph.tasks[current].dependencies()
+            if d not in covered
+        )
+    return result
+
+
+def _pick_focus(
+    graph: TaskGraph,
+    tracker: PressureTracker,
+    bank: str,
+    covered: Set[int],
+) -> Optional[int]:
+    """The blocked consumer to drive to completion: a pending consumer
+    of the congested bank with the fewest uncovered prerequisites."""
+    consumers: Set[int] = set()
+    for delivery in tracker.live_deliveries(bank):
+        consumers |= tracker.pending_consumers(delivery)
+    consumers = {c for c in consumers if c in graph.tasks}
+    if not consumers:
+        return None
+    return min(
+        consumers,
+        key=lambda c: (len(_uncovered_ancestors(graph, c, covered)), c),
+    )
+
+
+def cover_assignment(
+    graph: TaskGraph,
+    config: Optional[HeuristicConfig] = None,
+    bound: Optional[int] = None,
+    stuck_strategy: str = "consumer",
+) -> Optional[CoverResult]:
+    """Cover (and thereby schedule) every task of ``graph``.
+
+    Args:
+        graph: the assignment's task graph; mutated if spills are needed.
+        config: heuristic settings.
+        bound: branch-and-bound cut-off — return ``None`` as soon as the
+            schedule reaches this length (a better solution is known).
+        stuck_strategy: how a register-starved state picks its focus:
+            ``"consumer"`` drives the blocked consumer nearest to ready
+            (default); ``"arrival"`` drives the ready-but-infeasible
+            delivery whose consumers are nearest to executable.  The
+            engine retries a starved assignment with the other strategy,
+            so between them pathological reload churn is broken from
+            both directions.
+
+    Returns:
+        A :class:`CoverResult`, or ``None`` when pruned by ``bound``.
+    """
+    config = config or HeuristicConfig.default()
+    tracker = PressureTracker(graph)
+    covered: Set[int] = set()
+    schedule: List[List[int]] = []
+    #: issue cycle of each covered task (for multi-cycle latencies).
+    issue_cycle: Dict[int, int] = {}
+    uncovered = set(graph.task_ids())
+    cliques = _build_cliques(graph, sorted(uncovered), config)
+    spills_done = 0
+    focus: Optional[int] = None
+    focus_bank: str = ""
+
+    while uncovered:
+        if bound is not None and len(schedule) >= bound:
+            return None
+        now = len(schedule)
+        ready = {
+            t
+            for t in uncovered
+            if all(
+                d in covered
+                and issue_cycle[d] + graph.latency(d) <= now
+                for d in graph.tasks[t].dependencies()
+            )
+        }
+        if not ready:
+            # Results still in flight (multi-cycle ops): stall one cycle.
+            pending_latency = any(
+                issue_cycle[d] + graph.latency(d) > now
+                for t in uncovered
+                for d in graph.tasks[t].dependencies()
+                if d in covered
+            )
+            if pending_latency:
+                schedule.append([])  # an explicit NOP word
+                continue
+            raise CoverageError("no ready task but tasks remain (cycle?)")
+        if focus is not None and (
+            focus in covered or focus not in graph.tasks
+        ):
+            focus = None  # the focused consumer executed (or was rewired)
+        admissible = ready
+        if focus is not None:
+            # Reserve the congested bank for the focused consumer's own
+            # dependency subtree: nothing else may deliver into it until
+            # the consumer runs (prevents operand-delivery ping-pong).
+            allowed = _uncovered_ancestors(graph, focus, covered)
+            admissible = {
+                t
+                for t in ready
+                if graph.tasks[t].dest_storage != focus_bank or t in allowed
+            }
+            if not admissible:
+                admissible = ready  # nothing focusable is ready; relax
+        candidates: List[FrozenSet[int]] = []
+        seen: Set[FrozenSet[int]] = set()
+        for clique in cliques:
+            shrunk = frozenset(clique & admissible)
+            if shrunk and shrunk not in seen:
+                seen.add(shrunk)
+                candidates.append(shrunk)
+        feasible = [c for c in candidates if tracker.feasible(c)]
+        if not feasible:
+            # Try feasible subsets before resorting to a spill: a clique
+            # may be blocked by one member only.
+            subsets = {
+                _feasible_subset(tracker, c) for c in candidates
+            }
+            feasible = [s for s in subsets if s]
+        if feasible:
+            best_size = max(len(c) for c in feasible)
+            top = [c for c in feasible if len(c) == best_size]
+            if len(top) > 1 and config.lookahead:
+                chosen = min(
+                    top,
+                    key=lambda c: (
+                        _lookahead_estimate(graph, uncovered - c),
+                        sorted(c),
+                    ),
+                )
+            else:
+                chosen = min(top, key=lambda c: sorted(c))
+            tracker.commit(chosen)
+            covered |= chosen
+            uncovered -= chosen
+            for task_id in chosen:
+                issue_cycle[task_id] = now
+            schedule.append(sorted(chosen))
+            continue
+        # Spill path (paper Fig. 9).
+        spills_done += 1
+        if spills_done > config.max_spills:
+            raise CoverageError(
+                f"more than {config.max_spills} spills required; "
+                f"register files are too small for this block"
+            )
+        blocked = sorted(
+            {b for c in candidates for b in tracker.blocked_banks(c)}
+        )
+        # Re-pick the focus at every stuck event: as the covering makes
+        # partial progress, the nearest-to-ready blocked consumer changes
+        # (it climbs the dependency subtree bottom-up), and protecting an
+        # outdated focus's operands is what causes reload ping-pong.
+        #
+        # The sharpest signal is a READY task that is individually
+        # infeasible: the bank refusing its arrival is exactly the one to
+        # relieve, so drive that task and spill there.  Only when no such
+        # task exists fall back to the nearest blocked consumer of the
+        # most-contended bank.
+        ready_infeasible = sorted(
+            t for t in ready if not tracker.feasible({t})
+        ) if stuck_strategy == "arrival" else []
+        if ready_infeasible:
+
+            def enables_soonest(task_id: int) -> tuple:
+                # Prefer the blocked task whose own consumers are
+                # nearest to executable — its delivery directly enables
+                # the next operation rather than parking a value.
+                consumer_distance = min(
+                    (
+                        len(_uncovered_ancestors(graph, c, covered))
+                        for c in graph.consumers_of(task_id)
+                        if c in graph.tasks
+                    ),
+                    default=len(graph.tasks),
+                )
+                return (consumer_distance, task_id)
+
+            focus = min(ready_infeasible, key=enables_soonest)
+            focus_blocked = tracker.blocked_banks({focus})
+            focus_bank = (
+                focus_blocked[0]
+                if focus_blocked
+                else graph.tasks[focus].dest_storage
+            )
+        else:
+            focus_bank = blocked[0] if blocked else max(
+                tracker.banks(), key=lambda b: tracker.occupancy(b)
+            )
+            focus = _pick_focus(graph, tracker, focus_bank, covered)
+        protected: Set[int] = set()
+        if focus is not None:
+            for member in _uncovered_ancestors(graph, focus, covered):
+                for read in graph.tasks[member].reads:
+                    if read.producer is not None:
+                        protected.add(read.producer)
+        relieve = None
+        if focus is not None and (not blocked or focus_bank in blocked):
+            relieve = focus_bank
+        victim = _choose_spill_victim(
+            graph, tracker, candidates, covered, ready, protected, relieve
+        )
+        graph.spill_delivery(victim, covered, ready=ready)
+        uncovered = set(graph.task_ids()) - covered
+        tracker.rebuild(schedule)
+        cliques = _build_cliques(graph, sorted(uncovered), config)
+
+    # A pinned value (branch condition) must have completed by the time
+    # the control slot after the block body reads it: pad with NOPs if a
+    # multi-cycle producer issued too late.
+    for delivery in sorted(graph.pinned):
+        available = issue_cycle[delivery] + graph.latency(delivery)
+        while len(schedule) < available:
+            schedule.append([])
+    if bound is not None and len(schedule) >= bound:
+        return None  # completed, but no better than the known solution
+    return CoverResult(
+        schedule=schedule,
+        register_estimate=tracker.register_estimate(),
+        spill_count=graph.spill_count,
+        reload_count=graph.reload_count,
+    )

@@ -1,0 +1,132 @@
+"""The overall covering driver (paper, Fig. 5).
+
+    Explore possible split-node functional unit assignments
+      - estimate cost of assignment
+      - select several lowest cost assignments to explore in detail
+    For each selected assignment
+      - insert required data transfers
+      - generate all maximal groupings of nodes executable in parallel
+      - select a minimal-cost set of maximal groupings covering all nodes
+    Final solution is the lowest-cost solution found above
+
+:func:`generate_block_solution` runs this pipeline for one basic-block
+DAG; :class:`CodeGenerator` adds convenience and caching around it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CoverageError
+from repro.ir.cfg import BasicBlock, Branch
+from repro.ir.dag import BlockDAG
+from repro.isdl.model import Machine
+from repro.covering.assignment import explore_assignments
+from repro.covering.config import HeuristicConfig
+from repro.covering.cover import cover_assignment
+from repro.covering.solution import BlockSolution
+from repro.covering.taskgraph import TaskGraph
+from repro.sndag.build import SplitNodeDAG, build_split_node_dag
+from repro.utils.timing import Stopwatch
+
+
+def generate_block_solution(
+    dag: BlockDAG,
+    machine: Machine,
+    config: Optional[HeuristicConfig] = None,
+    pin_value: Optional[int] = None,
+    sn: Optional[SplitNodeDAG] = None,
+) -> BlockSolution:
+    """Produce the lowest-cost covering of one basic-block DAG.
+
+    Args:
+        dag: the block to compile.
+        machine: the target processor.
+        config: heuristic settings (default: the paper's headline mode).
+        pin_value: original-DAG id of a value that must remain register-
+            resident at block end (a branch condition).
+        sn: a pre-built Split-Node DAG, if the caller already has one.
+
+    Raises:
+        CoverageError: if no assignment can be covered (e.g. register
+            files too small for any implementation).
+    """
+    config = config or HeuristicConfig.default()
+    watch = Stopwatch()
+    with watch:
+        if sn is None:
+            sn = build_split_node_dag(dag, machine)
+        assignments = explore_assignments(sn, config)
+        if not assignments:
+            raise CoverageError(
+                f"no complete functional-unit assignment exists for this "
+                f"block on machine {machine.name!r}"
+            )
+        best: Optional[BlockSolution] = None
+        failures = []
+        for assignment in assignments:
+            bound = None
+            if best is not None and config.branch_and_bound:
+                bound = best.instruction_count
+            result = None
+            graph = None
+            # Register starvation is resolved by a focused spill policy;
+            # two complementary focus strategies exist, and an assignment
+            # that thrashes under one usually converges under the other.
+            for strategy in ("consumer", "arrival"):
+                graph = TaskGraph(sn, assignment, pin_value=pin_value)
+                try:
+                    result = cover_assignment(
+                        graph, config, bound, stuck_strategy=strategy
+                    )
+                except CoverageError as error:
+                    failures.append(error)
+                    continue
+                break
+            if result is None:
+                continue  # pruned by the bound or uncoverable
+            if best is None or result.instruction_count < best.instruction_count:
+                best = BlockSolution(
+                    machine_name=machine.name,
+                    sn=sn,
+                    assignment=assignment,
+                    graph=graph,
+                    schedule=result.schedule,
+                    register_estimate=result.register_estimate,
+                    spill_count=result.spill_count,
+                    reload_count=result.reload_count,
+                    assignments_explored=len(assignments),
+                )
+    if best is None:
+        detail = f"; last error: {failures[-1]}" if failures else ""
+        raise CoverageError(
+            f"every explored assignment failed to cover on machine "
+            f"{machine.name!r}{detail}"
+        )
+    best.cpu_seconds = watch.elapsed
+    return best
+
+
+class CodeGenerator:
+    """Front door for block-level code generation on one machine."""
+
+    def __init__(
+        self, machine: Machine, config: Optional[HeuristicConfig] = None
+    ):
+        self.machine = machine
+        self.config = config or HeuristicConfig.default()
+
+    def compile_dag(
+        self, dag: BlockDAG, pin_value: Optional[int] = None
+    ) -> BlockSolution:
+        """Cover one expression DAG; see :func:`generate_block_solution`."""
+        return generate_block_solution(
+            dag, self.machine, self.config, pin_value=pin_value
+        )
+
+    def compile_block(self, block: BasicBlock) -> BlockSolution:
+        """Cover a basic block, pinning its branch condition if any."""
+        pin_value = None
+        if isinstance(block.terminator, Branch):
+            pin_value = block.terminator.condition
+        return self.compile_dag(block.dag, pin_value=pin_value)

@@ -1,0 +1,91 @@
+"""The pairwise-parallelism matrix (paper, Section IV-C.1, Fig. 7).
+
+Element ``[i, j]`` is 0 when tasks i and j can execute in the same
+instruction and 1 otherwise.  Two tasks conflict when they share a
+resource (the same functional unit or the same bus) or when a dependence
+path connects them.  The optional level-window heuristic (IV-C.2)
+additionally marks pairs whose levels from the top/bottom of the
+assignment's task DAG differ too much, which shrinks the clique space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.covering.taskgraph import TaskGraph
+from repro.utils.graph import longest_path_lengths, transitive_closure
+
+
+def task_levels(
+    graph: TaskGraph, task_ids: List[int]
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """(level from top, level from bottom) of each task.
+
+    Levels are longest-path distances in the dependence DAG restricted to
+    ``task_ids``: bottom = toward producers, top = toward final
+    consumers.
+    """
+    members = set(task_ids)
+    down: Dict[int, List[int]] = {
+        t: [d for d in graph.tasks[t].dependencies() if d in members]
+        for t in task_ids
+    }
+    up: Dict[int, List[int]] = {t: [] for t in task_ids}
+    for task_id in task_ids:
+        for dependency in down[task_id]:
+            up[dependency].append(task_id)
+    from_bottom = longest_path_lengths(down)
+    from_top = longest_path_lengths(up)
+    return from_top, from_bottom
+
+
+def parallelism_matrix(
+    graph: TaskGraph,
+    task_ids: Optional[List[int]] = None,
+    level_window: Optional[int] = None,
+) -> Tuple[np.ndarray, List[int]]:
+    """Build the conflict matrix over ``task_ids`` (default: all tasks).
+
+    Returns ``(matrix, index_to_task_id)``; ``matrix[i, j] == 0`` means
+    the i-th and j-th tasks may share an instruction.  The diagonal is 1
+    (a node is not "parallel with itself" — cliques add each node once).
+    """
+    if task_ids is None:
+        task_ids = graph.task_ids()
+    size = len(task_ids)
+    matrix = np.zeros((size, size), dtype=np.uint8)
+    members = set(task_ids)
+    adjacency = {
+        t: [d for d in graph.tasks[t].dependencies() if d in members]
+        for t in task_ids
+    }
+    descendants = transitive_closure(adjacency)
+    if level_window is not None:
+        from_top, from_bottom = task_levels(graph, task_ids)
+    for i in range(size):
+        matrix[i, i] = 1
+        task_i = graph.tasks[task_ids[i]]
+        for j in range(i + 1, size):
+            task_j = graph.tasks[task_ids[j]]
+            conflict = False
+            if task_i.resource == task_j.resource:
+                conflict = True
+            elif (
+                task_ids[j] in descendants[task_ids[i]]
+                or task_ids[i] in descendants[task_ids[j]]
+            ):
+                conflict = True
+            elif level_window is not None:
+                if (
+                    abs(from_top[task_ids[i]] - from_top[task_ids[j]])
+                    > level_window
+                    or abs(from_bottom[task_ids[i]] - from_bottom[task_ids[j]])
+                    > level_window
+                ):
+                    conflict = True
+            if conflict:
+                matrix[i, j] = 1
+                matrix[j, i] = 1
+    return matrix, list(task_ids)

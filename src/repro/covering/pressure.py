@@ -1,0 +1,173 @@
+"""Register-requirement tracking during covering (paper, Section IV-D).
+
+"The available resources are determined by performing a liveness
+analysis on the selected nodes and maintaining a running upper bound on
+the number of required registers for each register bank."
+
+A *delivery* is a task writing a value into a register file; the value
+occupies one register from the cycle the delivery executes until the
+cycle its last consumer executes (consumers read before writes take
+effect, so a register freed in a cycle may be re-filled in the same
+cycle).  :class:`PressureTracker` maintains, per bank, the set of live
+deliveries and their still-uncovered consumers, and answers whether a
+candidate clique keeps every bank within capacity.
+
+Because the tracker enforces ``occupancy <= bank size`` after every
+scheduled instruction, live ranges form an interval graph whose maximum
+clique is within capacity — which is why detailed register allocation
+afterwards can never fail (Section IV-F).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.covering.taskgraph import TaskGraph
+from repro.isdl.model import Machine
+
+
+class PressureTracker:
+    """Running per-bank liveness upper bounds over a covering in progress."""
+
+    def __init__(self, graph: TaskGraph):
+        self.graph = graph
+        self.machine: Machine = graph.machine
+        self._bank_sizes: Dict[str, int] = {
+            rf.name: rf.size for rf in self.machine.register_files
+        }
+        #: bank -> {delivery task id -> set of uncovered consumer ids}
+        self.live: Dict[str, Dict[int, Set[int]]] = {
+            name: {} for name in self._bank_sizes
+        }
+        #: highest occupancy ever reached, per bank (register estimate).
+        self.peak: Dict[str, int] = {name: 0 for name in self._bank_sizes}
+        self._covered: Set[int] = set()
+        #: dead deliveries (no consumers): they occupy a register until
+        #: their result has been written (``latency`` cycles after
+        #: issue) and then free automatically.  Maps delivery id to the
+        #: remaining commits before release.
+        self._transient: Dict[int, int] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def occupancy(self, bank: str) -> int:
+        """Values currently live in ``bank``."""
+        return len(self.live[bank])
+
+    def capacity(self, bank: str) -> int:
+        """Register count of ``bank``."""
+        return self._bank_sizes[bank]
+
+    def banks(self) -> List[str]:
+        """Names of all tracked register banks."""
+        return list(self._bank_sizes)
+
+    def live_deliveries(self, bank: str) -> List[int]:
+        """Deliveries currently occupying ``bank`` (sorted)."""
+        return sorted(self.live[bank])
+
+    def pending_consumers(self, delivery_id: int) -> Set[int]:
+        """Uncovered consumers still needing this delivery."""
+        bank = self.graph.tasks[delivery_id].dest_storage
+        return set(self.live[bank].get(delivery_id, ()))
+
+    def feasible(self, clique: Iterable[int]) -> bool:
+        """Would scheduling ``clique`` keep every bank within capacity?"""
+        members = set(clique)
+        for bank, occupants in self.live.items():
+            freed = 0
+            for delivery_id, consumers in occupants.items():
+                if delivery_id in self._transient:
+                    if self._transient[delivery_id] <= 1:
+                        freed += 1  # dead value's write lands this cycle
+                elif consumers and consumers.issubset(members):
+                    if delivery_id not in self.graph.pinned:
+                        freed += 1
+            arrivals = self._arrivals(members, bank)
+            if len(occupants) - freed + arrivals > self._bank_sizes[bank]:
+                return False
+        return True
+
+    def blocked_banks(self, clique: Iterable[int]) -> List[str]:
+        """Banks whose capacity the clique would exceed."""
+        members = set(clique)
+        blocked = []
+        for bank, occupants in self.live.items():
+            freed = 0
+            for delivery_id, consumers in occupants.items():
+                if delivery_id in self._transient:
+                    if self._transient[delivery_id] <= 1:
+                        freed += 1
+                elif consumers and consumers.issubset(members):
+                    if delivery_id not in self.graph.pinned:
+                        freed += 1
+            arrivals = self._arrivals(members, bank)
+            if len(occupants) - freed + arrivals > self._bank_sizes[bank]:
+                blocked.append(bank)
+        return blocked
+
+    def _arrivals(self, members: Set[int], bank: str) -> int:
+        count = 0
+        for task_id in members:
+            task = self.graph.tasks[task_id]
+            if task.dest_storage == bank:
+                count += 1
+        return count
+
+    # -- state transitions ---------------------------------------------------
+
+    def commit(self, clique: Iterable[int]) -> None:
+        """Record that the clique's tasks executed (one instruction)."""
+        members = set(clique)
+        self._covered |= members
+        for bank, occupants in self.live.items():
+            for delivery_id in list(occupants):
+                if delivery_id in self._transient:
+                    self._transient[delivery_id] -= 1
+                    if self._transient[delivery_id] <= 0:
+                        del occupants[delivery_id]
+                        del self._transient[delivery_id]
+                    continue
+                occupants[delivery_id] -= members
+                if (
+                    not occupants[delivery_id]
+                    and delivery_id not in self.graph.pinned
+                ):
+                    del occupants[delivery_id]
+        for task_id in sorted(members):
+            task = self.graph.tasks[task_id]
+            bank = task.dest_storage
+            if bank not in self.live:
+                continue  # destination is a memory: no register pressure
+            consumers = {
+                c
+                for c in self.graph.consumers_of(task_id)
+                if c not in self._covered
+            }
+            if consumers or task_id in self.graph.pinned:
+                self.live[bank][task_id] = consumers
+            else:
+                # Dead result: physically written ``latency`` cycles
+                # after issue, reusable once the write has landed.
+                self.live[bank][task_id] = set()
+                self._transient[task_id] = self.graph.latency(task_id)
+        for bank in self.live:
+            self.peak[bank] = max(self.peak[bank], len(self.live[bank]))
+
+    def rebuild(self, covered_cliques: List[List[int]]) -> None:
+        """Recompute state from scratch after the task graph mutated
+        (spill insertion rewires consumers)."""
+        self.live = {name: {} for name in self._bank_sizes}
+        self._covered = set()
+        self._transient = {}
+        saved_peak = dict(self.peak)
+        self.peak = {name: 0 for name in self._bank_sizes}
+        for clique in covered_cliques:
+            self.commit([t for t in clique if t in self.graph.tasks])
+        for bank in self.peak:
+            self.peak[bank] = max(self.peak[bank], saved_peak[bank])
+
+    def register_estimate(self) -> Dict[str, int]:
+        """Peak simultaneous values per bank — the engine's estimate of
+        register requirements (paper, Section III-A)."""
+        return dict(self.peak)

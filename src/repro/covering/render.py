@@ -1,0 +1,99 @@
+"""Visualisation helpers for task graphs and schedules."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.covering.solution import BlockSolution
+from repro.covering.taskgraph import TaskGraph, TaskKind
+
+
+def task_graph_to_dot(graph: TaskGraph, name: str = "tasks") -> str:
+    """Graphviz DOT of an assignment's task graph.
+
+    Operation tasks are ellipses labelled ``OP@UNIT``; transfers are
+    boxes (spills/reloads tinted); solid edges are data flow, dashed
+    edges are store anti-dependences.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for task_id in graph.task_ids():
+        task = graph.tasks[task_id]
+        if task.kind is TaskKind.OP:
+            shape, color = "ellipse", "white"
+        elif task.is_spill:
+            shape, color = "box", "lightcoral"
+        elif task.is_reload:
+            shape, color = "box", "lightblue"
+        else:
+            shape, color = "box", "lightgrey"
+        label = task.describe().replace('"', "'")
+        lines.append(
+            f'  t{task_id} [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor={color}];'
+        )
+    for task_id in graph.task_ids():
+        task = graph.tasks[task_id]
+        for read in task.reads:
+            if read.producer is not None:
+                lines.append(f"  t{task_id} -> t{read.producer};")
+        for blocker in task.extra_after:
+            lines.append(
+                f"  t{task_id} -> t{blocker} [style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_table(solution: BlockSolution) -> str:
+    """A cycle-by-resource table of the scheduled block (a textual
+    Gantt chart): one row per instruction, one column per functional
+    unit and bus."""
+    graph = solution.graph
+    machine = graph.machine
+    resources = machine.unit_names() + machine.bus_names()
+    width = max(
+        [len(r) for r in resources]
+        + [
+            len(_cell(graph, t))
+            for members in solution.schedule
+            for t in members
+        ]
+        + [4]
+    )
+    header = "cycle  " + "  ".join(r.ljust(width) for r in resources)
+    lines = [header, "-" * len(header)]
+    for cycle, members in enumerate(solution.schedule):
+        by_resource: Dict[str, str] = {}
+        for task_id in members:
+            task = graph.tasks[task_id]
+            by_resource[task.resource] = _cell(graph, task_id)
+        row = f"{cycle:5d}  " + "  ".join(
+            by_resource.get(r, "").ljust(width) for r in resources
+        )
+        lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def _cell(graph: TaskGraph, task_id: int) -> str:
+    task = graph.tasks[task_id]
+    if task.kind is TaskKind.OP:
+        return f"{task.op_name} n{task.value}"
+    tag = "S!" if task.is_spill else ("L!" if task.is_reload else "")
+    if task.store_symbol:
+        return f"{tag}st {task.store_symbol}"
+    return f"{tag}n{task.value}>{task.dest_storage}"
+
+
+def utilization(solution: BlockSolution) -> Dict[str, float]:
+    """Fraction of cycles each resource is busy (slot utilisation) —
+    the quantity an architect reads off when trimming a datapath."""
+    graph = solution.graph
+    machine = graph.machine
+    cycles = max(1, solution.instruction_count)
+    busy: Dict[str, int] = {
+        r: 0 for r in machine.unit_names() + machine.bus_names()
+    }
+    for members in solution.schedule:
+        for task_id in members:
+            busy[graph.tasks[task_id].resource] += 1
+    return {resource: count / cycles for resource, count in busy.items()}

@@ -1,0 +1,36 @@
+"""Experiment harness reproducing the paper's evaluation (Section VI)."""
+
+from repro.eval.workloads import Workload, WORKLOADS, workload, build_workload_dag
+from repro.eval.experiments import (
+    ExperimentRow,
+    run_experiment,
+    run_table1,
+    run_table2,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+)
+from repro.eval.reporting import format_rows, format_comparison
+from repro.eval.sweeps import SweepPoint, SweepResult, sweep, register_file_sweep
+from repro.eval.applications import Application, APPLICATIONS, application
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "workload",
+    "build_workload_dag",
+    "ExperimentRow",
+    "run_experiment",
+    "run_table1",
+    "run_table2",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "format_rows",
+    "format_comparison",
+    "SweepPoint",
+    "SweepResult",
+    "sweep",
+    "register_file_sweep",
+    "Application",
+    "APPLICATIONS",
+    "application",
+]

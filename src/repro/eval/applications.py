@@ -1,0 +1,150 @@
+"""Whole-program DSP applications (beyond the paper's basic blocks).
+
+The paper evaluates isolated basic blocks; a retargetable compiler is
+only credible if whole kernels — loops, branches, unrolled bodies —
+compile and run.  This module provides a small application suite used
+by integration tests and the application bench: each entry is a minic
+program, reference inputs, and the outputs to check.
+
+All applications compile on :func:`repro.isdl.control_flow_architecture`
+(comparisons for branching, DIV/MOD for the integer kernels) — pass a
+beefier machine to study other targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.frontend.lower import compile_source
+from repro.ir.cfg import Function
+
+
+@dataclass(frozen=True)
+class Application:
+    """One whole-program workload."""
+
+    name: str
+    description: str
+    source: str
+    inputs: Dict[str, int]
+    outputs: Tuple[str, ...]
+
+    def build(self) -> Function:
+        """Compile the minic source to an IR function."""
+        return compile_source(self.source, name=self.name)
+
+
+APPLICATIONS: List[Application] = [
+    Application(
+        name="fir8",
+        description="8-tap FIR filter, fully unrolled by the optimizer.",
+        source="""
+            acc = 0;
+            for (i = 0; i < 8; i = i + 1) {
+                acc = acc + x[i] * h[i];
+            }
+            y = acc;
+        """,
+        inputs={
+            **{f"x[{i}]": (3 * i - 7) for i in range(8)},
+            **{f"h[{i}]": (i % 3 - 1) for i in range(8)},
+        },
+        outputs=("y",),
+    ),
+    Application(
+        name="biquad",
+        description=(
+            "Direct-form-I biquad section: y = b0*x + b1*x1 + b2*x2 "
+            "- a1*y1 - a2*y2, with state shift."
+        ),
+        source="""
+            y = b0*x + b1*x1 + b2*x2 - a1*y1 - a2*y2;
+            x2 = x1;
+            x1 = x;
+            y2 = y1;
+            y1 = y;
+        """,
+        inputs={
+            "x": 100, "x1": 80, "x2": 60,
+            "y1": 50, "y2": 30,
+            "b0": 2, "b1": 3, "b2": 1, "a1": 1, "a2": 2,
+        },
+        outputs=("y", "x1", "x2", "y1", "y2"),
+    ),
+    Application(
+        name="isqrt",
+        description="Integer square root by binary search (loop + branch).",
+        source="""
+            lo = 0;
+            hi = n + 1;
+            while (lo + 1 < hi) {
+                mid = (lo + hi) / 2;
+                if (mid * mid <= n) { lo = mid; } else { hi = mid; }
+            }
+            root = lo;
+        """,
+        inputs={"n": 1000},
+        outputs=("root",),
+    ),
+    Application(
+        name="minmax",
+        description="Running minimum/maximum over an unrolled window.",
+        source="""
+            lo = x[0];
+            hi = x[0];
+            for (i = 1; i < 6; i = i + 1) {
+                lo = min(lo, x[i]);
+                hi = max(hi, x[i]);
+            }
+            range = hi - lo;
+        """,
+        inputs={f"x[{i}]": v for i, v in enumerate([5, -3, 12, 0, 7, -9])},
+        outputs=("lo", "hi", "range"),
+    ),
+    Application(
+        name="gcd",
+        description="Euclid's algorithm (MOD in a data-dependent loop).",
+        source="""
+            while (b != 0) {
+                t = b;
+                b = a % b;
+                a = t;
+            }
+            g = a;
+        """,
+        inputs={"a": 252, "b": 105},
+        outputs=("g",),
+    ),
+    Application(
+        name="horner",
+        description=(
+            "Degree-5 polynomial by Horner's rule, partially unrolled "
+            "(#pragma unroll 2) so each loop body holds two steps."
+        ),
+        source="""
+            acc = c[5];
+            #pragma unroll 2
+            for (k = 0; k < 4; k = k + 1) {
+                acc = acc * x + s;
+            }
+            acc = acc * x + c0;
+            p = acc;
+        """,
+        inputs={"c[5]": 2, "x": 3, "s": 1, "c0": 4},
+        outputs=("p",),
+    ),
+]
+
+_BY_NAME = {a.name: a for a in APPLICATIONS}
+
+
+def application(name: str) -> Application:
+    """Look up an application by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown application {name!r}; available: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,119 @@
+"""Table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.eval.experiments import ExperimentRow
+
+
+def _fmt_instr(row: ExperimentRow) -> str:
+    text = str(row.aviv)
+    if row.aviv_no_heuristics is not None:
+        text += f" ({row.aviv_no_heuristics})"
+    return text
+
+
+def _fmt_cpu(row: ExperimentRow) -> str:
+    text = f"{row.cpu_seconds:.3f}"
+    if row.cpu_seconds_no_heuristics is not None:
+        text += f" ({row.cpu_seconds_no_heuristics:.3f})"
+    return text
+
+
+def _fmt_hand(row: ExperimentRow) -> str:
+    if row.by_hand is None:
+        return "-"
+    return str(row.by_hand) if row.by_hand_proven else f"{row.by_hand}*"
+
+
+_HEADERS = [
+    "Block",
+    "Orig #Nodes",
+    "SN-DAG #Nodes",
+    "#Regs/File",
+    "#Spills",
+    "Optimal",
+    "Aviv",
+    "CPU (s)",
+    "Valid",
+]
+
+
+def format_rows(rows: List[ExperimentRow], title: str = "") -> str:
+    """Render rows in the paper's column layout."""
+    table: List[List[str]] = [_HEADERS]
+    for row in rows:
+        table.append(
+            [
+                row.block,
+                str(row.original_nodes),
+                str(row.split_node_nodes),
+                str(row.registers_per_file),
+                str(row.spills_inserted),
+                _fmt_hand(row),
+                _fmt_instr(row),
+                _fmt_cpu(row),
+                "yes" if row.validated else "NO",
+            ]
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(_HEADERS))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, entries in enumerate(table):
+        lines.append(
+            "  ".join(e.rjust(w) for e, w in zip(entries, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    lines.append("(* = search budget exhausted; value is an upper bound)")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: List[ExperimentRow],
+    paper: Dict[str, Dict[str, int]],
+    title: str = "",
+) -> str:
+    """Side-by-side measured vs. paper values for a table."""
+    headers = [
+        "Block",
+        "orig (paper)",
+        "sn (paper)",
+        "spills (paper)",
+        "optimal (paper hand)",
+        "aviv (paper)",
+        "gap vs opt [paper gap]",
+    ]
+    table = [headers]
+    for row in rows:
+        expected = paper.get(row.block, {})
+        gap = (
+            row.aviv - row.by_hand if row.by_hand is not None else None
+        )
+        paper_gap = (
+            expected.get("aviv", 0) - expected.get("hand", 0)
+            if expected
+            else None
+        )
+        table.append(
+            [
+                row.block,
+                f"{row.original_nodes} ({expected.get('orig', '?')})",
+                f"{row.split_node_nodes} ({expected.get('sn', '?')})",
+                f"{row.spills_inserted} ({expected.get('spills', '?')})",
+                f"{_fmt_hand(row)} ({expected.get('hand', '?')})",
+                f"{row.aviv} ({expected.get('aviv', '?')})",
+                f"+{gap} [paper +{paper_gap}]",
+            ]
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, entries in enumerate(table):
+        lines.append("  ".join(e.rjust(w) for e, w in zip(entries, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

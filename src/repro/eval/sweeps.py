@@ -1,0 +1,154 @@
+"""Design-space sweeps over architecture parameters.
+
+The paper's pitch (Section I): "by varying the machine description and
+evaluating the resulting object code, the design space of both hardware
+and software components can be effectively explored."  These helpers
+run a workload set across machine families and collect code size,
+spills, and resource utilisation — the data a co-design loop ranks
+candidates by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CoverageError
+from repro.ir.dag import BlockDAG
+from repro.isdl.model import Machine
+from repro.covering.config import HeuristicConfig
+from repro.covering.engine import generate_block_solution
+from repro.covering.render import utilization
+
+
+@dataclass
+class SweepPoint:
+    """One (workload, machine) measurement."""
+
+    workload: str
+    machine: str
+    instructions: int
+    spills: int
+    registers_used: Dict[str, int]
+    utilization: Dict[str, float]
+    failed: Optional[str] = None
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep plus ranking helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def total_instructions(self, machine: str) -> int:
+        """Summed code size over all workloads on ``machine`` (the
+        paper's ROM metric); failed compiles count as unusable."""
+        total = 0
+        for point in self.points:
+            if point.machine != machine:
+                continue
+            if point.failed:
+                return -1
+            total += point.instructions
+        return total
+
+    def machines(self) -> List[str]:
+        """Machine names in first-seen order."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.machine not in seen:
+                seen.append(point.machine)
+        return seen
+
+    def ranking(self) -> List[Tuple[str, int]]:
+        """Machines by total code size, cheapest first; unusable last."""
+        totals = [
+            (name, self.total_instructions(name)) for name in self.machines()
+        ]
+        usable = sorted(
+            (t for t in totals if t[1] >= 0), key=lambda t: (t[1], t[0])
+        )
+        broken = [t for t in totals if t[1] < 0]
+        return usable + broken
+
+    def table(self) -> str:
+        """Workload x machine code-size table plus the ranking."""
+        machines = self.machines()
+        workloads: List[str] = []
+        for point in self.points:
+            if point.workload not in workloads:
+                workloads.append(point.workload)
+        width = max([len(m) for m in machines] + [8])
+        lines = [
+            "workload  " + "  ".join(m.rjust(width) for m in machines)
+        ]
+        cells: Dict[Tuple[str, str], str] = {}
+        for point in self.points:
+            cells[(point.workload, point.machine)] = (
+                "fail" if point.failed else str(point.instructions)
+            )
+        for workload in workloads:
+            row = [
+                cells.get((workload, machine), "-").rjust(width)
+                for machine in machines
+            ]
+            lines.append(f"{workload:8s}  " + "  ".join(row))
+        lines.append("")
+        lines.append("ranking (total instructions, cheapest first):")
+        for position, (name, total) in enumerate(self.ranking(), 1):
+            label = "unusable" if total < 0 else str(total)
+            lines.append(f"  {position}. {name}: {label}")
+        return "\n".join(lines)
+
+
+def sweep(
+    workloads: Sequence[Tuple[str, BlockDAG]],
+    machines: Sequence[Machine],
+    config: Optional[HeuristicConfig] = None,
+) -> SweepResult:
+    """Compile every workload on every machine; failures are recorded,
+    not raised (an undersized candidate is a data point, not an error)."""
+    result = SweepResult()
+    for machine in machines:
+        for name, dag in workloads:
+            try:
+                solution = generate_block_solution(dag, machine, config)
+            except CoverageError as error:
+                result.points.append(
+                    SweepPoint(
+                        workload=name,
+                        machine=machine.name,
+                        instructions=0,
+                        spills=0,
+                        registers_used={},
+                        utilization={},
+                        failed=str(error),
+                    )
+                )
+                continue
+            result.points.append(
+                SweepPoint(
+                    workload=name,
+                    machine=machine.name,
+                    instructions=solution.instruction_count,
+                    spills=solution.spill_count,
+                    registers_used=dict(solution.register_estimate),
+                    utilization=utilization(solution),
+                )
+            )
+    return result
+
+
+def register_file_sweep(
+    workloads: Sequence[Tuple[str, BlockDAG]],
+    machine_factory: Callable[[int], Machine],
+    register_counts: Iterable[int] = (2, 3, 4, 6, 8),
+    config: Optional[HeuristicConfig] = None,
+) -> SweepResult:
+    """Sweep one machine family over register-file depths.
+
+    Answers the Ex6/Ex7 question systematically: how small can the
+    register files get before code size explodes?
+    """
+    machines = [machine_factory(count) for count in register_counts]
+    return sweep(workloads, machines, config)

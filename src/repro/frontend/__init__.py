@@ -1,0 +1,26 @@
+"""The minic front end.
+
+The paper uses SUIF+SPAM to turn C into basic-block expression DAGs with
+control flow; this package provides the equivalent substrate: a small
+C-like language ("minic") with assignments, arithmetic, comparisons,
+``if``/``else``, ``while``, ``for``, and constant-indexed arrays,
+lowered to :class:`repro.ir.Function` objects.
+
+Arrays are resolved to scalar data-memory slots at lowering time, so
+array indices must be compile-time constants *after* optimization — in
+practice, after loops have been unrolled (see :mod:`repro.opt.unroll`).
+"""
+
+from repro.frontend.lexer import tokenize_source, Token
+from repro.frontend.parser import parse_program
+from repro.frontend.lower import lower_program, compile_source
+from repro.frontend import ast
+
+__all__ = [
+    "tokenize_source",
+    "Token",
+    "parse_program",
+    "lower_program",
+    "compile_source",
+    "ast",
+]

@@ -1,0 +1,118 @@
+"""Abstract syntax tree of the minic language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Num:
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    """Scalar variable reference."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Index:
+    """Array element reference ``ident[expr]``."""
+
+    ident: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class Unary:
+    """Unary operation: ``-``, ``~``, ``!``, or ``abs``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Binary operation (arithmetic, logic, shift, comparison, min/max)."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Num, Name, Index, Unary, Binary]
+Target = Union[Name, Index]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = expr;``"""
+
+    target: Target
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If:
+    """``if (cond) { then } else { orelse }``"""
+
+    cond: Expr
+    then: Tuple["Stmt", ...]
+    orelse: Tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class While:
+    """``while (cond) { body }``"""
+
+    cond: Expr
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class For:
+    """``for (init; cond; step) { body }`` — init/step are assignments.
+
+    ``unroll`` carries a ``#pragma unroll N`` request attached to the
+    loop (``None`` = no pragma; the optimizer decides on its own).
+    """
+
+    init: Assign
+    cond: Expr
+    step: Assign
+    body: Tuple["Stmt", ...]
+    unroll: Optional[int] = None
+
+
+Stmt = Union[Assign, If, While, For]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A minic program: a statement sequence."""
+
+    statements: Tuple[Stmt, ...]
+
+
+def substitute(expr: Expr, ident: str, replacement: Expr) -> Expr:
+    """Replace every ``Name(ident)`` in ``expr`` with ``replacement``."""
+    if isinstance(expr, Name):
+        return replacement if expr.ident == ident else expr
+    if isinstance(expr, Num):
+        return expr
+    if isinstance(expr, Index):
+        return Index(expr.ident, substitute(expr.index, ident, replacement))
+    if isinstance(expr, Unary):
+        return Unary(expr.op, substitute(expr.operand, ident, replacement))
+    if isinstance(expr, Binary):
+        return Binary(
+            expr.op,
+            substitute(expr.left, ident, replacement),
+            substitute(expr.right, ident, replacement),
+        )
+    raise TypeError(f"not an expression: {expr!r}")

@@ -1,0 +1,126 @@
+"""Tokenizer for the minic language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import LexError
+
+NUMBER = "NUMBER"
+PRAGMA = "PRAGMA"
+IDENT = "IDENT"
+OP = "OP"
+PUNCT = "PUNCT"
+KEYWORD = "KEYWORD"
+EOF = "EOF"
+
+KEYWORDS = frozenset({"if", "else", "while", "for", "min", "max", "abs"})
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = [
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "=",
+]
+
+_PUNCTUATION = set("(){}[];,")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize_source(source: str) -> List[Token]:
+    """Tokenize minic source.
+
+    ``#`` and ``//`` start line comments; a comment of the form
+    ``#pragma <text>`` is not discarded but emitted as a PRAGMA token
+    (e.g. ``#pragma unroll 2`` ahead of a ``for`` loop).
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line, column, index = 1, 1, 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#" or source.startswith("//", index):
+            start = index
+            while index < length and source[index] != "\n":
+                index += 1
+            comment = source[start:index].lstrip("#/ ").strip()
+            if comment.startswith("pragma "):
+                yield Token(PRAGMA, comment[len("pragma "):].strip(), line, column)
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            yield Token(NUMBER, source[start:index], line, column)
+            column += index - start
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                index += 1
+            text = source[start:index]
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            yield Token(kind, text, line, column)
+            column += index - start
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                yield Token(OP, operator, line, column)
+                index += len(operator)
+                column += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCTUATION:
+            yield Token(PUNCT, char, line, column)
+            index += 1
+            column += 1
+            continue
+        raise LexError(f"unexpected character {char!r}", line, column)
+    yield Token(EOF, "", line, column)

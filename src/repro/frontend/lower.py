@@ -1,0 +1,263 @@
+"""Lowering minic ASTs to IR functions.
+
+Straight-line statements accumulate into one basic-block expression DAG:
+a per-block value map gives later reads of an assigned variable the
+defining node directly (so ``t = a+b; u = t*2`` builds one DAG without a
+round-trip through memory), and hash-consing in :class:`BlockDAG` yields
+common-subexpression elimination for free.  Constant subexpressions fold
+during construction, which is also what resolves array indices after
+loop unrolling.
+
+Control flow ends the current block: assigned variables are stored (they
+travel between blocks through data memory, the paper's model) and
+``if``/``while``/``for`` create successor blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import IRError, SemanticError
+from repro.frontend import ast
+from repro.ir.arith import apply_operation
+from repro.ir.cfg import BasicBlock, Branch, Function, Jump, Return
+from repro.ir.dag import BlockDAG
+from repro.ir.ops import Opcode
+
+_BINARY_OPCODES: Dict[str, Opcode] = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+    "min": Opcode.MIN,
+    "max": Opcode.MAX,
+}
+
+_UNARY_OPCODES: Dict[str, Opcode] = {
+    "-": Opcode.NEG,
+    "~": Opcode.NOT,
+    "abs": Opcode.ABS,
+}
+
+
+def element_symbol(ident: str, index: int) -> str:
+    """The scalar data-memory name of a constant-indexed array element."""
+    if index < 0:
+        raise SemanticError(f"negative array index {ident}[{index}]")
+    return f"{ident}[{index}]"
+
+
+class _Lowerer:
+    def __init__(self, name: str):
+        self.function = Function(name, entry="bb0")
+        self._counter = 0
+        self.block: BasicBlock = self._new_block()
+        #: variables assigned in the current block -> defining node id
+        self.defs: Dict[str, int] = {}
+
+    # -- block management ---------------------------------------------------
+
+    def _new_block(self) -> BasicBlock:
+        name = f"bb{self._counter}"
+        self._counter += 1
+        return self.function.new_block(name)
+
+    def _finish_block(self, terminator) -> None:
+        for symbol, node_id in self.defs.items():
+            self.block.dag.store(symbol, node_id)
+        self.block.set_terminator(terminator)
+        self.defs = {}
+
+    def _start(self, block: BasicBlock) -> None:
+        self.block = block
+
+    # -- expressions ----------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> int:
+        """Lower one expression; returns its DAG node id."""
+        dag = self.block.dag
+        if isinstance(expr, ast.Num):
+            return dag.const(expr.value)
+        if isinstance(expr, ast.Name):
+            if expr.ident in self.defs:
+                return self.defs[expr.ident]
+            return dag.var(expr.ident)
+        if isinstance(expr, ast.Index):
+            return self._lower_read(expr)
+        if isinstance(expr, ast.Unary):
+            if expr.op == "!":
+                operand = self.lower_expr(expr.operand)
+                return self._operation(Opcode.EQ, (operand, dag.const(0)))
+            opcode = _UNARY_OPCODES.get(expr.op)
+            if opcode is None:
+                raise SemanticError(f"unknown unary operator {expr.op!r}")
+            operand = self.lower_expr(expr.operand)
+            return self._operation(opcode, (operand,))
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("&&", "||"):
+                return self._lower_logical(expr)
+            opcode = _BINARY_OPCODES.get(expr.op)
+            if opcode is None:
+                raise SemanticError(f"unknown binary operator {expr.op!r}")
+            left = self.lower_expr(expr.left)
+            right = self.lower_expr(expr.right)
+            return self._operation(opcode, (left, right))
+        raise SemanticError(f"cannot lower expression {expr!r}")
+
+    def _lower_logical(self, expr: ast.Binary) -> int:
+        """Logical && / ||: operands normalised to 0/1, then combined.
+
+        Minic expressions are side-effect free, so evaluating both
+        operands is semantically equivalent to short-circuiting.
+        """
+        dag = self.block.dag
+        zero = dag.const(0)
+        left = self._operation(
+            Opcode.NE, (self.lower_expr(expr.left), zero)
+        )
+        right = self._operation(
+            Opcode.NE, (self.lower_expr(expr.right), zero)
+        )
+        combiner = Opcode.AND if expr.op == "&&" else Opcode.OR
+        return self._operation(combiner, (left, right))
+
+    def _operation(self, opcode: Opcode, operands: Tuple[int, ...]) -> int:
+        """Build an operation node, folding constant subexpressions."""
+        dag = self.block.dag
+        nodes = [dag.node(o) for o in operands]
+        if all(n.opcode is Opcode.CONST for n in nodes):
+            try:
+                value = apply_operation(opcode, *(n.value for n in nodes))
+            except IRError:
+                pass  # e.g. division by zero: leave it for runtime
+            else:
+                return dag.const(value)
+        return dag.operation(opcode, operands)
+
+    def _lower_read(self, expr: ast.Index) -> int:
+        symbol = self._element(expr)
+        if symbol in self.defs:
+            return self.defs[symbol]
+        return self.block.dag.var(symbol)
+
+    def _element(self, expr: ast.Index) -> str:
+        index_node = self.block.dag.node(self.lower_expr(expr.index))
+        if index_node.opcode is not Opcode.CONST:
+            raise SemanticError(
+                f"array index of {expr.ident!r} is not a compile-time "
+                f"constant; unroll the enclosing loop first"
+            )
+        return element_symbol(expr.ident, index_node.value)
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_statements(self, statements) -> None:
+        """Lower a statement sequence in order."""
+        for statement in statements:
+            self.lower_statement(statement)
+
+    def lower_statement(self, statement: ast.Stmt) -> None:
+        """Lower one statement (may split the current block)."""
+        if isinstance(statement, ast.Assign):
+            value = self.lower_expr(statement.expr)
+            if isinstance(statement.target, ast.Name):
+                self.defs[statement.target.ident] = value
+            else:
+                self.defs[self._element(statement.target)] = value
+            return
+        if isinstance(statement, ast.If):
+            self._lower_if(statement)
+            return
+        if isinstance(statement, ast.While):
+            self._lower_while(statement)
+            return
+        if isinstance(statement, ast.For):
+            self._lower_while(
+                ast.While(statement.cond, statement.body + (statement.step,)),
+                init=statement.init,
+            )
+            return
+        raise SemanticError(f"cannot lower statement {statement!r}")
+
+    def _lower_if(self, statement: ast.If) -> None:
+        condition = self.lower_expr(statement.cond)
+        then_block = self._new_block()
+        join_block = self._new_block()
+        if statement.orelse:
+            else_block = self._new_block()
+            self._finish_block(
+                Branch(condition, then_block.name, else_block.name)
+            )
+        else:
+            self._finish_block(
+                Branch(condition, then_block.name, join_block.name)
+            )
+        self._start(then_block)
+        self.lower_statements(statement.then)
+        self._finish_block(Jump(join_block.name))
+        if statement.orelse:
+            self._start(else_block)
+            self.lower_statements(statement.orelse)
+            self._finish_block(Jump(join_block.name))
+        self._start(join_block)
+
+    def _lower_while(
+        self, statement: ast.While, init: Optional[ast.Assign] = None
+    ) -> None:
+        if init is not None:
+            self.lower_statement(init)
+        header = self._new_block()
+        self._finish_block(Jump(header.name))
+        self._start(header)
+        condition = self.lower_expr(statement.cond)
+        body = self._new_block()
+        exit_block = self._new_block()
+        self._finish_block(Branch(condition, body.name, exit_block.name))
+        self._start(body)
+        self.lower_statements(statement.body)
+        self._finish_block(Jump(header.name))
+        self._start(exit_block)
+
+
+def lower_program(program: ast.Program, name: str = "main") -> Function:
+    """Lower a parsed program to an IR function."""
+    lowerer = _Lowerer(name)
+    lowerer.lower_statements(program.statements)
+    lowerer._finish_block(Return())
+    lowerer.function.validate()
+    return lowerer.function
+
+
+def compile_source(
+    source: str, name: str = "main", optimize: bool = True
+) -> Function:
+    """Parse, (optionally) optimize, and lower minic source.
+
+    With ``optimize`` the machine-independent pipeline runs first:
+    constant-trip ``for`` loops are fully unrolled at the AST level —
+    which is what makes array indices constant — and the DAG-level passes
+    (folding, algebraic simplification, CSE, DCE) run on the result.
+    """
+    from repro.frontend.parser import parse_program
+    from repro.opt.pipeline import optimize_function
+    from repro.opt.unroll import unroll_constant_loops
+
+    tree = parse_program(source)
+    if optimize:
+        tree = unroll_constant_loops(tree)
+    function = lower_program(tree, name)
+    if optimize:
+        optimize_function(function)
+    return function

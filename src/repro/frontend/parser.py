@@ -1,0 +1,237 @@
+"""Recursive-descent parser for minic.
+
+Grammar::
+
+    program   := stmt*
+    stmt      := assign ";" | if | while | for
+    assign    := target "=" expr
+    target    := IDENT | IDENT "[" expr "]"
+    if        := "if" "(" expr ")" block ["else" (block | if)]
+    while     := "while" "(" expr ")" block
+    for       := "for" "(" assign ";" expr ";" assign ")" block
+    block     := "{" stmt* "}"
+
+Expression precedence (low to high)::
+
+    ||  &&  |  ^  &  ==/!=  </<=/>/>=  <</>>  +/-  */ /%  unary  primary
+
+``&&`` and ``||`` are logical (result 0/1); since minic expressions are
+side-effect free they evaluate both operands (no short-circuit).
+
+``min(a, b)``, ``max(a, b)``, and ``abs(a)`` parse as primaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ParseError
+from repro.frontend import ast
+from repro.frontend.lexer import (
+    EOF,
+    IDENT,
+    KEYWORD,
+    NUMBER,
+    OP,
+    PRAGMA,
+    PUNCT,
+    Token,
+    tokenize_source,
+)
+
+#: Binary precedence levels, weakest first.
+_LEVELS: List[Tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind is not EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(
+            f"{message} (found {token.text!r})", token.line, token.column
+        )
+
+    def _expect(self, kind: str, text: str = "") -> Token:
+        token = self._peek()
+        if token.kind != kind or (text and token.text != text):
+            raise self._error(f"expected {text or kind}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: str = "") -> bool:
+        token = self._peek()
+        if token.kind == kind and (not text or token.text == text):
+            self._advance()
+            return True
+        return False
+
+    # -- statements -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse the token stream into a Program AST."""
+        statements: List[ast.Stmt] = []
+        while self._peek().kind is not EOF:
+            statements.append(self._statement())
+        return ast.Program(tuple(statements))
+
+    def _statement(self) -> ast.Stmt:
+        token = self._peek()
+        if token.kind == PRAGMA:
+            return self._pragma_statement()
+        if token.kind == KEYWORD and token.text == "if":
+            return self._if()
+        if token.kind == KEYWORD and token.text == "while":
+            return self._while()
+        if token.kind == KEYWORD and token.text == "for":
+            return self._for()
+        assign = self._assign()
+        self._expect(PUNCT, ";")
+        return assign
+
+    def _pragma_statement(self) -> ast.Stmt:
+        pragma = self._advance()
+        parts = pragma.text.split()
+        if len(parts) == 2 and parts[0] == "unroll" and parts[1].isdigit():
+            statement = self._statement()
+            if not isinstance(statement, ast.For):
+                raise self._error(
+                    "#pragma unroll must precede a for loop"
+                )
+            return ast.For(
+                statement.init,
+                statement.cond,
+                statement.step,
+                statement.body,
+                unroll=int(parts[1]),
+            )
+        raise self._error(f"unknown pragma {pragma.text!r}")
+
+    def _assign(self) -> ast.Assign:
+        name = self._expect(IDENT).text
+        if self._accept(PUNCT, "["):
+            index = self._expression()
+            self._expect(PUNCT, "]")
+            target: ast.Target = ast.Index(name, index)
+        else:
+            target = ast.Name(name)
+        self._expect(OP, "=")
+        return ast.Assign(target, self._expression())
+
+    def _block(self) -> Tuple[ast.Stmt, ...]:
+        self._expect(PUNCT, "{")
+        statements: List[ast.Stmt] = []
+        while not self._accept(PUNCT, "}"):
+            if self._peek().kind is EOF:
+                raise self._error("unterminated block")
+            statements.append(self._statement())
+        return tuple(statements)
+
+    def _if(self) -> ast.If:
+        self._expect(KEYWORD, "if")
+        self._expect(PUNCT, "(")
+        cond = self._expression()
+        self._expect(PUNCT, ")")
+        then = self._block()
+        orelse: Tuple[ast.Stmt, ...] = ()
+        if self._accept(KEYWORD, "else"):
+            if self._peek().kind == KEYWORD and self._peek().text == "if":
+                orelse = (self._if(),)
+            else:
+                orelse = self._block()
+        return ast.If(cond, then, orelse)
+
+    def _while(self) -> ast.While:
+        self._expect(KEYWORD, "while")
+        self._expect(PUNCT, "(")
+        cond = self._expression()
+        self._expect(PUNCT, ")")
+        return ast.While(cond, self._block())
+
+    def _for(self) -> ast.For:
+        self._expect(KEYWORD, "for")
+        self._expect(PUNCT, "(")
+        init = self._assign()
+        self._expect(PUNCT, ";")
+        cond = self._expression()
+        self._expect(PUNCT, ";")
+        step = self._assign()
+        self._expect(PUNCT, ")")
+        return ast.For(init, cond, step, self._block())
+
+    # -- expressions ------------------------------------------------------
+
+    def _expression(self, level: int = 0) -> ast.Expr:
+        if level >= len(_LEVELS):
+            return self._unary()
+        left = self._expression(level + 1)
+        while True:
+            token = self._peek()
+            if token.kind == OP and token.text in _LEVELS[level]:
+                self._advance()
+                right = self._expression(level + 1)
+                left = ast.Binary(token.text, left, right)
+            else:
+                return left
+
+    def _unary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == OP and token.text in ("-", "~", "!"):
+            self._advance()
+            return ast.Unary(token.text, self._unary())
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            return ast.Num(int(token.text))
+        if token.kind == KEYWORD and token.text in ("min", "max", "abs"):
+            self._advance()
+            self._expect(PUNCT, "(")
+            first = self._expression()
+            if token.text == "abs":
+                self._expect(PUNCT, ")")
+                return ast.Unary("abs", first)
+            self._expect(PUNCT, ",")
+            second = self._expression()
+            self._expect(PUNCT, ")")
+            return ast.Binary(token.text, first, second)
+        if token.kind == IDENT:
+            self._advance()
+            if self._accept(PUNCT, "["):
+                index = self._expression()
+                self._expect(PUNCT, "]")
+                return ast.Index(token.text, index)
+            return ast.Name(token.text)
+        if self._accept(PUNCT, "("):
+            inner = self._expression()
+            self._expect(PUNCT, ")")
+            return inner
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse minic source text into an AST."""
+    return _Parser(tokenize_source(source)).parse_program()

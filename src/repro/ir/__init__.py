@@ -1,0 +1,40 @@
+"""Machine-independent intermediate representation.
+
+The AVIV back end consumes "a number of basic block DAGs connected through
+control flow information" (paper, Section II).  This package provides that
+representation:
+
+- :mod:`repro.ir.ops` — the basic operation vocabulary (SUIF-like).
+- :mod:`repro.ir.dag` — hash-consed expression DAGs for basic blocks.
+- :mod:`repro.ir.cfg` — basic blocks, terminators, functions.
+- :mod:`repro.ir.interp` — a reference interpreter used as the
+  correctness oracle for generated machine code.
+- :mod:`repro.ir.printer` — human-readable dumps and DOT export.
+"""
+
+from repro.ir.ops import Opcode, OPCODE_INFO, is_leaf, is_operation, arity_of
+from repro.ir.dag import BlockDAG, DAGNode
+from repro.ir.cfg import BasicBlock, Function, Jump, Branch, Return, Terminator
+from repro.ir.interp import interpret_function, evaluate_dag
+from repro.ir.printer import format_dag, format_function, dag_to_dot
+
+__all__ = [
+    "Opcode",
+    "OPCODE_INFO",
+    "is_leaf",
+    "is_operation",
+    "arity_of",
+    "BlockDAG",
+    "DAGNode",
+    "BasicBlock",
+    "Function",
+    "Jump",
+    "Branch",
+    "Return",
+    "Terminator",
+    "interpret_function",
+    "evaluate_dag",
+    "format_dag",
+    "format_function",
+    "dag_to_dot",
+]

@@ -1,0 +1,87 @@
+"""Word-level arithmetic shared by the IR interpreter and the simulator.
+
+Both evaluators must agree bit-for-bit, otherwise end-to-end validation
+(generated code vs. reference interpretation) would report false
+mismatches.  The machine word is a 32-bit two's-complement integer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import IRError
+from repro.ir.ops import Opcode
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+WORD_MIN = -(1 << (WORD_BITS - 1))
+WORD_MAX = (1 << (WORD_BITS - 1)) - 1
+
+
+def wrap(value: int) -> int:
+    """Reduce an arbitrary integer to a signed 32-bit word."""
+    value &= WORD_MASK
+    if value > WORD_MAX:
+        value -= 1 << WORD_BITS
+    return value
+
+
+def _div_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise IRError("division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _mod_trunc(a: int, b: int) -> int:
+    if b == 0:
+        raise IRError("modulo by zero")
+    return a - _div_trunc(a, b) * b
+
+
+def _shift_amount(b: int) -> int:
+    # Hardware shifters use the low 5 bits of the shift amount.
+    return b & (WORD_BITS - 1)
+
+
+_BINARY: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _div_trunc,
+    Opcode.MOD: _mod_trunc,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << _shift_amount(b),
+    Opcode.SHR: lambda a, b: a >> _shift_amount(b),  # arithmetic shift
+    Opcode.MIN: min,
+    Opcode.MAX: max,
+    Opcode.EQ: lambda a, b: int(a == b),
+    Opcode.NE: lambda a, b: int(a != b),
+    Opcode.LT: lambda a, b: int(a < b),
+    Opcode.LE: lambda a, b: int(a <= b),
+    Opcode.GT: lambda a, b: int(a > b),
+    Opcode.GE: lambda a, b: int(a >= b),
+}
+
+_UNARY: Dict[Opcode, Callable[[int], int]] = {
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: ~a,
+    Opcode.ABS: abs,
+}
+
+
+def apply_operation(opcode: Opcode, *operands: int) -> int:
+    """Apply ``opcode`` to word operands and return the wrapped word result."""
+    if opcode in _BINARY:
+        if len(operands) != 2:
+            raise IRError(f"{opcode} expects 2 operands, got {len(operands)}")
+        return wrap(_BINARY[opcode](wrap(operands[0]), wrap(operands[1])))
+    if opcode in _UNARY:
+        if len(operands) != 1:
+            raise IRError(f"{opcode} expects 1 operand, got {len(operands)}")
+        return wrap(_UNARY[opcode](wrap(operands[0])))
+    raise IRError(f"{opcode} is not an evaluatable operation")

@@ -1,0 +1,140 @@
+"""Basic blocks, terminators, and functions (control-flow layer).
+
+AVIV generates code per basic block and stitches blocks together with
+conventional control-flow instructions (paper, Section III-C).  Values
+flow between blocks through named variables in data memory, so a block's
+interface is simply the variables it reads (VAR leaves) and writes
+(STORE roots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import IRError
+from repro.ir.dag import BlockDAG
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional transfer of control to ``target``."""
+
+    target: str
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Conditional transfer: if the condition value is non-zero go to
+    ``if_true``, otherwise to ``if_false``.
+
+    ``condition`` is the id of a value node in the block's DAG.
+    """
+
+    condition: int
+    if_true: str
+    if_false: str
+
+
+@dataclass(frozen=True)
+class Return:
+    """Leave the function.  Results are observed through data memory."""
+
+
+Terminator = (Jump, Branch, Return)
+
+
+class BasicBlock:
+    """A named basic block: an expression DAG plus a terminator."""
+
+    def __init__(self, name: str, dag: Optional[BlockDAG] = None):
+        if not name:
+            raise IRError("basic block name must be non-empty")
+        self.name = name
+        self.dag = dag if dag is not None else BlockDAG()
+        self.terminator: object = Return()
+
+    def set_terminator(self, terminator: object) -> None:
+        """Install the block's terminator (Jump, Branch, or Return)."""
+        if not isinstance(terminator, Terminator):
+            raise IRError(f"invalid terminator: {terminator!r}")
+        if isinstance(terminator, Branch) and terminator.condition not in self.dag:
+            raise IRError("branch condition must be a node of this block's DAG")
+        self.terminator = terminator
+
+    def successors(self) -> List[str]:
+        """Names of blocks control may flow to."""
+        if isinstance(self.terminator, Jump):
+            return [self.terminator.target]
+        if isinstance(self.terminator, Branch):
+            return [self.terminator.if_true, self.terminator.if_false]
+        return []
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name!r}, {self.dag!r}, {self.terminator!r})"
+
+
+class Function:
+    """An ordered collection of basic blocks with a designated entry."""
+
+    def __init__(self, name: str, entry: str = "entry"):
+        self.name = name
+        self.entry = entry
+        self._blocks: Dict[str, BasicBlock] = {}
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Add ``block``; names must be unique within the function."""
+        if block.name in self._blocks:
+            raise IRError(f"duplicate basic block name {block.name!r}")
+        self._blocks[block.name] = block
+        return block
+
+    def new_block(self, name: str) -> BasicBlock:
+        """Create, add, and return an empty block called ``name``."""
+        return self.add_block(BasicBlock(name))
+
+    def block(self, name: str) -> BasicBlock:
+        """Look up a block by name (IRError if absent)."""
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise IRError(f"no basic block named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        """Iterate blocks in insertion (program) order."""
+        return iter(self._blocks.values())
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_names(self) -> List[str]:
+        """Block names in insertion (program) order."""
+        return list(self._blocks)
+
+    def validate(self) -> None:
+        """Check CFG invariants: entry exists, targets exist, DAGs valid."""
+        if self.entry not in self._blocks:
+            raise IRError(f"entry block {self.entry!r} does not exist")
+        for block in self:
+            block.dag.validate()
+            for successor in block.successors():
+                if successor not in self._blocks:
+                    raise IRError(
+                        f"block {block.name!r} targets missing block "
+                        f"{successor!r}"
+                    )
+
+    def variables(self) -> List[str]:
+        """All variable names the function reads or writes, sorted."""
+        names = set()
+        for block in self:
+            names.update(block.dag.var_symbols())
+            names.update(block.dag.store_symbols())
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        return f"Function({self.name!r}, blocks={self.block_names})"

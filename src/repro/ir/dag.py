@@ -1,0 +1,275 @@
+"""Hash-consed expression DAGs for basic blocks.
+
+A :class:`BlockDAG` is the unit of work for the AVIV covering engine: the
+paper's "basic block DAG" (Fig. 2).  Nodes are immutable; identical
+(opcode, operands, payload) expressions are shared, which gives common
+subexpression elimination for free during construction.
+
+Edges point from a node to its *operands* (its children / producers), so
+"bottom" of the DAG means leaves and nodes near them — matching the
+paper's phrasing "nodes at the bottom ... will be scheduled before nodes
+that depend on them".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import IRError
+from repro.ir.ops import Opcode, arity_of, is_leaf, is_operation
+from repro.utils.graph import longest_path_lengths, topological_order
+from repro.utils.ids import IdAllocator
+
+
+@dataclass(frozen=True)
+class DAGNode:
+    """One node of a basic-block expression DAG.
+
+    Attributes:
+        node_id: dense integer id, unique within the owning DAG.
+        opcode: the operation this node performs.
+        operands: ids of the operand nodes, in order.
+        symbol: variable name for VAR and STORE nodes.
+        value: literal value for CONST nodes.
+    """
+
+    node_id: int
+    opcode: Opcode
+    operands: Tuple[int, ...] = ()
+    symbol: Optional[str] = None
+    value: Optional[int] = None
+
+    def describe(self) -> str:
+        """Short human-readable description (used in printers and errors)."""
+        if self.opcode is Opcode.CONST:
+            return f"const {self.value}"
+        if self.opcode is Opcode.VAR:
+            return f"var {self.symbol}"
+        if self.opcode is Opcode.STORE:
+            return f"store {self.symbol}"
+        return self.opcode.name
+
+
+class BlockDAG:
+    """A basic block as a hash-consed expression DAG.
+
+    Construction API (used by the front end and by optimization passes)::
+
+        dag = BlockDAG()
+        a = dag.var("a")
+        b = dag.var("b")
+        s = dag.operation(Opcode.ADD, (a, b))
+        dag.store("sum", s)
+
+    STORE nodes are the DAG roots and are never hash-consed (two stores to
+    the same variable are distinct events; only the last takes effect, and
+    builders are expected to emit one store per variable).
+    """
+
+    def __init__(self) -> None:
+        self._ids = IdAllocator()
+        self._nodes: Dict[int, DAGNode] = {}
+        self._intern: Dict[Tuple, int] = {}
+        self._stores: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def const(self, value: int) -> int:
+        """Intern a CONST leaf and return its id."""
+        return self._interned(Opcode.CONST, (), None, value)
+
+    def var(self, symbol: str) -> int:
+        """Intern a VAR leaf (value of ``symbol`` at block entry)."""
+        if not symbol:
+            raise IRError("variable name must be non-empty")
+        return self._interned(Opcode.VAR, (), symbol, None)
+
+    def operation(self, opcode: Opcode, operands: Tuple[int, ...]) -> int:
+        """Intern an operation node over existing operand ids."""
+        if not is_operation(opcode):
+            raise IRError(f"{opcode} is not an operation opcode")
+        if len(operands) != arity_of(opcode):
+            raise IRError(
+                f"{opcode} expects {arity_of(opcode)} operands, "
+                f"got {len(operands)}"
+            )
+        for operand in operands:
+            if operand not in self._nodes:
+                raise IRError(f"operand id {operand} not in this DAG")
+        return self._interned(opcode, tuple(operands), None, None)
+
+    def store(self, symbol: str, operand: int) -> int:
+        """Append a STORE root writing ``operand``'s value to ``symbol``.
+
+        A later store to the same symbol replaces the earlier one (the
+        earlier store node is removed from the root list; it may become
+        dead and is cleaned up by DCE).
+        """
+        if operand not in self._nodes:
+            raise IRError(f"operand id {operand} not in this DAG")
+        for existing in list(self._stores):
+            if self._nodes[existing].symbol == symbol:
+                self._stores.remove(existing)
+                del self._nodes[existing]
+        node_id = self._ids.allocate()
+        self._nodes[node_id] = DAGNode(node_id, Opcode.STORE, (operand,), symbol, None)
+        self._stores.append(node_id)
+        return node_id
+
+    def remove_store(self, symbol: str) -> bool:
+        """Remove the store to ``symbol``, if any (the stored value may
+        become dead; run DCE to clean it up).  Returns True if removed."""
+        for existing in list(self._stores):
+            if self._nodes[existing].symbol == symbol:
+                self._stores.remove(existing)
+                del self._nodes[existing]
+                return True
+        return False
+
+    def _interned(
+        self,
+        opcode: Opcode,
+        operands: Tuple[int, ...],
+        symbol: Optional[str],
+        value: Optional[int],
+    ) -> int:
+        key = (opcode, operands, symbol, value)
+        existing = self._intern.get(key)
+        if existing is not None:
+            return existing
+        node_id = self._ids.allocate()
+        self._nodes[node_id] = DAGNode(node_id, opcode, operands, symbol, value)
+        self._intern[key] = node_id
+        return node_id
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> DAGNode:
+        """Return the node with the given id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise IRError(f"no node with id {node_id}") from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[DAGNode]:
+        """Iterate nodes in ascending id order (deterministic)."""
+        for node_id in sorted(self._nodes):
+            yield self._nodes[node_id]
+
+    @property
+    def stores(self) -> List[int]:
+        """Ids of the STORE roots, in program order."""
+        return list(self._stores)
+
+    def store_symbols(self) -> List[str]:
+        """Names of variables written by this block, in program order."""
+        return [self._nodes[s].symbol for s in self._stores]
+
+    def operation_nodes(self) -> List[int]:
+        """Ids of executable operation nodes (no leaves, no stores)."""
+        return [n.node_id for n in self if is_operation(n.opcode)]
+
+    def leaf_nodes(self) -> List[int]:
+        """Ids of CONST/VAR leaves."""
+        return [n.node_id for n in self if is_leaf(n.opcode)]
+
+    def var_symbols(self) -> List[str]:
+        """Names of variables read by this block, in first-use order."""
+        return [n.symbol for n in self if n.opcode is Opcode.VAR]
+
+    def adjacency(self) -> Dict[int, Tuple[int, ...]]:
+        """Node → operand-ids mapping (edges point at producers)."""
+        return {node_id: self._nodes[node_id].operands for node_id in sorted(self._nodes)}
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """Node → ids of nodes that use it as an operand."""
+        result: Dict[int, List[int]] = {node_id: [] for node_id in sorted(self._nodes)}
+        for node in self:
+            for operand in node.operands:
+                result[operand].append(node.node_id)
+        return result
+
+    def topological(self) -> List[int]:
+        """Node ids ordered so every node precedes its operands."""
+        return topological_order(self.adjacency())
+
+    def schedule_order(self) -> List[int]:
+        """Node ids ordered so every operand precedes its users."""
+        return list(reversed(self.topological()))
+
+    def depth_from_leaves(self) -> Dict[int, int]:
+        """Longest path (edges) from each node down to a leaf."""
+        return longest_path_lengths(self.adjacency())
+
+    def depth_from_roots(self) -> Dict[int, int]:
+        """Longest path (edges) from any root down to each node."""
+        reverse: Dict[int, List[int]] = {node_id: [] for node_id in sorted(self._nodes)}
+        for node in self:
+            for operand in node.operands:
+                reverse[operand].append(node.node_id)
+        return longest_path_lengths(reverse)
+
+    def live_out_candidates(self) -> Set[str]:
+        """Symbols whose stored values may be observed after the block."""
+        return {self._nodes[s].symbol for s in self._stores}
+
+    # ------------------------------------------------------------------
+    # Validation & statistics
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`IRError` on violation.
+
+        Invariants: operand ids exist and are less-deep references only
+        (acyclicity), arities match, stores are roots with one operand,
+        leaves carry the right payload.
+        """
+        for node in self:
+            for operand in node.operands:
+                if operand not in self._nodes:
+                    raise IRError(f"node {node.node_id} references missing {operand}")
+            if node.opcode is Opcode.CONST and node.value is None:
+                raise IRError(f"CONST node {node.node_id} has no value")
+            if node.opcode is Opcode.VAR and not node.symbol:
+                raise IRError(f"VAR node {node.node_id} has no symbol")
+            if node.opcode is Opcode.STORE:
+                if not node.symbol:
+                    raise IRError(f"STORE node {node.node_id} has no symbol")
+                if node.node_id not in self._stores:
+                    raise IRError(f"STORE node {node.node_id} is not a root")
+            if node.opcode not in (Opcode.CONST, Opcode.VAR, Opcode.STORE):
+                if len(node.operands) != arity_of(node.opcode):
+                    raise IRError(f"node {node.node_id} has wrong arity")
+        # topological_order raises on cycles.
+        self.topological()
+
+    def stats(self) -> Dict[str, int]:
+        """Node-count statistics (the paper's "Original DAG #Nodes")."""
+        operations = len(self.operation_nodes())
+        leaves = len(self.leaf_nodes())
+        return {
+            "total_nodes": len(self._nodes),
+            "operation_nodes": operations,
+            "leaf_nodes": leaves,
+            "store_nodes": len(self._stores),
+            # The paper counts the computational DAG: operations + leaves.
+            "paper_nodes": operations + leaves,
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"BlockDAG(ops={s['operation_nodes']}, leaves={s['leaf_nodes']}, "
+            f"stores={s['store_nodes']})"
+        )

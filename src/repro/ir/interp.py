@@ -1,0 +1,98 @@
+"""Reference interpreter for the IR.
+
+This is the semantic ground truth: generated machine code is validated by
+running it on the VLIW simulator and comparing final memory against the
+interpreter's final environment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.errors import IRError, SemanticError
+from repro.ir.arith import apply_operation, wrap
+from repro.ir.cfg import Branch, Function, Jump, Return
+from repro.ir.dag import BlockDAG
+from repro.ir.ops import Opcode
+
+
+def evaluate_dag(
+    dag: BlockDAG, environment: Mapping[str, int]
+) -> Dict[int, int]:
+    """Evaluate every node of ``dag`` against ``environment``.
+
+    Returns a node-id → value map.  VAR leaves read the environment
+    (missing variables default to 0, matching zero-initialised data
+    memory); STORE nodes evaluate to the stored value.
+    """
+    values: Dict[int, int] = {}
+    for node_id in dag.schedule_order():
+        node = dag.node(node_id)
+        if node.opcode is Opcode.CONST:
+            values[node_id] = wrap(node.value)
+        elif node.opcode is Opcode.VAR:
+            values[node_id] = wrap(environment.get(node.symbol, 0))
+        elif node.opcode is Opcode.STORE:
+            values[node_id] = values[node.operands[0]]
+        else:
+            operand_values = [values[o] for o in node.operands]
+            values[node_id] = apply_operation(node.opcode, *operand_values)
+    return values
+
+
+def execute_block(
+    dag: BlockDAG, environment: Mapping[str, int]
+) -> Dict[str, int]:
+    """Run one block: return the updated variable environment."""
+    values = evaluate_dag(dag, environment)
+    result = dict(environment)
+    for store_id in dag.stores:
+        store = dag.node(store_id)
+        result[store.symbol] = values[store.operands[0]]
+    return result
+
+
+def interpret_function(
+    function: Function,
+    initial: Optional[Mapping[str, int]] = None,
+    max_steps: int = 100_000,
+) -> Dict[str, int]:
+    """Interpret ``function`` from its entry block.
+
+    Args:
+        function: the function to run.
+        initial: initial variable values (missing variables are 0).
+        max_steps: bound on executed blocks, to catch non-terminating
+            control flow in tests.
+
+    Returns:
+        The final variable environment.
+    """
+    function.validate()
+    environment: Dict[str, int] = {
+        name: wrap(value) for name, value in (initial or {}).items()
+    }
+    current = function.entry
+    steps = 0
+    while True:
+        steps += 1
+        if steps > max_steps:
+            raise IRError(
+                f"function {function.name!r} exceeded {max_steps} block "
+                f"executions; assuming non-termination"
+            )
+        block = function.block(current)
+        values = evaluate_dag(block.dag, environment)
+        for store_id in block.dag.stores:
+            store = block.dag.node(store_id)
+            environment[store.symbol] = values[store.operands[0]]
+        terminator = block.terminator
+        if isinstance(terminator, Return):
+            return environment
+        if isinstance(terminator, Jump):
+            current = terminator.target
+        elif isinstance(terminator, Branch):
+            taken = values[terminator.condition] != 0
+            current = terminator.if_true if taken else terminator.if_false
+        else:  # pragma: no cover - guarded by set_terminator
+            raise SemanticError(f"unknown terminator {terminator!r}")

@@ -1,0 +1,126 @@
+"""The basic-operation vocabulary of the intermediate representation.
+
+These correspond to the "SUIF basic operations such as ADD and SUB" that
+the paper's databases map onto target-processor operations (Section II).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class Opcode(enum.Enum):
+    """Operation codes appearing in basic-block expression DAGs."""
+
+    # Leaves.
+    CONST = "const"  # integer literal; payload in DAGNode.value
+    VAR = "var"      # value of a named variable at block entry
+
+    # Root / side effect.
+    STORE = "store"  # write operand 0 to the named variable
+
+    # Binary arithmetic / logic.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MIN = "min"
+    MAX = "max"
+
+    # Comparisons (produce 0 or 1).
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+
+    # Unary.
+    NEG = "neg"
+    NOT = "not"    # bitwise complement — the paper's COMPL
+    ABS = "abs"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of an opcode."""
+
+    arity: int
+    commutative: bool = False
+    mnemonic: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.mnemonic:
+            object.__setattr__(self, "mnemonic", "?")
+
+
+OPCODE_INFO: Dict[Opcode, OpcodeInfo] = {
+    Opcode.CONST: OpcodeInfo(0, mnemonic="const"),
+    Opcode.VAR: OpcodeInfo(0, mnemonic="var"),
+    Opcode.STORE: OpcodeInfo(1, mnemonic="store"),
+    Opcode.ADD: OpcodeInfo(2, commutative=True, mnemonic="ADD"),
+    Opcode.SUB: OpcodeInfo(2, mnemonic="SUB"),
+    Opcode.MUL: OpcodeInfo(2, commutative=True, mnemonic="MUL"),
+    Opcode.DIV: OpcodeInfo(2, mnemonic="DIV"),
+    Opcode.MOD: OpcodeInfo(2, mnemonic="MOD"),
+    Opcode.AND: OpcodeInfo(2, commutative=True, mnemonic="AND"),
+    Opcode.OR: OpcodeInfo(2, commutative=True, mnemonic="OR"),
+    Opcode.XOR: OpcodeInfo(2, commutative=True, mnemonic="XOR"),
+    Opcode.SHL: OpcodeInfo(2, mnemonic="SHL"),
+    Opcode.SHR: OpcodeInfo(2, mnemonic="SHR"),
+    Opcode.MIN: OpcodeInfo(2, commutative=True, mnemonic="MIN"),
+    Opcode.MAX: OpcodeInfo(2, commutative=True, mnemonic="MAX"),
+    Opcode.EQ: OpcodeInfo(2, commutative=True, mnemonic="EQ"),
+    Opcode.NE: OpcodeInfo(2, commutative=True, mnemonic="NE"),
+    Opcode.LT: OpcodeInfo(2, mnemonic="LT"),
+    Opcode.LE: OpcodeInfo(2, mnemonic="LE"),
+    Opcode.GT: OpcodeInfo(2, mnemonic="GT"),
+    Opcode.GE: OpcodeInfo(2, mnemonic="GE"),
+    Opcode.NEG: OpcodeInfo(1, mnemonic="NEG"),
+    Opcode.NOT: OpcodeInfo(1, mnemonic="NOT"),
+    Opcode.ABS: OpcodeInfo(1, mnemonic="ABS"),
+}
+
+#: Opcodes that carry no computation — DAG leaves.
+LEAF_OPCODES = frozenset({Opcode.CONST, Opcode.VAR})
+
+#: Opcodes a functional unit can execute (everything but leaves / stores).
+OPERATION_OPCODES = frozenset(
+    op for op in Opcode if op not in LEAF_OPCODES and op is not Opcode.STORE
+)
+
+#: Comparison opcodes, usable as branch conditions.
+COMPARISON_OPCODES = frozenset(
+    {Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE}
+)
+
+
+def is_leaf(opcode: Opcode) -> bool:
+    """True for CONST and VAR nodes."""
+    return opcode in LEAF_OPCODES
+
+
+def is_operation(opcode: Opcode) -> bool:
+    """True for opcodes executed by a functional unit."""
+    return opcode in OPERATION_OPCODES
+
+
+def is_commutative(opcode: Opcode) -> bool:
+    """True if operand order does not affect the result."""
+    return OPCODE_INFO[opcode].commutative
+
+
+def arity_of(opcode: Opcode) -> int:
+    """Number of operands the opcode takes."""
+    return OPCODE_INFO[opcode].arity

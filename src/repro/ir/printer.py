@@ -1,0 +1,67 @@
+"""Human-readable and DOT renderings of IR objects."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import Branch, Function, Jump, Return
+from repro.ir.dag import BlockDAG
+from repro.ir.ops import Opcode
+
+
+def format_dag(dag: BlockDAG) -> str:
+    """Render a DAG one node per line, operands before users."""
+    lines: List[str] = []
+    for node_id in dag.schedule_order():
+        node = dag.node(node_id)
+        if node.opcode is Opcode.CONST:
+            lines.append(f"  n{node_id} = const {node.value}")
+        elif node.opcode is Opcode.VAR:
+            lines.append(f"  n{node_id} = var {node.symbol}")
+        elif node.opcode is Opcode.STORE:
+            lines.append(f"  store {node.symbol} <- n{node.operands[0]}")
+        else:
+            operands = ", ".join(f"n{o}" for o in node.operands)
+            lines.append(f"  n{node_id} = {node.opcode.name} {operands}")
+    return "\n".join(lines)
+
+
+def _format_terminator(terminator: object) -> str:
+    if isinstance(terminator, Jump):
+        return f"  jump {terminator.target}"
+    if isinstance(terminator, Branch):
+        return (
+            f"  branch n{terminator.condition} ? {terminator.if_true} "
+            f": {terminator.if_false}"
+        )
+    if isinstance(terminator, Return):
+        return "  return"
+    return f"  <?{terminator!r}>"
+
+
+def format_function(function: Function) -> str:
+    """Render a whole function block by block."""
+    parts: List[str] = [f"function {function.name} (entry {function.entry})"]
+    for block in function:
+        parts.append(f"{block.name}:")
+        parts.append(format_dag(block.dag))
+        parts.append(_format_terminator(block.terminator))
+    return "\n".join(parts)
+
+
+def dag_to_dot(dag: BlockDAG, name: str = "dag") -> str:
+    """Export a DAG in Graphviz DOT format (edges point at operands)."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node in dag:
+        shape = "ellipse"
+        if node.opcode is Opcode.STORE:
+            shape = "box"
+        elif node.opcode in (Opcode.CONST, Opcode.VAR):
+            shape = "plaintext"
+        label = node.describe().replace('"', "'")
+        lines.append(f'  n{node.node_id} [label="{label}", shape={shape}];')
+    for node in dag:
+        for operand in node.operands:
+            lines.append(f"  n{node.node_id} -> n{operand};")
+    lines.append("}")
+    return "\n".join(lines)

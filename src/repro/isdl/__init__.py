@@ -1,0 +1,75 @@
+"""ISDL-flavoured machine descriptions.
+
+The paper drives AVIV with ISDL (Instruction Set Description Language,
+DAC'97) descriptions of the target processor.  This package provides:
+
+- :mod:`repro.isdl.model` — the in-memory :class:`Machine` model
+  (functional units, register files, memories, buses, constraints,
+  complex-instruction patterns).
+- :mod:`repro.isdl.parser` / :mod:`repro.isdl.lexer` — a textual
+  ISDL-lite language parsed into :class:`Machine` objects.
+- :mod:`repro.isdl.writer` — the inverse: render a machine back to text.
+- :mod:`repro.isdl.databases` — the operation and data-transfer databases
+  of Section II, built from a machine.
+- :mod:`repro.isdl.builtin_machines` — the paper's Fig. 3 architecture,
+  Architecture II of Table II, and additional machines used by tests,
+  examples, and ablation benches.
+"""
+
+from repro.isdl.model import (
+    Machine,
+    FunctionalUnit,
+    RegisterFile,
+    Memory,
+    Bus,
+    MachineOp,
+    Constraint,
+    ConstraintTerm,
+    OpExpr,
+    ArgRef,
+    basic_semantics,
+)
+from repro.isdl.parser import parse_machine
+from repro.isdl.writer import machine_to_isdl
+from repro.isdl.databases import OperationDatabase, TransferDatabase
+from repro.isdl.lint import LintWarning, lint_machine
+from repro.isdl.builtin_machines import (
+    example_architecture,
+    architecture_two,
+    fig6_architecture,
+    dual_bus_architecture,
+    mac_dsp_architecture,
+    single_unit_architecture,
+    control_flow_architecture,
+    pipelined_dsp_architecture,
+    BUILTIN_MACHINES,
+)
+
+__all__ = [
+    "Machine",
+    "FunctionalUnit",
+    "RegisterFile",
+    "Memory",
+    "Bus",
+    "MachineOp",
+    "Constraint",
+    "ConstraintTerm",
+    "OpExpr",
+    "ArgRef",
+    "basic_semantics",
+    "parse_machine",
+    "machine_to_isdl",
+    "OperationDatabase",
+    "TransferDatabase",
+    "LintWarning",
+    "lint_machine",
+    "example_architecture",
+    "architecture_two",
+    "fig6_architecture",
+    "dual_bus_architecture",
+    "mac_dsp_architecture",
+    "single_unit_architecture",
+    "control_flow_architecture",
+    "pipelined_dsp_architecture",
+    "BUILTIN_MACHINES",
+]

@@ -1,0 +1,310 @@
+"""Built-in target architectures.
+
+``example_architecture`` is the paper's Fig. 3 VLIW: three functional
+units with private register files, a data memory, and one shared data
+bus.  ``architecture_two`` is the Table II variant (SUB removed from U1,
+U3 removed entirely).  The remaining machines support tests, examples,
+figures, and ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.ir.ops import Opcode
+from repro.isdl.model import (
+    ArgRef,
+    Bus,
+    Constraint,
+    ConstraintTerm,
+    FunctionalUnit,
+    Machine,
+    MachineOp,
+    Memory,
+    OpExpr,
+    RegisterFile,
+    basic_semantics,
+)
+
+
+def _basic_op(opcode: Opcode) -> MachineOp:
+    return MachineOp(opcode.name, basic_semantics(opcode))
+
+
+def _unit(name: str, regfile: str, *opcodes: Opcode) -> FunctionalUnit:
+    return FunctionalUnit(name, regfile, tuple(_basic_op(op) for op in opcodes))
+
+
+def example_architecture(registers_per_file: int = 4) -> Machine:
+    """The paper's Fig. 3 target.
+
+    U1 performs ADD and SUB; U2 performs ADD, SUB, and MUL; U3 performs
+    ADD and MUL.  Each unit has its own register file, and a single data
+    bus connects all units and the data memory.  ``registers_per_file``
+    is 4 for Table I rows Ex1–Ex5 and 2 for rows Ex6–Ex7.
+    """
+    return Machine(
+        name=f"arch1_r{registers_per_file}",
+        units=(
+            _unit("U1", "RF1", Opcode.ADD, Opcode.SUB),
+            _unit("U2", "RF2", Opcode.ADD, Opcode.SUB, Opcode.MUL),
+            _unit("U3", "RF3", Opcode.ADD, Opcode.MUL),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+            RegisterFile("RF3", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1", "RF2", "RF3")),),
+    )
+
+
+def architecture_two(registers_per_file: int = 4) -> Machine:
+    """Table II's target: Fig. 3 with SUB removed from U1 and U3 removed."""
+    return Machine(
+        name=f"arch2_r{registers_per_file}",
+        units=(
+            _unit("U1", "RF1", Opcode.ADD),
+            _unit("U2", "RF2", Opcode.ADD, Opcode.SUB, Opcode.MUL),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1", "RF2")),),
+    )
+
+
+def fig6_architecture(registers_per_file: int = 4) -> Machine:
+    """Fig. 6's cost-function example: Fig. 3 plus COMPL (NOT) on U1 only."""
+    return Machine(
+        name=f"arch_fig6_r{registers_per_file}",
+        units=(
+            _unit("U1", "RF1", Opcode.ADD, Opcode.SUB, Opcode.NOT),
+            _unit("U2", "RF2", Opcode.ADD, Opcode.SUB, Opcode.MUL),
+            _unit("U3", "RF3", Opcode.ADD, Opcode.MUL),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+            RegisterFile("RF3", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1", "RF2", "RF3")),),
+    )
+
+
+def dual_bus_architecture(registers_per_file: int = 4) -> Machine:
+    """Fig. 3 topology with two buses.
+
+    B1 connects DM with RF1 and RF2; B2 connects RF1, RF2, and RF3.
+    Reaching U3's register file from memory therefore takes two hops
+    (DM → RF1/RF2 → RF3), exercising multi-step transfer expansion and
+    transfer-path selection (Section IV-B).
+    """
+    return Machine(
+        name=f"arch_dualbus_r{registers_per_file}",
+        units=(
+            _unit("U1", "RF1", Opcode.ADD, Opcode.SUB),
+            _unit("U2", "RF2", Opcode.ADD, Opcode.SUB, Opcode.MUL),
+            _unit("U3", "RF3", Opcode.ADD, Opcode.MUL),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+            RegisterFile("RF3", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(
+            Bus("B1", ("DM", "RF1", "RF2")),
+            Bus("B2", ("RF1", "RF2", "RF3")),
+        ),
+    )
+
+
+def mac_dsp_architecture(registers_per_file: int = 4) -> Machine:
+    """A DSP-flavoured machine with a complex multiply-accumulate.
+
+    U2 offers ``MAC = ADD(MUL($0,$1), $2)`` in addition to its basic ops,
+    exercising complex-instruction pattern matching (Section III-B).
+    A constraint forbids issuing U1 and U3 ADDs in the same word,
+    exercising illegal-instruction splitting (Section IV-C.3).
+    """
+    mac = MachineOp(
+        "MAC",
+        OpExpr(
+            Opcode.ADD,
+            (OpExpr(Opcode.MUL, (ArgRef(0), ArgRef(1))), ArgRef(2)),
+        ),
+    )
+    u2_ops = tuple(
+        [_basic_op(Opcode.ADD), _basic_op(Opcode.SUB), _basic_op(Opcode.MUL), mac]
+    )
+    return Machine(
+        name=f"arch_mac_r{registers_per_file}",
+        units=(
+            _unit("U1", "RF1", Opcode.ADD, Opcode.SUB),
+            FunctionalUnit("U2", "RF2", u2_ops),
+            _unit("U3", "RF3", Opcode.ADD, Opcode.MUL),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+            RegisterFile("RF3", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1", "RF2", "RF3")),),
+        constraints=(
+            Constraint(
+                (ConstraintTerm("U1", "ADD"), ConstraintTerm("U3", "ADD"))
+            ),
+        ),
+    )
+
+
+def single_unit_architecture(registers_per_file: int = 8) -> Machine:
+    """A degenerate sequential machine: one unit that does everything.
+
+    Useful as a baseline (no ILP, so code size equals node count) and for
+    testing that the engine degrades gracefully without parallelism.
+    """
+    return Machine(
+        name=f"arch_single_r{registers_per_file}",
+        units=(
+            _unit(
+                "U1",
+                "RF1",
+                Opcode.ADD,
+                Opcode.SUB,
+                Opcode.MUL,
+                Opcode.DIV,
+                Opcode.AND,
+                Opcode.OR,
+                Opcode.XOR,
+                Opcode.SHL,
+                Opcode.SHR,
+                Opcode.NEG,
+                Opcode.NOT,
+                Opcode.EQ,
+                Opcode.NE,
+                Opcode.LT,
+                Opcode.LE,
+                Opcode.GT,
+                Opcode.GE,
+            ),
+        ),
+        register_files=(RegisterFile("RF1", registers_per_file),),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1")),),
+    )
+
+
+def control_flow_architecture(registers_per_file: int = 4) -> Machine:
+    """Fig. 3 extended with comparison ops so whole functions compile.
+
+    U1 gains the comparison family (EQ/NE/LT/LE/GT/GE); branch conditions
+    are computed there and read by the control slot.  U2 gains DIV/MOD
+    and the shifter so general integer kernels (gcd, binary search)
+    compile; U3 gains the select family (MIN/MAX/ABS) common on DSP
+    datapaths.
+    """
+    return Machine(
+        name=f"arch_cf_r{registers_per_file}",
+        units=(
+            _unit(
+                "U1",
+                "RF1",
+                Opcode.ADD,
+                Opcode.SUB,
+                Opcode.EQ,
+                Opcode.NE,
+                Opcode.LT,
+                Opcode.LE,
+                Opcode.GT,
+                Opcode.GE,
+            ),
+            _unit(
+                "U2",
+                "RF2",
+                Opcode.ADD,
+                Opcode.SUB,
+                Opcode.MUL,
+                Opcode.DIV,
+                Opcode.MOD,
+                Opcode.SHL,
+                Opcode.SHR,
+            ),
+            _unit(
+                "U3",
+                "RF3",
+                Opcode.ADD,
+                Opcode.MUL,
+                Opcode.MIN,
+                Opcode.MAX,
+                Opcode.ABS,
+            ),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+            RegisterFile("RF3", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1", "RF2", "RF3")),),
+    )
+
+
+def pipelined_dsp_architecture(registers_per_file: int = 4) -> Machine:
+    """Fig. 3 with two-cycle multipliers (an exposed-pipeline VLIW).
+
+    MUL results become available two cycles after issue; the covering
+    engine schedules dependent operations accordingly (inserting NOP
+    words when nothing else is ready) and the simulator models the
+    delayed write-back.  This goes beyond the paper's single-cycle
+    targets and exercises the latency machinery end to end.
+    """
+    two_cycle_mul = MachineOp(
+        "MUL", basic_semantics(Opcode.MUL), latency=2
+    )
+    return Machine(
+        name=f"arch_pipe_r{registers_per_file}",
+        units=(
+            _unit("U1", "RF1", Opcode.ADD, Opcode.SUB),
+            FunctionalUnit(
+                "U2",
+                "RF2",
+                (
+                    _basic_op(Opcode.ADD),
+                    _basic_op(Opcode.SUB),
+                    two_cycle_mul,
+                ),
+            ),
+            FunctionalUnit(
+                "U3",
+                "RF3",
+                (_basic_op(Opcode.ADD), two_cycle_mul),
+            ),
+        ),
+        register_files=(
+            RegisterFile("RF1", registers_per_file),
+            RegisterFile("RF2", registers_per_file),
+            RegisterFile("RF3", registers_per_file),
+        ),
+        memories=(Memory("DM", 1024),),
+        buses=(Bus("B1", ("DM", "RF1", "RF2", "RF3")),),
+    )
+
+
+#: Registry used by examples and the CLI-style bench harnesses.
+BUILTIN_MACHINES: Dict[str, Callable[[], Machine]] = {
+    "arch1": example_architecture,
+    "arch2": architecture_two,
+    "fig6": fig6_architecture,
+    "dualbus": dual_bus_architecture,
+    "mac": mac_dsp_architecture,
+    "single": single_unit_architecture,
+    "cf": control_flow_architecture,
+    "pipe": pipelined_dsp_architecture,
+}

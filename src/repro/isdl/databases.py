@@ -1,0 +1,164 @@
+"""The instruction-set databases of Section II.
+
+The paper extracts two databases from the ISDL description before
+building Split-Node DAGs:
+
+- a correlation between target-processor operations and SUIF basic
+  operations (:class:`OperationDatabase`), and
+- all possible data transfers, "subsequently expanded to include
+  multiple-step data transfers as well" (:class:`TransferDatabase`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import NoTransferPathError
+from repro.ir.ops import Opcode
+from repro.isdl.model import FunctionalUnit, Machine, MachineOp
+
+
+@dataclass(frozen=True)
+class OperationMatch:
+    """One way to execute an IR opcode: ``op`` on ``unit``."""
+
+    unit: str
+    op: MachineOp
+
+
+class OperationDatabase:
+    """Maps IR opcodes to the machine operations that implement them.
+
+    Only basic (single-operation) machine ops appear here; complex
+    instructions are handled by the pattern-matching phase of the
+    Split-Node DAG builder.
+    """
+
+    def __init__(self, machine: Machine):
+        self._machine = machine
+        self._matches: Dict[Opcode, List[OperationMatch]] = {}
+        for unit in machine.units:
+            for op in unit.operations:
+                if op.is_complex:
+                    continue
+                opcode = op.semantics.opcode
+                self._matches.setdefault(opcode, []).append(
+                    OperationMatch(unit.name, op)
+                )
+
+    def matches(self, opcode: Opcode) -> List[OperationMatch]:
+        """All (unit, op) pairs implementing ``opcode`` (stable order)."""
+        return list(self._matches.get(opcode, []))
+
+    def supported_opcodes(self) -> List[Opcode]:
+        """Opcodes the machine can execute, in declaration order."""
+        return list(self._matches)
+
+    def alternative_count(self, opcode: Opcode) -> int:
+        """Number of units that can execute ``opcode``."""
+        return len(self._matches.get(opcode, ()))
+
+
+@dataclass(frozen=True)
+class TransferHop:
+    """One bus crossing: move a word from ``source`` to ``destination``."""
+
+    bus: str
+    source: str
+    destination: str
+
+    def __str__(self) -> str:
+        return f"{self.source}->{self.destination} via {self.bus}"
+
+
+#: A transfer path is an ordered sequence of hops.
+TransferPath = Tuple[TransferHop, ...]
+
+
+class TransferDatabase:
+    """All (multi-step) data-transfer paths between storage locations.
+
+    Built by breadth-first search over the storage connectivity graph
+    induced by the machine's buses.  For each (source, destination) pair
+    the database records *every minimal-length* path; architectures with
+    multiple buses therefore expose multiple path alternatives, which the
+    covering engine chooses among heuristically (paper, Section IV-B).
+    """
+
+    def __init__(self, machine: Machine, max_hops: int = 4):
+        self._machine = machine
+        self._max_hops = max_hops
+        self._paths: Dict[Tuple[str, str], List[TransferPath]] = {}
+        self._neighbours: Dict[str, List[TransferHop]] = {}
+        for storage in machine.storage_names():
+            hops: List[TransferHop] = []
+            for bus in machine.buses:
+                if storage in bus.connects:
+                    for other in bus.connects:
+                        if other != storage:
+                            hops.append(TransferHop(bus.name, storage, other))
+            self._neighbours[storage] = hops
+
+    def paths(self, source: str, destination: str) -> List[TransferPath]:
+        """All minimal-hop transfer paths from ``source`` to ``destination``.
+
+        Returns ``[()]`` (one empty path) when source and destination are
+        the same storage.  Raises :class:`NoTransferPathError` when the
+        destination is unreachable within the hop bound.
+        """
+        if source == destination:
+            return [()]
+        key = (source, destination)
+        if key not in self._paths:
+            self._paths[key] = self._search(source, destination)
+        result = self._paths[key]
+        if not result:
+            raise NoTransferPathError(source, destination)
+        return list(result)
+
+    def has_path(self, source: str, destination: str) -> bool:
+        """True if any transfer path exists."""
+        try:
+            self.paths(source, destination)
+            return True
+        except NoTransferPathError:
+            return False
+
+    def distance(self, source: str, destination: str) -> int:
+        """Minimal number of bus crossings between the two storages."""
+        return len(self.paths(source, destination)[0])
+
+    def _search(self, source: str, destination: str) -> List[TransferPath]:
+        # BFS level by level; collect every path that first reaches the
+        # destination at the minimal level.
+        frontier: List[TransferPath] = [()]
+        visited_levels = {source: 0}
+        found: List[TransferPath] = []
+        for level in range(1, self._max_hops + 1):
+            next_frontier: List[TransferPath] = []
+            for path in frontier:
+                at = path[-1].destination if path else source
+                for hop in self._neighbours[at]:
+                    previous = visited_levels.get(hop.destination)
+                    if previous is not None and previous < level:
+                        continue  # strictly shorter route exists
+                    visited_levels.setdefault(hop.destination, level)
+                    extended = path + (hop,)
+                    if hop.destination == destination:
+                        found.append(extended)
+                    else:
+                        next_frontier.append(extended)
+            if found:
+                return found
+            frontier = next_frontier
+        return []
+
+    def direct_transfers(self) -> List[TransferHop]:
+        """Every single-hop transfer the machine supports (Section II's
+        "data transfers explicitly stated in the machine description")."""
+        result: List[TransferHop] = []
+        for storage in self._machine.storage_names():
+            result.extend(self._neighbours[storage])
+        return result

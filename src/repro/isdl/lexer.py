@@ -1,0 +1,100 @@
+"""Tokenizer for the ISDL-lite machine-description language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ISDLParseError
+
+#: Token kinds.
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+_PUNCTUATION = set("{}();,.&=*$")
+
+KEYWORDS = frozenset(
+    {
+        "machine",
+        "wordsize",
+        "memory",
+        "regfile",
+        "unit",
+        "bus",
+        "constraint",
+        "never",
+        "op",
+        "size",
+        "latency",
+        "connects",
+        "datamemory",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ISDL source text into tokens.
+
+    Comments run from ``#`` or ``//`` to end of line.  Raises
+    :class:`ISDLParseError` on an unexpected character.
+    """
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#" or source.startswith("//", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            yield Token(IDENT, text, line, column)
+            column += index - start
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and source[index].isdigit():
+                index += 1
+            yield Token(NUMBER, source[start:index], line, column)
+            column += index - start
+            continue
+        if char in _PUNCTUATION:
+            yield Token(PUNCT, char, line, column)
+            index += 1
+            column += 1
+            continue
+        raise ISDLParseError(f"unexpected character {char!r}", line, column)
+    yield Token(EOF, "", line, column)

@@ -1,0 +1,124 @@
+"""Machine-description lint: structural warnings beyond hard validation.
+
+A machine can be *valid* (it parses and satisfies referential
+invariants) yet useless or surprising — a register file no bus reaches,
+a unit whose operands can never arrive, a constraint that can never
+fire.  ``lint_machine`` reports such conditions so description authors
+catch them before code generation fails at a distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isdl.databases import TransferDatabase
+from repro.isdl.model import Machine
+
+
+@dataclass(frozen=True)
+class LintWarning:
+    """One finding: a stable code plus a human-readable message."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+def lint_machine(machine: Machine) -> List[LintWarning]:
+    """Return all warnings for ``machine`` (empty list = clean)."""
+    warnings: List[LintWarning] = []
+    transfers = TransferDatabase(machine)
+    dm = machine.data_memory
+
+    connected = set()
+    for bus in machine.buses:
+        connected.update(bus.connects)
+    for regfile in machine.register_files:
+        if regfile.name not in connected:
+            warnings.append(
+                LintWarning(
+                    "isolated-regfile",
+                    f"register file {regfile.name} is on no bus; values "
+                    f"can never enter or leave it",
+                )
+            )
+    for memory in machine.memories:
+        if memory.name not in connected:
+            warnings.append(
+                LintWarning(
+                    "isolated-memory",
+                    f"memory {memory.name} is on no bus",
+                )
+            )
+
+    used_regfiles = {unit.register_file for unit in machine.units}
+    for regfile in machine.register_files:
+        if regfile.name not in used_regfiles:
+            warnings.append(
+                LintWarning(
+                    "unused-regfile",
+                    f"register file {regfile.name} backs no functional unit",
+                )
+            )
+
+    for unit in machine.units:
+        rf = unit.register_file
+        if not transfers.has_path(dm, rf):
+            warnings.append(
+                LintWarning(
+                    "unreachable-unit",
+                    f"unit {unit.name}: no transfer path from {dm} to "
+                    f"{rf}; operands can never arrive",
+                )
+            )
+        if not transfers.has_path(rf, dm):
+            warnings.append(
+                LintWarning(
+                    "writeback-impossible",
+                    f"unit {unit.name}: no transfer path from {rf} back "
+                    f"to {dm}; results can never be stored",
+                )
+            )
+        if not unit.operations:
+            warnings.append(
+                LintWarning(
+                    "empty-unit",
+                    f"unit {unit.name} declares no operations",
+                )
+            )
+        if any(rf.size < 2 for rf in [machine.rf_of_unit(unit.name)]) and any(
+            op.arity >= 2 for op in unit.operations
+        ):
+            warnings.append(
+                LintWarning(
+                    "bank-too-small",
+                    f"unit {unit.name}: {unit.register_file} has fewer "
+                    f"than 2 registers but the unit has binary operations; "
+                    f"they can never be issued",
+                )
+            )
+    mnemonic_owner = {}
+    for unit in machine.units:
+        for op in unit.operations:
+            mnemonic_owner.setdefault(op.name, []).append(unit.name)
+    for constraint in machine.constraints:
+        # A constraint whose terms all name the same functional unit can
+        # never fire: one unit issues at most one op per word.
+        unit_terms = [
+            t.resource
+            for t in constraint.terms
+            if machine.has_unit(t.resource)
+        ]
+        if len(unit_terms) == len(constraint.terms) and len(set(unit_terms)) == 1:
+            warnings.append(
+                LintWarning(
+                    "vacuous-constraint",
+                    f"constraint ({constraint}) names a single unit "
+                    f"twice; a unit issues one operation per word, so it "
+                    f"can never fire",
+                )
+            )
+    return warnings

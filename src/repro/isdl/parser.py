@@ -1,0 +1,234 @@
+"""Recursive-descent parser for the ISDL-lite language.
+
+Grammar (EBNF)::
+
+    machine     := "machine" IDENT "{" item* "}"
+    item        := wordsize | datamemory | memory | regfile | unit
+                 | bus | constraint
+    wordsize    := "wordsize" NUMBER ";"
+    datamemory  := "datamemory" IDENT ";"
+    memory      := "memory" IDENT "size" NUMBER ";"
+    regfile     := "regfile" IDENT "size" NUMBER ";"
+    unit        := "unit" IDENT "regfile" IDENT "{" opdecl* "}"
+    opdecl      := "op" IDENT ["=" semexpr] ["latency" NUMBER] ";"
+    semexpr     := IDENT "(" semarg ("," semarg)* ")" | "$" NUMBER
+    semarg      := semexpr
+    bus         := "bus" IDENT "connects" IDENT ("," IDENT)* ";"
+    constraint  := "constraint" "never" term ("&" term)+ ";"
+    term        := IDENT "." (IDENT | "*")
+
+Example::
+
+    machine arch1 {
+      wordsize 32;
+      memory DM size 1024;
+      regfile RF1 size 4;
+      unit U1 regfile RF1 { op ADD; op SUB; }
+      bus B1 connects DM, RF1;
+      constraint never U1.ADD & B1.*;
+    }
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.errors import ISDLParseError
+from repro.ir.ops import Opcode
+from repro.isdl.lexer import EOF, IDENT, NUMBER, PUNCT, Token, tokenize
+from repro.isdl.model import (
+    ArgRef,
+    Bus,
+    Constraint,
+    ConstraintTerm,
+    FunctionalUnit,
+    Machine,
+    MachineOp,
+    Memory,
+    OpExpr,
+    RegisterFile,
+    basic_semantics,
+)
+
+_OPCODE_BY_NAME = {op.name: op for op in Opcode}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind is not EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> ISDLParseError:
+        token = self._peek()
+        return ISDLParseError(
+            f"{message} (found {token})", token.line, token.column
+        )
+
+    def _expect(self, kind: str, text: str = "") -> Token:
+        token = self._peek()
+        if token.kind != kind or (text and token.text != text):
+            expected = text or kind
+            raise self._error(f"expected {expected!r}")
+        return self._advance()
+
+    def _accept(self, kind: str, text: str = "") -> bool:
+        token = self._peek()
+        if token.kind == kind and (not text or token.text == text):
+            self._advance()
+            return True
+        return False
+
+    def _ident(self) -> str:
+        return self._expect(IDENT).text
+
+    def _number(self) -> int:
+        return int(self._expect(NUMBER).text)
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_machine(self) -> Machine:
+        self._expect(IDENT, "machine")
+        name = self._ident()
+        self._expect(PUNCT, "{")
+        word_size = 32
+        data_memory = "DM"
+        memories: List[Memory] = []
+        regfiles: List[RegisterFile] = []
+        units: List[FunctionalUnit] = []
+        buses: List[Bus] = []
+        constraints: List[Constraint] = []
+        while not self._accept(PUNCT, "}"):
+            token = self._peek()
+            if token.kind is EOF:
+                raise self._error("unterminated machine block")
+            keyword = self._ident()
+            if keyword == "wordsize":
+                word_size = self._number()
+                self._expect(PUNCT, ";")
+            elif keyword == "datamemory":
+                data_memory = self._ident()
+                self._expect(PUNCT, ";")
+            elif keyword == "memory":
+                memories.append(self._parse_memory())
+            elif keyword == "regfile":
+                regfiles.append(self._parse_regfile())
+            elif keyword == "unit":
+                units.append(self._parse_unit())
+            elif keyword == "bus":
+                buses.append(self._parse_bus())
+            elif keyword == "constraint":
+                constraints.append(self._parse_constraint())
+            else:
+                raise self._error(f"unknown item {keyword!r}")
+        self._expect(EOF)
+        return Machine(
+            name=name,
+            units=tuple(units),
+            register_files=tuple(regfiles),
+            memories=tuple(memories),
+            buses=tuple(buses),
+            constraints=tuple(constraints),
+            word_size=word_size,
+            data_memory=data_memory,
+        )
+
+    def _parse_memory(self) -> Memory:
+        name = self._ident()
+        self._expect(IDENT, "size")
+        size = self._number()
+        self._expect(PUNCT, ";")
+        return Memory(name, size)
+
+    def _parse_regfile(self) -> RegisterFile:
+        name = self._ident()
+        self._expect(IDENT, "size")
+        size = self._number()
+        self._expect(PUNCT, ";")
+        return RegisterFile(name, size)
+
+    def _parse_unit(self) -> FunctionalUnit:
+        name = self._ident()
+        self._expect(IDENT, "regfile")
+        regfile = self._ident()
+        self._expect(PUNCT, "{")
+        ops: List[MachineOp] = []
+        while not self._accept(PUNCT, "}"):
+            self._expect(IDENT, "op")
+            ops.append(self._parse_op())
+        return FunctionalUnit(name, regfile, tuple(ops))
+
+    def _parse_op(self) -> MachineOp:
+        mnemonic = self._ident()
+        if self._accept(PUNCT, "="):
+            semantics = self._parse_semexpr()
+            if not isinstance(semantics, OpExpr):
+                raise self._error("op semantics must be an operation tree")
+        else:
+            opcode = _OPCODE_BY_NAME.get(mnemonic)
+            if opcode is None:
+                raise self._error(
+                    f"op {mnemonic!r} is not a basic opcode; give explicit "
+                    f"semantics with '='"
+                )
+            semantics = basic_semantics(opcode)
+        latency = 1
+        if self._accept(IDENT, "latency"):
+            latency = self._number()
+        self._expect(PUNCT, ";")
+        return MachineOp(mnemonic, semantics, latency)
+
+    def _parse_semexpr(self) -> Union[OpExpr, ArgRef]:
+        if self._accept(PUNCT, "$"):
+            return ArgRef(self._number())
+        name = self._ident()
+        opcode = _OPCODE_BY_NAME.get(name)
+        if opcode is None:
+            raise self._error(f"unknown opcode {name!r} in semantics")
+        self._expect(PUNCT, "(")
+        args: List[Union[OpExpr, ArgRef]] = []
+        if not self._accept(PUNCT, ")"):
+            args.append(self._parse_semexpr())
+            while self._accept(PUNCT, ","):
+                args.append(self._parse_semexpr())
+            self._expect(PUNCT, ")")
+        return OpExpr(opcode, tuple(args))
+
+    def _parse_bus(self) -> Bus:
+        name = self._ident()
+        self._expect(IDENT, "connects")
+        connects = [self._ident()]
+        while self._accept(PUNCT, ","):
+            connects.append(self._ident())
+        self._expect(PUNCT, ";")
+        return Bus(name, tuple(connects))
+
+    def _parse_constraint(self) -> Constraint:
+        self._expect(IDENT, "never")
+        terms = [self._parse_term()]
+        while self._accept(PUNCT, "&"):
+            terms.append(self._parse_term())
+        self._expect(PUNCT, ";")
+        return Constraint(tuple(terms))
+
+    def _parse_term(self) -> ConstraintTerm:
+        resource = self._ident()
+        self._expect(PUNCT, ".")
+        if self._accept(PUNCT, "*"):
+            return ConstraintTerm(resource, "*")
+        return ConstraintTerm(resource, self._ident())
+
+
+def parse_machine(source: str) -> Machine:
+    """Parse ISDL-lite source text into a validated :class:`Machine`."""
+    return _Parser(tokenize(source)).parse_machine()

@@ -1,0 +1,32 @@
+"""Machine-independent optimizations (the paper's front-end passes).
+
+"It also performs machine independent optimizations such as loop
+unrolling and other transformations that extract machine independent
+parallelism" (Section II).  DAG-level passes work per basic block;
+loop unrolling is an AST-level transformation.
+"""
+
+from repro.opt.rewrite import rebuild_dag
+from repro.opt.passes import (
+    constant_fold,
+    algebraic_simplify,
+    common_subexpressions,
+    dead_code_elimination,
+)
+from repro.opt.pipeline import optimize_function, optimize_block
+from repro.opt.unroll import unroll_constant_loops, unroll_loop
+from repro.opt.global_dce import eliminate_dead_stores, variable_liveness
+
+__all__ = [
+    "rebuild_dag",
+    "constant_fold",
+    "algebraic_simplify",
+    "common_subexpressions",
+    "dead_code_elimination",
+    "optimize_function",
+    "optimize_block",
+    "unroll_constant_loops",
+    "unroll_loop",
+    "eliminate_dead_stores",
+    "variable_liveness",
+]

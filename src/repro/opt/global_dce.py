@@ -1,0 +1,100 @@
+"""Function-level dead-store elimination.
+
+Within our model every assigned variable is stored to data memory at
+block end, which is safe but wasteful: an unrolled loop's induction
+variable, or a temporary recomputed by every block, may never be read
+again.  This pass computes variable liveness over the CFG (backwards
+dataflow) and drops stores whose value no later block — and no caller,
+via the ``outputs`` set — can observe.
+
+The paper's front end (SUIF) would have done this machine-independent
+cleanup before AVIV ever saw the code; here it completes the
+:mod:`repro.opt` pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.ir.cfg import Branch, Function
+from repro.opt.passes import dead_code_elimination
+
+
+def _block_io(function: Function) -> Dict[str, tuple]:
+    """Per block: (variables read before any write, variables written)."""
+    result = {}
+    for block in function:
+        reads = set(block.dag.var_symbols())
+        writes = set(block.dag.store_symbols())
+        result[block.name] = (reads, writes)
+    return result
+
+
+def variable_liveness(
+    function: Function, outputs: Optional[Iterable[str]] = None
+) -> Dict[str, Set[str]]:
+    """Live-out variable sets per block.
+
+    ``outputs`` names the variables observable after the function
+    returns; ``None`` means *all* variables are observable (the
+    conservative default used by the code generator, since our programs
+    report results through memory).
+    """
+    io = _block_io(function)
+    if outputs is None:
+        everything = set()
+        for reads, writes in io.values():
+            everything |= reads | writes
+        outputs_set = everything
+    else:
+        outputs_set = set(outputs)
+    predecessors: Dict[str, list] = {name: [] for name in function.block_names}
+    for block in function:
+        for successor in block.successors():
+            predecessors[successor].append(block.name)
+    live_in: Dict[str, Set[str]] = {name: set() for name in function.block_names}
+    live_out: Dict[str, Set[str]] = {name: set() for name in function.block_names}
+    changed = True
+    while changed:
+        changed = False
+        for block in function:
+            name = block.name
+            successors = block.successors()
+            out = set(outputs_set) if not successors else set()
+            for successor in successors:
+                out |= live_in[successor]
+            reads, writes = io[name]
+            new_in = reads | (out - writes)
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_out
+
+
+def eliminate_dead_stores(
+    function: Function, outputs: Optional[Iterable[str]] = None
+) -> int:
+    """Drop stores no later block (or output) observes; returns the
+    number of stores removed.  Runs block-level DCE afterwards so the
+    stored expressions disappear too."""
+    live_out = variable_liveness(function, outputs)
+    removed = 0
+    for block in function:
+        for symbol in list(block.dag.store_symbols()):
+            if symbol not in live_out[block.name]:
+                block.dag.remove_store(symbol)
+                removed += 1
+        if removed:
+            keep = []
+            if isinstance(block.terminator, Branch):
+                keep.append(block.terminator.condition)
+            new_dag, id_map = dead_code_elimination(block.dag, keep)
+            block.dag = new_dag
+            if isinstance(block.terminator, Branch):
+                old = block.terminator
+                block.terminator = Branch(
+                    id_map[old.condition], old.if_true, old.if_false
+                )
+    function.validate()
+    return removed

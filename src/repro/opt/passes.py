@@ -1,0 +1,133 @@
+"""Block-level optimization passes.
+
+Each pass is a function ``(dag, keep_values) -> (new_dag, id_map)`` so
+the pipeline can chase branch-condition ids across rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.errors import IRError
+from repro.ir.arith import apply_operation
+from repro.ir.dag import BlockDAG, DAGNode
+from repro.ir.ops import Opcode, is_commutative
+from repro.opt.rewrite import identity_transform, rebuild_dag
+
+
+def constant_fold(
+    dag: BlockDAG, keep_values: Iterable[int] = ()
+) -> Tuple[BlockDAG, Dict[int, int]]:
+    """Evaluate operations whose operands are all constants.
+
+    Operations that would trap at runtime (division by zero) are left in
+    place.
+    """
+
+    def transform(new_dag: BlockDAG, node: DAGNode, operands):
+        if node.opcode not in (Opcode.CONST, Opcode.VAR):
+            operand_nodes = [new_dag.node(o) for o in operands]
+            if all(n.opcode is Opcode.CONST for n in operand_nodes):
+                try:
+                    value = apply_operation(
+                        node.opcode, *(n.value for n in operand_nodes)
+                    )
+                except IRError:
+                    pass
+                else:
+                    return new_dag.const(value)
+        return identity_transform(new_dag, node, operands)
+
+    return rebuild_dag(dag, transform, keep_values)
+
+
+def algebraic_simplify(
+    dag: BlockDAG, keep_values: Iterable[int] = ()
+) -> Tuple[BlockDAG, Dict[int, int]]:
+    """Strength-neutral identities: x+0, x*1, x*0, x-x, x^x, x&x, x|x,
+    x<<0, x>>0, x/1, and double negation."""
+
+    def transform(new_dag: BlockDAG, node: DAGNode, operands):
+        opcode = node.opcode
+        if len(operands) == 2:
+            left, right = operands
+            left_node = new_dag.node(left)
+            right_node = new_dag.node(right)
+            left_const = (
+                left_node.value if left_node.opcode is Opcode.CONST else None
+            )
+            right_const = (
+                right_node.value if right_node.opcode is Opcode.CONST else None
+            )
+            if opcode is Opcode.ADD:
+                if right_const == 0:
+                    return left
+                if left_const == 0:
+                    return right
+            elif opcode is Opcode.SUB:
+                if right_const == 0:
+                    return left
+                if left == right:
+                    return new_dag.const(0)
+            elif opcode is Opcode.MUL:
+                if right_const == 1:
+                    return left
+                if left_const == 1:
+                    return right
+                if right_const == 0 or left_const == 0:
+                    return new_dag.const(0)
+            elif opcode is Opcode.DIV:
+                if right_const == 1:
+                    return left
+            elif opcode is Opcode.XOR:
+                if left == right:
+                    return new_dag.const(0)
+                if right_const == 0:
+                    return left
+                if left_const == 0:
+                    return right
+            elif opcode in (Opcode.AND, Opcode.OR):
+                if left == right:
+                    return left
+            elif opcode in (Opcode.SHL, Opcode.SHR):
+                if right_const == 0:
+                    return left
+            elif opcode in (Opcode.MIN, Opcode.MAX):
+                if left == right:
+                    return left
+        elif len(operands) == 1:
+            inner = new_dag.node(operands[0])
+            if opcode is Opcode.NEG and inner.opcode is Opcode.NEG:
+                return inner.operands[0]
+            if opcode is Opcode.NOT and inner.opcode is Opcode.NOT:
+                return inner.operands[0]
+            if opcode is Opcode.ABS and inner.opcode is Opcode.ABS:
+                return operands[0]
+        return identity_transform(new_dag, node, operands)
+
+    return rebuild_dag(dag, transform, keep_values)
+
+
+def common_subexpressions(
+    dag: BlockDAG, keep_values: Iterable[int] = ()
+) -> Tuple[BlockDAG, Dict[int, int]]:
+    """Canonicalise commutative operand order, then intern.
+
+    Hash-consing already shares syntactically identical expressions; this
+    pass additionally merges ``a+b`` with ``b+a`` by sorting the operand
+    ids of commutative operations.
+    """
+
+    def transform(new_dag: BlockDAG, node: DAGNode, operands):
+        if is_commutative(node.opcode) and len(operands) == 2:
+            operands = tuple(sorted(operands))
+        return identity_transform(new_dag, node, operands)
+
+    return rebuild_dag(dag, transform, keep_values)
+
+
+def dead_code_elimination(
+    dag: BlockDAG, keep_values: Iterable[int] = ()
+) -> Tuple[BlockDAG, Dict[int, int]]:
+    """Drop everything not reachable from a store or kept value."""
+    return rebuild_dag(dag, identity_transform, keep_values)

@@ -1,0 +1,70 @@
+"""The machine-independent pass pipeline."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.ir.cfg import BasicBlock, Branch, Function
+from repro.ir.dag import BlockDAG
+from repro.opt.passes import (
+    algebraic_simplify,
+    common_subexpressions,
+    constant_fold,
+    dead_code_elimination,
+)
+
+#: The default pass order, iterated to a fixpoint per block.
+DEFAULT_PASSES = (
+    constant_fold,
+    algebraic_simplify,
+    common_subexpressions,
+    dead_code_elimination,
+)
+
+
+def _dag_signature(dag: BlockDAG) -> Tuple:
+    return tuple(
+        (n.node_id, n.opcode, n.operands, n.symbol, n.value) for n in dag
+    )
+
+
+def optimize_block(
+    block: BasicBlock,
+    passes: Optional[Iterable[Callable]] = None,
+    max_rounds: int = 8,
+) -> int:
+    """Run the pipeline on one block until nothing changes.
+
+    Rewrites the block's DAG in place (and re-anchors a branch condition
+    through each rewrite's id map).  Returns the number of rounds run.
+    """
+    passes = tuple(passes) if passes is not None else DEFAULT_PASSES
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        before = _dag_signature(block.dag)
+        for pass_fn in passes:
+            keep: List[int] = []
+            if isinstance(block.terminator, Branch):
+                keep.append(block.terminator.condition)
+            new_dag, id_map = pass_fn(block.dag, keep)
+            block.dag = new_dag
+            if isinstance(block.terminator, Branch):
+                old = block.terminator
+                block.terminator = Branch(
+                    id_map[old.condition], old.if_true, old.if_false
+                )
+        if _dag_signature(block.dag) == before:
+            break
+    return rounds
+
+
+def optimize_function(
+    function: Function,
+    passes: Optional[Iterable[Callable]] = None,
+) -> Dict[str, int]:
+    """Optimize every block; returns block name → rounds run."""
+    rounds = {}
+    for block in function:
+        rounds[block.name] = optimize_block(block, passes)
+    function.validate()
+    return rounds

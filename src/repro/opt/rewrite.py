@@ -1,0 +1,72 @@
+"""The DAG-rewriting engine all block-level passes are built on.
+
+:func:`rebuild_dag` reconstructs a :class:`BlockDAG` bottom-up from its
+roots (stores plus any explicitly kept values, e.g. a branch condition).
+A pass supplies a *transform* invoked once per reachable node with the
+already-rewritten operand ids; whatever node id the transform returns
+replaces the original.  Nodes not reachable from a root simply never get
+rebuilt — dead-code elimination is inherent — and hash-consing in the
+new DAG re-runs common-subexpression elimination over the pass output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.ir.dag import BlockDAG, DAGNode
+from repro.ir.ops import Opcode
+
+#: transform(new_dag, old_node, new_operand_ids) -> new node id
+Transform = Callable[[BlockDAG, DAGNode, Tuple[int, ...]], int]
+
+
+def identity_transform(
+    new_dag: BlockDAG, node: DAGNode, operands: Tuple[int, ...]
+) -> int:
+    """Rebuild the node unchanged (still folds CSE + DCE)."""
+    if node.opcode is Opcode.CONST:
+        return new_dag.const(node.value)
+    if node.opcode is Opcode.VAR:
+        return new_dag.var(node.symbol)
+    return new_dag.operation(node.opcode, operands)
+
+
+def rebuild_dag(
+    dag: BlockDAG,
+    transform: Optional[Transform] = None,
+    keep_values: Iterable[int] = (),
+) -> Tuple[BlockDAG, Dict[int, int]]:
+    """Rebuild ``dag`` through ``transform``.
+
+    Args:
+        dag: the DAG to rewrite.
+        transform: per-node rewriter (default: identity).
+        keep_values: extra non-store roots that must survive (branch
+            conditions).
+
+    Returns:
+        ``(new_dag, id_map)`` where ``id_map`` maps every rebuilt old
+        node id to its replacement in the new DAG.
+    """
+    transform = transform or identity_transform
+    new_dag = BlockDAG()
+    id_map: Dict[int, int] = {}
+
+    def rebuild(node_id: int) -> int:
+        if node_id in id_map:
+            return id_map[node_id]
+        node = dag.node(node_id)
+        operands = tuple(rebuild(o) for o in node.operands)
+        if node.opcode is Opcode.STORE:
+            raise AssertionError("stores are rebuilt at the top level only")
+        new_id = transform(new_dag, node, operands)
+        id_map[node_id] = new_id
+        return new_id
+
+    for store_id in dag.stores:
+        store = dag.node(store_id)
+        value = rebuild(store.operands[0])
+        id_map[store_id] = new_dag.store(store.symbol, value)
+    for kept in keep_values:
+        rebuild(kept)
+    return new_dag, id_map

@@ -1,0 +1,194 @@
+"""Loop unrolling (paper, Section II: "machine independent
+optimizations such as loop unrolling ... that extract machine
+independent parallelism").
+
+Unrolling happens at the AST level.  Full unrolling replaces a
+constant-trip ``for`` loop with ``init`` followed by ``trip`` copies of
+``body; step`` — the lowering pass's per-block constant propagation then
+resolves the induction variable (and with it, array indices) in every
+copy.  Partial unrolling by a factor replicates the body inside a
+still-iterating loop; the paper's Examples 3–5 are "basic blocks of
+loops that have been unrolled twice".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.frontend import ast
+
+_COMPARE = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "!=": lambda a, b: a != b,
+}
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+}
+
+
+def _eval_with(expr: ast.Expr, ident: str, value: int) -> Optional[int]:
+    """Evaluate ``expr`` given only ``ident = value``; None if unknown."""
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return value if expr.ident == ident else None
+    if isinstance(expr, ast.Binary) and expr.op in _ARITH:
+        left = _eval_with(expr.left, ident, value)
+        right = _eval_with(expr.right, ident, value)
+        if left is None or right is None:
+            return None
+        return _ARITH[expr.op](left, right)
+    return None
+
+
+def trip_count(loop: ast.For, max_trip: int = 1024) -> Optional[int]:
+    """Number of iterations of a ``for`` loop, when statically known.
+
+    Requires: ``init`` assigns a constant to a scalar induction variable,
+    ``cond`` compares the variable against a constant with a supported
+    relation, ``step`` re-assigns the variable an expression over itself
+    and constants, and the loop terminates within ``max_trip``
+    iterations.  Returns ``None`` otherwise.
+    """
+    if not isinstance(loop.init.target, ast.Name):
+        return None
+    variable = loop.init.target.ident
+    if not isinstance(loop.init.expr, ast.Num):
+        return None
+    if not (
+        isinstance(loop.cond, ast.Binary) and loop.cond.op in _COMPARE
+    ):
+        return None
+    if not (
+        isinstance(loop.cond.left, ast.Name)
+        and loop.cond.left.ident == variable
+        and isinstance(loop.cond.right, ast.Num)
+    ):
+        return None
+    if not (
+        isinstance(loop.step.target, ast.Name)
+        and loop.step.target.ident == variable
+    ):
+        return None
+    bound = loop.cond.right.value
+    compare = _COMPARE[loop.cond.op]
+    current = loop.init.expr.value
+    trips = 0
+    while compare(current, bound):
+        trips += 1
+        if trips > max_trip:
+            return None
+        next_value = _eval_with(loop.step.expr, variable, current)
+        if next_value is None or next_value == current:
+            return None
+        current = next_value
+    return trips
+
+
+def _body_is_unrollable(statements: Tuple[ast.Stmt, ...]) -> bool:
+    """Full unrolling keeps the induction variable constant only while
+    the body stays straight-line after its own loops unroll."""
+    for statement in statements:
+        if isinstance(statement, ast.Assign):
+            continue
+        if isinstance(statement, ast.For):
+            if not _body_is_unrollable(statement.body):
+                return False
+            continue
+        return False
+    return True
+
+
+def unroll_loop(loop: ast.For, factor: int) -> ast.For:
+    """Unroll ``loop`` by ``factor`` (the paper's "unrolled twice" = 2).
+
+    The trip count must be statically known and divisible by the factor.
+    Raises :class:`SemanticError` otherwise.
+    """
+    if factor < 2:
+        raise SemanticError(f"unroll factor must be >= 2, got {factor}")
+    trips = trip_count(loop)
+    if trips is None:
+        raise SemanticError("cannot unroll: trip count is not static")
+    if trips % factor != 0:
+        raise SemanticError(
+            f"cannot unroll by {factor}: trip count {trips} is not divisible"
+        )
+    replicated: list = []
+    for copy in range(factor):
+        replicated.extend(loop.body)
+        if copy != factor - 1:
+            replicated.append(loop.step)
+    return ast.For(loop.init, loop.cond, loop.step, tuple(replicated))
+
+
+def _fully_unroll(loop: ast.For, max_trip: int) -> Optional[Tuple[ast.Stmt, ...]]:
+    trips = trip_count(loop, max_trip)
+    if trips is None or not _body_is_unrollable(loop.body):
+        return None
+    statements: list = [loop.init]
+    for _ in range(trips):
+        body = _unroll_statements(loop.body, max_trip)
+        statements.extend(body)
+        statements.append(loop.step)
+    return tuple(statements)
+
+
+def _unroll_statements(
+    statements: Tuple[ast.Stmt, ...], max_trip: int
+) -> Tuple[ast.Stmt, ...]:
+    result: list = []
+    for statement in statements:
+        if isinstance(statement, ast.For):
+            if statement.unroll is not None:
+                # An explicit "#pragma unroll N": replicate the body N
+                # times but keep the loop (the paper's Ex3-5 provenance:
+                # "basic blocks of loops that have been unrolled twice").
+                partially = unroll_loop(statement, statement.unroll)
+                result.append(
+                    ast.For(
+                        partially.init,
+                        partially.cond,
+                        partially.step,
+                        _unroll_statements(partially.body, max_trip),
+                    )
+                )
+                continue
+            unrolled = _fully_unroll(statement, max_trip)
+            if unrolled is not None:
+                result.extend(unrolled)
+                continue
+            statement = ast.For(
+                statement.init,
+                statement.cond,
+                statement.step,
+                _unroll_statements(statement.body, max_trip),
+            )
+        elif isinstance(statement, ast.If):
+            statement = ast.If(
+                statement.cond,
+                _unroll_statements(statement.then, max_trip),
+                _unroll_statements(statement.orelse, max_trip),
+            )
+        elif isinstance(statement, ast.While):
+            statement = ast.While(
+                statement.cond,
+                _unroll_statements(statement.body, max_trip),
+            )
+        result.append(statement)
+    return tuple(result)
+
+
+def unroll_constant_loops(
+    program: ast.Program, max_trip: int = 128
+) -> ast.Program:
+    """Fully unroll every constant-trip ``for`` loop (up to ``max_trip``
+    iterations); other control flow is preserved."""
+    return ast.Program(_unroll_statements(program.statements, max_trip))

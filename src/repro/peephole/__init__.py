@@ -1,0 +1,12 @@
+"""Peephole optimization (paper, Section IV-G).
+
+"If, after performing detailed register allocation, it is determined
+that a particular load or spill is not needed, peephole optimization
+will be performed ... It will remove the unnecessary loads and spills
+and try to compact the schedule by moving other operations into the
+empty slots if the dependency constraints allow it."
+"""
+
+from repro.peephole.optimizer import PeepholeReport, peephole_optimize, compact_schedule
+
+__all__ = ["PeepholeReport", "peephole_optimize", "compact_schedule"]

@@ -1,0 +1,23 @@
+"""Detailed register allocation (paper, Section IV-F).
+
+"We perform detailed register allocation using conventional graph
+coloring algorithms.  We are guaranteed to be able to color each
+register bank graph using the given number of registers because we have
+analyzed the variable lifetimes in the instruction selection and
+scheduling step."
+"""
+
+from repro.regalloc.liveness import LiveRange, compute_live_ranges
+from repro.regalloc.interference import InterferenceGraph, build_interference_graphs
+from repro.regalloc.coloring import color_graph
+from repro.regalloc.allocator import RegisterAssignment, allocate_registers
+
+__all__ = [
+    "LiveRange",
+    "compute_live_ranges",
+    "InterferenceGraph",
+    "build_interference_graphs",
+    "color_graph",
+    "RegisterAssignment",
+    "allocate_registers",
+]

@@ -1,0 +1,21 @@
+"""Instruction-level VLIW simulator (the Fig. 1 framework's simulator).
+
+Executes :class:`repro.asmgen.instruction.Program` objects cycle by
+cycle on a :class:`MachineState`; used as the end-to-end correctness
+oracle against the IR interpreter.
+"""
+
+from repro.simulator.state import MachineState
+from repro.simulator.executor import SimulationResult, run_program, execute_instruction
+from repro.simulator.debug import Debugger
+from repro.simulator.stats import ExecutionStats, profile_run
+
+__all__ = [
+    "MachineState",
+    "SimulationResult",
+    "run_program",
+    "execute_instruction",
+    "Debugger",
+    "ExecutionStats",
+    "profile_run",
+]

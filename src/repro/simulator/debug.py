@@ -1,0 +1,151 @@
+"""An interactive-style stepping debugger over the simulator.
+
+Wraps the executor with breakpoints (labels or addresses), single-step
+and run-to-break control, and register/memory inspection — the kind of
+harness an ASIP designer uses to examine generated code cycle by cycle.
+
+    debugger = Debugger(program, machine, initial={"x": 5})
+    debugger.add_breakpoint("loop")
+    debugger.run()                   # stops at 'loop' (or halt)
+    debugger.registers("RF1")        # -> [.., ..]
+    debugger.step()                  # one instruction
+    debugger.variable("acc")         # read data memory by symbol
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.isdl.model import Machine
+from repro.asmgen.instruction import Program
+from repro.simulator.executor import execute_instruction
+from repro.simulator.state import MachineState
+
+
+class Debugger:
+    """Step-wise execution of a program with breakpoints."""
+
+    def __init__(
+        self,
+        program: Program,
+        machine: Machine,
+        initial: Optional[Dict[str, int]] = None,
+    ):
+        if program.machine_name != machine.name:
+            raise SimulationError(
+                f"program targets {program.machine_name!r}, "
+                f"machine is {machine.name!r}"
+            )
+        self.program = program
+        self.machine = machine
+        self.state = MachineState(machine)
+        self.state.load_data(program.data)
+        for name, value in (initial or {}).items():
+            if name in program.symbols:
+                self.state.write_memory(
+                    machine.data_memory, program.symbols[name], value
+                )
+        self._breakpoints: Set[int] = set()
+        self._write_queue: List[Tuple[int, object, int]] = []
+        self.history: List[str] = []
+
+    # -- breakpoints -------------------------------------------------------
+
+    def add_breakpoint(self, where) -> int:
+        """Set a breakpoint at a label name or instruction address;
+        returns the resolved address."""
+        address = self._resolve(where)
+        self._breakpoints.add(address)
+        return address
+
+    def clear_breakpoint(self, where) -> None:
+        """Remove a breakpoint set at a label or address."""
+        self._breakpoints.discard(self._resolve(where))
+
+    def _resolve(self, where) -> int:
+        if isinstance(where, int):
+            if not 0 <= where <= len(self.program.instructions):
+                raise SimulationError(f"address {where} out of range")
+            return where
+        if where in self.program.labels:
+            return self.program.labels[where]
+        raise SimulationError(f"unknown label {where!r}")
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """True once the program halted or ran off the end."""
+        return self.state.halted or self.state.pc >= len(
+            self.program.instructions
+        )
+
+    def step(self) -> bool:
+        """Execute one instruction; returns False when finished."""
+        if self.finished:
+            return False
+        if self._write_queue:
+            due = [w for w in self._write_queue if w[0] <= self.state.cycle]
+            for _cycle, destination, value in due:
+                self.state.write(destination, value)
+            self._write_queue = [
+                w for w in self._write_queue if w[0] > self.state.cycle
+            ]
+        instruction = self.program.instructions[self.state.pc]
+        self.history.append(
+            f"{self.state.cycle:5d} @{self.state.pc:4d}: {instruction}"
+        )
+        self.state.pc = execute_instruction(
+            instruction, self.state, self.program.labels, self._write_queue
+        )
+        self.state.cycle += 1
+        return not self.finished
+
+    def run(self, max_cycles: int = 1_000_000) -> str:
+        """Run until a breakpoint, halt, or the cycle budget.
+
+        Returns ``"breakpoint"``, ``"halted"``, or raises on livelock.
+        """
+        start = self.state.cycle
+        while not self.finished:
+            if self.state.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"exceeded {max_cycles} cycles without halting"
+                )
+            self.step()
+            if self.state.pc in self._breakpoints and not self.finished:
+                return "breakpoint"
+        for _cycle, destination, value in self._write_queue:
+            self.state.write(destination, value)
+        self._write_queue = []
+        return "halted"
+
+    # -- inspection ----------------------------------------------------------
+
+    def registers(self, register_file: str) -> List[int]:
+        """Snapshot of one register file."""
+        size = self.machine.register_file(register_file).size
+        return [
+            self.state.read_register(register_file, i) for i in range(size)
+        ]
+
+    def variable(self, name: str) -> int:
+        """Read a data-memory variable by symbol name."""
+        if name not in self.program.symbols:
+            raise SimulationError(f"no symbol {name!r}")
+        return self.state.read_memory(
+            self.machine.data_memory, self.program.symbols[name]
+        )
+
+    def where(self) -> str:
+        """Human-readable position: nearest label plus offset."""
+        best_label, best_address = None, -1
+        for label, address in self.program.labels.items():
+            if best_address < address <= self.state.pc:
+                best_label, best_address = label, address
+        if best_label is None:
+            return f"@{self.state.pc}"
+        offset = self.state.pc - best_address
+        suffix = f"+{offset}" if offset else ""
+        return f"{best_label}{suffix} (@{self.state.pc})"

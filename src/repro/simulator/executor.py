@@ -1,0 +1,196 @@
+"""Cycle-level execution of VLIW programs.
+
+Within one instruction, every slot reads its sources before any slot's
+result is written (read-before-write semantics), which is what allows a
+register freed by its last reader to be refilled in the same cycle — the
+covering engine's pressure model and the register allocator's half-open
+live ranges both rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.isdl.model import Machine
+from repro.asmgen.instruction import (
+    ControlKind,
+    Instruction,
+    Program,
+)
+from repro.simulator.state import MachineState
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of running a program."""
+
+    cycles: int
+    state: MachineState
+    variables: Dict[str, int] = field(default_factory=dict)
+    trace: List[str] = field(default_factory=list)
+
+
+def execute_instruction(
+    instruction: Instruction,
+    state: MachineState,
+    labels: Optional[Dict[str, int]] = None,
+    write_queue: Optional[List[Tuple[int, object, int]]] = None,
+) -> int:
+    """Execute one instruction; returns the next program counter.
+
+    With ``write_queue`` supplied, results of multi-cycle operations are
+    appended as ``(due_cycle, destination, value)`` instead of being
+    written immediately; the caller applies them when due (see
+    :func:`run_program`).  Without a queue every write lands at the end
+    of the cycle (the single-cycle machines of the paper).
+    """
+    machine = state.machine
+    labels = labels or {}
+    # Read phase: gather every source value and check slot legality.
+    units_used = set()
+    op_inputs: List[Tuple[int, ...]] = []
+    for op_slot in instruction.ops:
+        if op_slot.unit in units_used:
+            raise SimulationError(f"unit {op_slot.unit} used twice in one word")
+        units_used.add(op_slot.unit)
+        unit = machine.unit(op_slot.unit)
+        if op_slot.destination.register_file != unit.register_file:
+            raise SimulationError(
+                f"{op_slot}: destination not in {unit.register_file}"
+            )
+        for source in op_slot.sources:
+            if source.register_file != unit.register_file:
+                raise SimulationError(
+                    f"{op_slot}: operand {source} not in the unit's "
+                    f"register file {unit.register_file}"
+                )
+        op_inputs.append(tuple(state.read(s) for s in op_slot.sources))
+    buses_used = set()
+    transfer_values: List[int] = []
+    for transfer in instruction.transfers:
+        if transfer.bus in buses_used:
+            raise SimulationError(f"bus {transfer.bus} used twice in one word")
+        buses_used.add(transfer.bus)
+        bus = machine.bus(transfer.bus)
+        for endpoint in (transfer.source, transfer.destination):
+            storage = getattr(endpoint, "register_file", None) or getattr(
+                endpoint, "memory"
+            )
+            if storage not in bus.connects:
+                raise SimulationError(
+                    f"{transfer}: {storage} is not connected to {bus.name}"
+                )
+        transfer_values.append(state.read(transfer.source))
+    condition_value = None
+    control = instruction.control
+    if control is not None and control.condition is not None:
+        condition_value = state.read(control.condition)
+
+    # Compute phase.
+    op_results: List[int] = []
+    for op_slot, inputs in zip(instruction.ops, op_inputs):
+        machine_op = machine.unit(op_slot.unit).op_named(op_slot.op_name)
+        if machine_op is None:
+            raise SimulationError(
+                f"unit {op_slot.unit} has no operation {op_slot.op_name!r}"
+            )
+        if len(inputs) != machine_op.arity:
+            raise SimulationError(
+                f"{op_slot}: expected {machine_op.arity} operands, "
+                f"got {len(inputs)}"
+            )
+        op_results.append(machine_op.semantics.evaluate(inputs))
+
+    # Write phase.
+    for op_slot, result in zip(instruction.ops, op_results):
+        machine_op = machine.unit(op_slot.unit).op_named(op_slot.op_name)
+        if write_queue is not None and machine_op.latency > 1:
+            write_queue.append(
+                (state.cycle + machine_op.latency, op_slot.destination, result)
+            )
+        else:
+            state.write(op_slot.destination, result)
+    for transfer, value in zip(instruction.transfers, transfer_values):
+        state.write(transfer.destination, value)
+
+    # Control phase.
+    next_pc = state.pc + 1
+    if control is not None:
+        if control.kind is ControlKind.HALT:
+            state.halted = True
+        elif control.kind is ControlKind.JMP:
+            next_pc = _resolve(labels, control.target)
+        elif control.kind is ControlKind.BNZ:
+            if condition_value != 0:
+                next_pc = _resolve(labels, control.target)
+        elif control.kind is ControlKind.BEZ:
+            if condition_value == 0:
+                next_pc = _resolve(labels, control.target)
+    return next_pc
+
+
+def _resolve(labels: Dict[str, int], target: Optional[str]) -> int:
+    if target is None or target not in labels:
+        raise SimulationError(f"undefined branch target {target!r}")
+    return labels[target]
+
+
+def run_program(
+    program: Program,
+    machine: Machine,
+    initial: Optional[Dict[str, int]] = None,
+    max_cycles: int = 1_000_000,
+    trace: bool = False,
+) -> SimulationResult:
+    """Run ``program`` to completion on a fresh machine state.
+
+    ``initial`` sets named variables in data memory before execution
+    (addresses come from the program's symbol table).  The result maps
+    every symbol back to its final value.
+    """
+    if program.machine_name != machine.name:
+        raise SimulationError(
+            f"program was compiled for {program.machine_name!r}, "
+            f"not {machine.name!r}"
+        )
+    state = MachineState(machine)
+    state.load_data(program.data)
+    for name, value in (initial or {}).items():
+        if name not in program.symbols:
+            continue  # variable unused by the program
+        state.write_memory(
+            machine.data_memory, program.symbols[name], value
+        )
+    result = SimulationResult(cycles=0, state=state)
+    write_queue: List[Tuple[int, object, int]] = []
+    while not state.halted:
+        if state.pc >= len(program.instructions):
+            break  # fell off the end: implicit halt
+        if state.cycle >= max_cycles:
+            raise SimulationError(
+                f"exceeded {max_cycles} cycles; assuming livelock"
+            )
+        # Multi-cycle results land at the start of their due cycle,
+        # before this cycle's reads.
+        if write_queue:
+            due = [w for w in write_queue if w[0] <= state.cycle]
+            for _due_cycle, destination, value in due:
+                state.write(destination, value)
+            write_queue = [w for w in write_queue if w[0] > state.cycle]
+        instruction = program.instructions[state.pc]
+        if trace:
+            result.trace.append(f"{state.cycle:5d} @{state.pc:4d}: {instruction}")
+        state.pc = execute_instruction(
+            instruction, state, program.labels, write_queue
+        )
+        state.cycle += 1
+    for _due_cycle, destination, value in write_queue:
+        state.write(destination, value)  # drain in-flight results
+    result.cycles = state.cycle
+    result.variables = {
+        name: state.read_memory(machine.data_memory, address)
+        for name, address in program.symbols.items()
+    }
+    return result

@@ -1,0 +1,94 @@
+"""Architectural state of a simulated machine."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.ir.arith import wrap
+from repro.isdl.model import Machine
+from repro.asmgen.instruction import Location, MemRef, RegRef
+
+
+class MachineState:
+    """Register files, memories, and the program counter."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.registers: Dict[str, List[int]] = {
+            rf.name: [0] * rf.size for rf in machine.register_files
+        }
+        self.memories: Dict[str, List[int]] = {
+            m.name: [0] * m.size for m in machine.memories
+        }
+        self.pc = 0
+        self.cycle = 0
+        self.halted = False
+
+    # -- typed accessors ---------------------------------------------------
+
+    def read(self, location: Location) -> int:
+        """Read a register or memory location."""
+        if isinstance(location, RegRef):
+            return self.read_register(location.register_file, location.index)
+        return self.read_memory(location.memory, location.address)
+
+    def write(self, location: Location, value: int) -> None:
+        """Write a register or memory location (word-wrapped)."""
+        if isinstance(location, RegRef):
+            self.write_register(location.register_file, location.index, value)
+        else:
+            self.write_memory(location.memory, location.address, value)
+
+    def read_register(self, register_file: str, index: int) -> int:
+        """Read one register by file name and index."""
+        bank = self._bank(register_file)
+        self._check_index(register_file, index, len(bank))
+        return bank[index]
+
+    def write_register(self, register_file: str, index: int, value: int) -> None:
+        """Write one register (value wrapped to a word)."""
+        bank = self._bank(register_file)
+        self._check_index(register_file, index, len(bank))
+        bank[index] = wrap(value)
+
+    def read_memory(self, memory: str, address: int) -> int:
+        """Read one memory word by address."""
+        cells = self._memory(memory)
+        self._check_index(memory, address, len(cells))
+        return cells[address]
+
+    def write_memory(self, memory: str, address: int, value: int) -> None:
+        """Write one memory word (value wrapped)."""
+        cells = self._memory(memory)
+        self._check_index(memory, address, len(cells))
+        cells[address] = wrap(value)
+
+    def _bank(self, register_file: str) -> List[int]:
+        try:
+            return self.registers[register_file]
+        except KeyError:
+            raise SimulationError(
+                f"no register file {register_file!r} on {self.machine.name}"
+            ) from None
+
+    def _memory(self, memory: str) -> List[int]:
+        try:
+            return self.memories[memory]
+        except KeyError:
+            raise SimulationError(
+                f"no memory {memory!r} on {self.machine.name}"
+            ) from None
+
+    @staticmethod
+    def _check_index(name: str, index: int, size: int) -> None:
+        if not 0 <= index < size:
+            raise SimulationError(
+                f"{name}: index {index} out of range [0, {size})"
+            )
+
+    def load_data(self, data: Dict[int, int], memory: Optional[str] = None) -> None:
+        """Initialise memory contents (constant pool, variables)."""
+        memory = memory or self.machine.data_memory
+        for address, value in data.items():
+            self.write_memory(memory, address, value)

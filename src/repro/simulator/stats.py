@@ -1,0 +1,135 @@
+"""Dynamic execution statistics.
+
+Counts, over a simulated run, how often each functional unit issued an
+operation, each bus carried a transfer, and each memory was read or
+written — the activity numbers an ASIP designer feeds into area/power
+estimation when exploring architectures (the co-design loop of the
+paper's introduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isdl.model import Machine
+from repro.asmgen.instruction import Instruction, MemRef, Program, RegRef
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregated activity counts for one run."""
+
+    cycles: int = 0
+    instructions_executed: int = 0
+    nops: int = 0
+    unit_ops: Dict[str, int] = field(default_factory=dict)
+    op_frequency: Dict[str, int] = field(default_factory=dict)
+    bus_transfers: Dict[str, int] = field(default_factory=dict)
+    memory_reads: Dict[str, int] = field(default_factory=dict)
+    memory_writes: Dict[str, int] = field(default_factory=dict)
+    control_events: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, instruction: Instruction) -> None:
+        """Accumulate one executed instruction's activity."""
+        self.instructions_executed += 1
+        if instruction.is_empty():
+            self.nops += 1
+        for op_slot in instruction.ops:
+            self.unit_ops[op_slot.unit] = (
+                self.unit_ops.get(op_slot.unit, 0) + 1
+            )
+            mnemonic = f"{op_slot.unit}.{op_slot.op_name}"
+            self.op_frequency[mnemonic] = (
+                self.op_frequency.get(mnemonic, 0) + 1
+            )
+        for transfer in instruction.transfers:
+            self.bus_transfers[transfer.bus] = (
+                self.bus_transfers.get(transfer.bus, 0) + 1
+            )
+            if isinstance(transfer.source, MemRef):
+                memory = transfer.source.memory
+                self.memory_reads[memory] = (
+                    self.memory_reads.get(memory, 0) + 1
+                )
+            if isinstance(transfer.destination, MemRef):
+                memory = transfer.destination.memory
+                self.memory_writes[memory] = (
+                    self.memory_writes.get(memory, 0) + 1
+                )
+        if instruction.control is not None:
+            kind = instruction.control.kind.value
+            self.control_events[kind] = (
+                self.control_events.get(kind, 0) + 1
+            )
+
+    def slot_utilization(self, machine: Machine) -> Dict[str, float]:
+        """Busy fraction per unit and bus over the executed cycles."""
+        cycles = max(1, self.instructions_executed)
+        utilization: Dict[str, float] = {}
+        for unit in machine.unit_names():
+            utilization[unit] = self.unit_ops.get(unit, 0) / cycles
+        for bus in machine.bus_names():
+            utilization[bus] = self.bus_transfers.get(bus, 0) / cycles
+        return utilization
+
+    def describe(self, machine: Optional[Machine] = None) -> str:
+        """Readable multi-line activity report."""
+        lines = [
+            f"executed {self.instructions_executed} instructions "
+            f"({self.nops} NOPs)"
+        ]
+        for unit, count in sorted(self.unit_ops.items()):
+            lines.append(f"  unit {unit}: {count} ops")
+        for bus, count in sorted(self.bus_transfers.items()):
+            lines.append(f"  bus {bus}: {count} transfers")
+        for memory in sorted(
+            set(self.memory_reads) | set(self.memory_writes)
+        ):
+            lines.append(
+                f"  memory {memory}: {self.memory_reads.get(memory, 0)} "
+                f"reads, {self.memory_writes.get(memory, 0)} writes"
+            )
+        for kind, count in sorted(self.control_events.items()):
+            lines.append(f"  control {kind}: {count}")
+        if machine is not None:
+            busiest = max(
+                self.slot_utilization(machine).items(),
+                key=lambda kv: kv[1],
+                default=(None, 0.0),
+            )
+            if busiest[0] is not None:
+                lines.append(
+                    f"  bottleneck: {busiest[0]} at "
+                    f"{100 * busiest[1]:.0f}% occupancy"
+                )
+        return "\n".join(lines)
+
+
+def profile_run(
+    program: Program,
+    machine: Machine,
+    initial: Optional[Dict[str, int]] = None,
+    max_cycles: int = 1_000_000,
+) -> ExecutionStats:
+    """Run ``program`` and return its execution statistics.
+
+    A thin wrapper over the simulator that records per-instruction
+    activity (the result's variable values are discarded; use
+    :func:`repro.simulator.run_program` when you need them too).
+    """
+    from repro.simulator.executor import run_program
+
+    stats = ExecutionStats()
+    result = run_program(
+        program, machine, initial, max_cycles=max_cycles, trace=True
+    )
+    stats.cycles = result.cycles
+    # Replay the trace's pc values against the program to recount the
+    # actually executed instructions (the trace format is
+    # "cycle @pc: text"; we re-read the pc field).
+    for line in result.trace:
+        at = line.index("@")
+        pc = int(line[at + 1 : line.index(":", at)])
+        stats.record(program.instructions[pc])
+    return stats

@@ -1,0 +1,25 @@
+"""The Split-Node DAG (paper, Section III).
+
+The Split-Node DAG makes every implementation choice explicit: each
+operation of a basic-block DAG becomes a *split node* whose children are
+*alternative* nodes — one per (functional unit, machine op) that can
+execute it, including complex-instruction matches — and *data transfer
+nodes* appear on every inter-unit / memory path a value might take.
+"""
+
+from repro.sndag.nodes import SNKind, SNNode, Alternative
+from repro.sndag.build import SplitNodeDAG, build_split_node_dag
+from repro.sndag.patterns import PatternMatch, find_pattern_matches
+from repro.sndag.render import split_node_dag_to_dot, format_split_node_dag
+
+__all__ = [
+    "SNKind",
+    "SNNode",
+    "Alternative",
+    "SplitNodeDAG",
+    "build_split_node_dag",
+    "PatternMatch",
+    "find_pattern_matches",
+    "split_node_dag_to_dot",
+    "format_split_node_dag",
+]

@@ -1,0 +1,298 @@
+"""Construction of the Split-Node DAG (paper, Sections III-A/III-B).
+
+For the basic-block DAG and target machine, the builder creates:
+
+- one VALUE node per leaf (variables and constants live in data memory);
+- one SPLIT node per operation, with one ALTERNATIVE child per
+  (functional unit, machine op) that can execute it — including complex
+  instruction matches from the pattern matcher;
+- one SPLIT node per store, whose implementations are transfers of the
+  stored value back to data memory;
+- TRANSFER nodes on every path a value might take between storages:
+  memory → consuming unit for leaves, producing unit → consuming unit
+  for operation results, producing unit → memory for stores.  Paths from
+  several split nodes reconverge: a transfer hop moving the same value
+  between the same storages over the same bus is created once.
+
+The resulting object carries everything the covering engine needs — the
+alternatives per operation, the transfer database, and the pattern
+matches — and reports the node counts in the paper's "Split-Node DAG
+#Nodes" column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnmappableOperationError
+from repro.ir.dag import BlockDAG
+from repro.ir.ops import Opcode, is_leaf, is_operation
+from repro.isdl.databases import OperationDatabase, TransferDatabase, TransferPath
+from repro.isdl.model import Machine
+from repro.sndag.nodes import Alternative, SNKind, SNNode
+from repro.sndag.patterns import PatternMatch, find_pattern_matches
+from repro.utils.ids import IdAllocator
+
+
+class SplitNodeDAG:
+    """The Split-Node DAG of one basic block on one machine."""
+
+    def __init__(self, dag: BlockDAG, machine: Machine):
+        self.dag = dag
+        self.machine = machine
+        self.op_db = OperationDatabase(machine)
+        self.transfer_db = TransferDatabase(machine)
+        self.pattern_matches: List[PatternMatch] = []
+        self._ids = IdAllocator()
+        self.nodes: Dict[int, SNNode] = {}
+        #: original op/store id -> SPLIT node id
+        self.split_of: Dict[int, int] = {}
+        #: original leaf id -> VALUE node id
+        self.value_of: Dict[int, int] = {}
+        #: original op id -> ALTERNATIVE node ids (complex ones included)
+        self.alternatives_of: Dict[int, List[int]] = {}
+        #: (moved original id, source, destination, bus) -> TRANSFER id
+        self._transfer_index: Dict[Tuple[int, str, str, str], int] = {}
+
+    # -- construction helpers (used by build_split_node_dag) -------------
+
+    def _new_node(self, **kwargs) -> int:
+        node_id = self._ids.allocate()
+        self.nodes[node_id] = SNNode(node_id=node_id, **kwargs)
+        return node_id
+
+    def _set_children(self, node_id: int, children: List[int]) -> None:
+        node = self.nodes[node_id]
+        self.nodes[node_id] = SNNode(
+            node_id=node.node_id,
+            kind=node.kind,
+            original_id=node.original_id,
+            alternative=node.alternative,
+            bus=node.bus,
+            source=node.source,
+            destination=node.destination,
+            children=tuple(children),
+        )
+
+    def transfer_chain(
+        self, moved_original: int, path: TransferPath, terminal: Optional[int]
+    ) -> Optional[int]:
+        """Create (or reuse) TRANSFER nodes for ``path``.
+
+        ``terminal`` is the Split-Node-DAG node producing the moved value
+        (a VALUE node or a SPLIT node); the first hop points at it.
+        Returns the last hop's node id, or ``terminal`` for empty paths.
+        """
+        below = terminal
+        for hop in path:
+            key = (moved_original, hop.source, hop.destination, hop.bus)
+            node_id = self._transfer_index.get(key)
+            if node_id is None:
+                node_id = self._new_node(
+                    kind=SNKind.TRANSFER,
+                    original_id=moved_original,
+                    bus=hop.bus,
+                    source=hop.source,
+                    destination=hop.destination,
+                    children=(below,) if below is not None else (),
+                )
+                self._transfer_index[key] = node_id
+            below = node_id
+        return below
+
+    # -- queries ----------------------------------------------------------
+
+    def node(self, node_id: int) -> SNNode:
+        """Look up a Split-Node DAG node by id."""
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def alternatives(self, original_op: int) -> List[Alternative]:
+        """Implementation choices for an original operation node."""
+        return [
+            self.nodes[a].alternative for a in self.alternatives_of[original_op]
+        ]
+
+    def producer_storage(self, original_id: int, unit: Optional[str]) -> str:
+        """Where a value lives: DM for leaves, the unit's RF for ops."""
+        node = self.dag.node(original_id)
+        if is_leaf(node.opcode):
+            return self.machine.data_memory
+        if unit is None:
+            raise ValueError(f"operation n{original_id} needs a unit")
+        return self.machine.unit(unit).register_file
+
+    def assignment_space_size(self) -> int:
+        """Number of possible split-node covering assignments.
+
+        The paper computes this "by multiplying the number of possible
+        target processor operations covering each split-node" — e.g.
+        2 x 2 x 3 for Fig. 4.  Complex alternatives are included, so this
+        slightly over-counts when patterns absorb interior nodes.
+        """
+        size = 1
+        for op_id in sorted(self.alternatives_of):
+            size *= max(1, len(self.alternatives_of[op_id]))
+        return size
+
+    def stats(self) -> Dict[str, int]:
+        """Node counts per kind; ``total`` is the paper's column."""
+        counts = {kind: 0 for kind in SNKind}
+        for node in self.nodes.values():
+            counts[node.kind] += 1
+        return {
+            "value_nodes": counts[SNKind.VALUE],
+            "split_nodes": counts[SNKind.SPLIT],
+            "alternative_nodes": counts[SNKind.ALTERNATIVE],
+            "transfer_nodes": counts[SNKind.TRANSFER],
+            "total": len(self.nodes),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"SplitNodeDAG(machine={self.machine.name!r}, total={s['total']}, "
+            f"splits={s['split_nodes']}, alts={s['alternative_nodes']}, "
+            f"xfers={s['transfer_nodes']})"
+        )
+
+
+def build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
+    """Convert a basic-block DAG into its Split-Node DAG on ``machine``.
+
+    Raises :class:`UnmappableOperationError` if some operation cannot be
+    executed by any functional unit (directly or inside a complex match).
+    """
+    dag.validate()
+    sn = SplitNodeDAG(dag, machine)
+    sn.pattern_matches = find_pattern_matches(dag, machine)
+    matches_by_root: Dict[int, List[PatternMatch]] = {}
+    for match in sn.pattern_matches:
+        matches_by_root.setdefault(match.root, []).append(match)
+
+    # VALUE nodes for leaves.
+    for leaf_id in dag.leaf_nodes():
+        sn.value_of[leaf_id] = sn._new_node(
+            kind=SNKind.VALUE, original_id=leaf_id
+        )
+
+    # SPLIT + ALTERNATIVE nodes for operations (bottom-up so that operand
+    # split/value nodes exist when alternatives link to them).
+    absorbed_somewhere = {
+        op_id
+        for match in sn.pattern_matches
+        for op_id in match.covers[1:]
+    }
+    for op_id in dag.schedule_order():
+        node = dag.node(op_id)
+        if not is_operation(node.opcode):
+            continue
+        basic_matches = sn.op_db.matches(node.opcode)
+        complex_matches = matches_by_root.get(op_id, [])
+        if not basic_matches and not complex_matches and op_id not in absorbed_somewhere:
+            raise UnmappableOperationError(node.opcode, machine.name)
+        split_id = sn._new_node(kind=SNKind.SPLIT, original_id=op_id)
+        sn.split_of[op_id] = split_id
+        alternative_ids: List[int] = []
+        for match in basic_matches:
+            children = _operand_links(
+                sn, consumer_unit=match.unit, operand_ids=node.operands
+            )
+            alternative_ids.append(
+                sn._new_node(
+                    kind=SNKind.ALTERNATIVE,
+                    original_id=op_id,
+                    alternative=Alternative(
+                        unit=match.unit,
+                        op_name=match.op.name,
+                        covers=(op_id,),
+                    ),
+                    children=tuple(children),
+                )
+            )
+        for match in complex_matches:
+            children = _operand_links(
+                sn, consumer_unit=match.unit, operand_ids=match.operands
+            )
+            alternative_ids.append(
+                sn._new_node(
+                    kind=SNKind.ALTERNATIVE,
+                    original_id=op_id,
+                    alternative=Alternative(
+                        unit=match.unit,
+                        op_name=match.op.name,
+                        covers=match.covers,
+                        from_pattern=True,
+                    ),
+                    children=tuple(children),
+                )
+            )
+        sn.alternatives_of[op_id] = alternative_ids
+        sn._set_children(split_id, alternative_ids)
+
+    # SPLIT nodes for stores: implementations are transfers of the stored
+    # value from each possible producing storage back to data memory.
+    for store_id in dag.stores:
+        store = dag.node(store_id)
+        producer = store.operands[0]
+        split_id = sn._new_node(kind=SNKind.SPLIT, original_id=store_id)
+        sn.split_of[store_id] = split_id
+        children: List[int] = []
+        for source in _possible_storages(sn, producer):
+            terminal = _terminal_node(sn, producer)
+            for path in sn.transfer_db.paths(source, machine.data_memory):
+                last = sn.transfer_chain(producer, path, terminal)
+                if last is not None and last not in children:
+                    children.append(last)
+        sn._set_children(split_id, children)
+    return sn
+
+
+def _possible_storages(sn: SplitNodeDAG, original_id: int) -> List[str]:
+    """Every storage the value of ``original_id`` may be produced in."""
+    node = sn.dag.node(original_id)
+    if is_leaf(node.opcode):
+        return [sn.machine.data_memory]
+    storages: List[str] = []
+    for alt in sn.alternatives(original_id):
+        rf = sn.machine.unit(alt.unit).register_file
+        if rf not in storages:
+            storages.append(rf)
+    return storages
+
+
+def _terminal_node(sn: SplitNodeDAG, original_id: int) -> int:
+    """The Split-Node-DAG node a transfer chain of this value ends at."""
+    node = sn.dag.node(original_id)
+    if is_leaf(node.opcode):
+        return sn.value_of[original_id]
+    return sn.split_of[original_id]
+
+
+def _operand_links(
+    sn: SplitNodeDAG, consumer_unit: str, operand_ids: Tuple[int, ...]
+) -> List[int]:
+    """Children of an alternative on ``consumer_unit``: for each operand,
+    the nodes delivering that operand into the unit's register file.
+
+    For an operand producible in the consumer's own register file, the
+    link goes straight to the operand's split node (no transfer); for
+    every other possible source storage, transfer chains are created (and
+    shared) along each minimal path.
+    """
+    destination = sn.machine.unit(consumer_unit).register_file
+    children: List[int] = []
+    for operand_id in operand_ids:
+        terminal = _terminal_node(sn, operand_id)
+        for source in _possible_storages(sn, operand_id):
+            if source == destination:
+                if terminal not in children:
+                    children.append(terminal)
+                continue
+            for path in sn.transfer_db.paths(source, destination):
+                last = sn.transfer_chain(operand_id, path, terminal)
+                if last is not None and last not in children:
+                    children.append(last)
+    return children

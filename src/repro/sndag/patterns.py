@@ -1,0 +1,118 @@
+"""Complex-instruction pattern matching (paper, Section III-B).
+
+"The Split-Node DAG structure can easily incorporate complex
+instructions ... by utilizing an initial pattern matching phase that
+detects which nodes in the original expression DAG can be covered by a
+complex instruction supported by the target processor."
+
+A machine op whose semantics tree spans several IR operations (e.g.
+``MAC = ADD(MUL($0,$1), $2)``) is matched against the expression DAG.
+A match is only usable if every *interior* matched node has a single
+consumer and is not stored — otherwise the intermediate value would be
+needed elsewhere but a complex instruction does not expose it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.ir.dag import BlockDAG
+from repro.isdl.model import ArgRef, FunctionalUnit, Machine, MachineOp, OpExpr
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """A complex instruction applicable at ``root``.
+
+    Attributes:
+        unit: functional unit executing the complex op.
+        op: the complex machine op.
+        root: original-DAG id of the match root (whose value the complex
+            op produces).
+        covers: all matched original operation ids (root first).
+        operands: original-DAG ids feeding the complex op, in the order
+            of the op's operand slots ($0, $1, ...).
+    """
+
+    unit: str
+    op: MachineOp
+    root: int
+    covers: Tuple[int, ...]
+    operands: Tuple[int, ...]
+
+
+def _match_tree(
+    dag: BlockDAG,
+    expr: Union[OpExpr, ArgRef],
+    node_id: int,
+    consumers: Dict[int, List[int]],
+    stored: frozenset,
+    is_root: bool,
+) -> Union[Tuple[List[int], Dict[int, int]], None]:
+    """Try to match ``expr`` rooted at ``node_id``.
+
+    Returns (covered_op_ids, {arg_index: operand_node_id}) or None.
+    """
+    if isinstance(expr, ArgRef):
+        return [], {expr.index: node_id}
+    node = dag.node(node_id)
+    if node.opcode is not expr.opcode:
+        return None
+    if not is_root:
+        # Interior nodes must be single-consumer and not externally
+        # observable, or the intermediate value would still be needed.
+        if len(consumers.get(node_id, ())) != 1 or node_id in stored:
+            return None
+    covered = [node_id]
+    bindings: Dict[int, int] = {}
+    for sub_expr, operand_id in zip(expr.args, node.operands):
+        result = _match_tree(dag, sub_expr, operand_id, consumers, stored, False)
+        if result is None:
+            return None
+        sub_covered, sub_bindings = result
+        covered.extend(sub_covered)
+        for index, bound in sub_bindings.items():
+            if index in bindings and bindings[index] != bound:
+                return None  # same slot bound to two different values
+            bindings[index] = bound
+    return covered, bindings
+
+
+def find_pattern_matches(dag: BlockDAG, machine: Machine) -> List[PatternMatch]:
+    """All complex-instruction matches of ``machine`` in ``dag``.
+
+    Deterministic order: by root node id, then unit declaration order.
+    """
+    complex_ops = machine.complex_ops()
+    if not complex_ops:
+        return []
+    consumers = dag.consumers()
+    stored = frozenset(
+        dag.node(s).operands[0] for s in dag.stores
+    ) & frozenset(dag.operation_nodes())
+    # A stored interior is fine only at the root; record stored ops for
+    # the interior check.  (Stored ids are original nodes whose value is
+    # written to memory.)
+    matches: List[PatternMatch] = []
+    for node_id in sorted(dag.operation_nodes()):
+        for unit, op in complex_ops:
+            result = _match_tree(
+                dag, op.semantics, node_id, consumers, stored, True
+            )
+            if result is None:
+                continue
+            covered, bindings = result
+            arity = op.semantics.input_count()
+            if sorted(bindings) != list(range(arity)):
+                continue  # pattern references a slot the DAG never binds
+            matches.append(
+                PatternMatch(
+                    unit=unit.name,
+                    op=op,
+                    root=node_id,
+                    covers=tuple(covered),
+                    operands=tuple(bindings[i] for i in range(arity)),
+                )
+            )
+    return matches

@@ -1,0 +1,39 @@
+"""Deterministic integer id allocation for graph nodes."""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Hands out consecutive integer ids starting from a given base.
+
+    Every graph in the library (IR DAGs, Split-Node DAGs, interference
+    graphs) numbers its nodes with an allocator so that ids are dense,
+    deterministic, and usable as matrix indices.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0):
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return the next unused id."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def reserve(self, count: int) -> range:
+        """Allocate ``count`` consecutive ids and return them as a range."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        start = self._next
+        self._next += count
+        return range(start, self._next)
+
+    @property
+    def next_id(self) -> int:
+        """The id the next call to :meth:`allocate` will return."""
+        return self._next
+
+    def __repr__(self) -> str:
+        return f"IdAllocator(next={self._next})"

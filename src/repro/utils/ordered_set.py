@@ -1,0 +1,97 @@
+"""A set that remembers insertion order.
+
+Search code in the covering engine iterates over node sets constantly;
+Python's built-in ``set`` has hash-order iteration which would make every
+run of the heuristics nondeterministic.  ``OrderedSet`` gives set semantics
+with deterministic, insertion-ordered iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet:
+    """Insertion-ordered set built on a dict's key order."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[T]] = None):
+        self._items = dict.fromkeys(items) if items is not None else {}
+
+    def add(self, item: T) -> None:
+        """Insert ``item``; a re-insertion keeps the original position."""
+        self._items[item] = None
+
+    def discard(self, item: T) -> None:
+        """Remove ``item`` if present; no error if absent."""
+        self._items.pop(item, None)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raise :class:`KeyError` if absent."""
+        del self._items[item]
+
+    def pop_first(self) -> T:
+        """Remove and return the oldest item."""
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+    def update(self, items: Iterable[T]) -> None:
+        """Insert every item, preserving first-seen order."""
+        for item in items:
+            self._items[item] = None
+
+    def difference_update(self, items: Iterable[T]) -> None:
+        """Remove every given item that is present."""
+        for item in items:
+            self._items.pop(item, None)
+
+    def union(self, items: Iterable[T]) -> "OrderedSet":
+        """New OrderedSet with the given items appended."""
+        result = OrderedSet(self._items)
+        result.update(items)
+        return result
+
+    def intersection(self, items: Iterable[T]) -> "OrderedSet":
+        """New OrderedSet keeping only the given items."""
+        other = set(items)
+        return OrderedSet(item for item in self._items if item in other)
+
+    def difference(self, items: Iterable[T]) -> "OrderedSet":
+        """New OrderedSet without the given items."""
+        other = set(items)
+        return OrderedSet(item for item in self._items if item not in other)
+
+    def issubset(self, other: Iterable[T]) -> bool:
+        """True when every member is in ``other``."""
+        container = other if isinstance(other, (set, frozenset, OrderedSet, dict)) else set(other)
+        return all(item in container for item in self._items)
+
+    def copy(self) -> "OrderedSet":
+        """Shallow copy preserving order."""
+        return OrderedSet(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._items) == set(other._items)
+        if isinstance(other, (set, frozenset)):
+            return set(self._items) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._items)!r})"

@@ -1,0 +1,118 @@
+"""Shared fixtures: machines, canonical DAGs, and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import BasicBlock, BlockDAG, Function, Opcode
+from repro.isdl import (
+    architecture_two,
+    control_flow_architecture,
+    dual_bus_architecture,
+    example_architecture,
+    fig6_architecture,
+    mac_dsp_architecture,
+    single_unit_architecture,
+)
+
+
+@pytest.fixture
+def arch1():
+    """The paper's Fig. 3 architecture, 4 registers per file."""
+    return example_architecture(4)
+
+
+@pytest.fixture
+def arch1_small():
+    """Fig. 3 architecture with 2 registers per file (Ex6/Ex7 setting)."""
+    return example_architecture(2)
+
+
+@pytest.fixture
+def arch2():
+    """Table II's Architecture II."""
+    return architecture_two(4)
+
+
+@pytest.fixture
+def arch_fig6():
+    return fig6_architecture(4)
+
+
+@pytest.fixture
+def arch_dual():
+    return dual_bus_architecture(4)
+
+
+@pytest.fixture
+def arch_mac():
+    return mac_dsp_architecture(4)
+
+
+@pytest.fixture
+def arch_single():
+    return single_unit_architecture(8)
+
+
+@pytest.fixture
+def arch_cf():
+    return control_flow_architecture(4)
+
+
+def build_fig2_dag() -> BlockDAG:
+    """The paper's Fig. 2-style block: out = (a+b) - (c*d)."""
+    dag = BlockDAG()
+    a, b, c, d = dag.var("a"), dag.var("b"), dag.var("c"), dag.var("d")
+    add = dag.operation(Opcode.ADD, (a, b))
+    mul = dag.operation(Opcode.MUL, (c, d))
+    sub = dag.operation(Opcode.SUB, (add, mul))
+    dag.store("out", sub)
+    return dag
+
+
+def build_fig6_dag() -> BlockDAG:
+    """Fig. 6's variant: the SUB feeds a COMPL (NOT) sink on U1."""
+    dag = BlockDAG()
+    a, b, c, d = dag.var("a"), dag.var("b"), dag.var("c"), dag.var("d")
+    add = dag.operation(Opcode.ADD, (a, b))
+    mul = dag.operation(Opcode.MUL, (c, d))
+    sub = dag.operation(Opcode.SUB, (add, mul))
+    compl = dag.operation(Opcode.NOT, (sub,))
+    dag.store("out", compl)
+    return dag
+
+
+def build_wide_dag(width: int = 4) -> BlockDAG:
+    """A two-level reduction over 2*width leaves (lots of parallelism)."""
+    dag = BlockDAG()
+    products = []
+    for i in range(width):
+        x = dag.var(f"x{i}")
+        y = dag.var(f"y{i}")
+        products.append(dag.operation(Opcode.MUL, (x, y)))
+    total = products[0]
+    for product in products[1:]:
+        total = dag.operation(Opcode.ADD, (total, product))
+    dag.store("sum", total)
+    return dag
+
+
+@pytest.fixture
+def fig2_dag():
+    return build_fig2_dag()
+
+
+@pytest.fixture
+def fig6_dag():
+    return build_fig6_dag()
+
+
+@pytest.fixture
+def wide_dag():
+    return build_wide_dag()
+
+
+def single_block_function(dag: BlockDAG, name: str = "main") -> Function:
+    function = Function(name)
+    function.add_block(BasicBlock("entry", dag))
+    return function

@@ -1,0 +1,113 @@
+"""Integration tests: the whole-program application suite."""
+
+import pytest
+
+from repro.asmgen import compile_function
+from repro.assembler import (
+    decode_program,
+    encode_program,
+    load_object,
+    parse_assembly,
+    program_to_text,
+    save_object,
+)
+from repro.errors import ReproError
+from repro.eval.applications import APPLICATIONS, application
+from repro.ir import interpret_function
+from repro.isdl import control_flow_architecture
+from repro.simulator import run_program
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return control_flow_architecture(4)
+
+
+@pytest.fixture(scope="module")
+def compiled_apps(machine):
+    return {
+        app.name: compile_function(app.build(), machine)
+        for app in APPLICATIONS
+    }
+
+
+class TestSuite:
+    def test_lookup(self):
+        assert application("fir8").name == "fir8"
+        with pytest.raises(ReproError):
+            application("doom")
+
+    def test_all_apps_have_outputs_and_inputs(self):
+        for app in APPLICATIONS:
+            function = app.build()
+            symbols = set(function.variables())
+            for output in app.outputs:
+                assert output in symbols, (app.name, output)
+
+    @pytest.mark.parametrize(
+        "app", APPLICATIONS, ids=lambda a: a.name
+    )
+    def test_simulator_matches_interpreter(self, app, machine, compiled_apps):
+        reference = interpret_function(app.build(), app.inputs)
+        result = run_program(
+            compiled_apps[app.name].program, machine, app.inputs
+        )
+        for output in app.outputs:
+            assert result.variables[output] == reference[output], (
+                app.name,
+                output,
+            )
+
+    @pytest.mark.parametrize(
+        "app", APPLICATIONS, ids=lambda a: a.name
+    )
+    def test_binary_and_text_round_trips(self, app, machine, compiled_apps):
+        program = compiled_apps[app.name].program
+        reference = run_program(program, machine, app.inputs)
+        text_program = parse_assembly(program_to_text(program), machine)
+        object_program = decode_program(
+            load_object(save_object(encode_program(program, machine))),
+            machine,
+        )
+        for replay in (text_program, object_program):
+            result = run_program(replay, machine, app.inputs)
+            for output in app.outputs:
+                assert (
+                    result.variables[output]
+                    == reference.variables[output]
+                ), app.name
+
+    def test_known_answers(self, machine, compiled_apps):
+        expectations = {
+            "isqrt": {"root": 31},
+            "gcd": {"g": 21},
+            "minmax": {"lo": -9, "hi": 12, "range": 21},
+        }
+        for name, expected in expectations.items():
+            app = application(name)
+            result = run_program(
+                compiled_apps[name].program, machine, app.inputs
+            )
+            for symbol, value in expected.items():
+                assert result.variables[symbol] == value, name
+
+    def test_fir8_is_straight_line(self):
+        function = application("fir8").build()
+        assert len(function) == 1  # fully unrolled
+
+    def test_horner_pragma_keeps_loop(self):
+        function = application("horner").build()
+        assert len(function) > 1  # partially unrolled, loop remains
+
+    @pytest.mark.parametrize(
+        "app", APPLICATIONS, ids=lambda a: a.name
+    )
+    def test_multiple_input_vectors(self, app, machine, compiled_apps):
+        # Scale every input and re-check (second data point per app).
+        scaled = {k: (v * 3 + 1) % 97 for k, v in app.inputs.items()}
+        reference = interpret_function(app.build(), scaled)
+        result = run_program(
+            compiled_apps[app.name].program, machine, scaled
+        )
+        for output in app.outputs:
+            assert result.variables[output] == reference[output], app.name

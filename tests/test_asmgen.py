@@ -1,0 +1,190 @@
+"""Tests for instruction emission, data layout, and function assembly."""
+
+import pytest
+
+from repro.asmgen import (
+    CompiledFunction,
+    ControlKind,
+    DataLayout,
+    Instruction,
+    MemRef,
+    OpSlot,
+    RegRef,
+    TransferSlot,
+    compile_dag,
+    compile_function,
+)
+from repro.errors import AssemblerError
+from repro.frontend import compile_source
+from repro.ir import BasicBlock, Branch, Function, Jump, Opcode, Return
+from repro.isdl import control_flow_architecture, example_architecture
+
+from conftest import build_fig2_dag
+
+
+class TestDataLayout:
+    def test_variables_sequential(self):
+        layout = DataLayout()
+        layout.add_variables(["a", "b"])
+        assert layout.variable("a") == 0
+        assert layout.variable("b") == 1
+
+    def test_variable_on_demand(self):
+        layout = DataLayout()
+        assert layout.variable("z") == 0
+        assert layout.variable("z") == 0
+
+    def test_constants_interned(self):
+        layout = DataLayout()
+        first = layout.constant(42)
+        assert layout.constant(42) == first
+        assert layout.constant(7) != first
+        assert layout.initial_data[first] == 42
+
+    def test_spill_slots_keyed_by_block_and_task(self):
+        layout = DataLayout()
+        a = layout.spill_slot("entry", 5)
+        assert layout.spill_slot("entry", 5) == a
+        assert layout.spill_slot("entry", 6) != a
+        assert layout.spill_slot("other", 5) != a
+
+    def test_memory_exhaustion_raises(self):
+        layout = DataLayout(memory_size=2)
+        layout.variable("a")
+        layout.variable("b")
+        with pytest.raises(AssemblerError):
+            layout.variable("c")
+
+    def test_words_used(self):
+        layout = DataLayout()
+        layout.add_variables(["a", "b"])
+        layout.constant(1)
+        assert layout.words_used == 3
+
+
+class TestInstructionModel:
+    def test_str_op_slot(self):
+        slot = OpSlot(
+            "U1", "ADD", RegRef("RF1", 2), (RegRef("RF1", 0), RegRef("RF1", 1))
+        )
+        assert str(slot) == "U1: ADD RF1.R0, RF1.R1 -> RF1.R2"
+
+    def test_str_transfer_slot(self):
+        slot = TransferSlot("B1", MemRef("DM", 4), RegRef("RF2", 0))
+        assert str(slot) == "B1: DM[4] -> RF2.R0"
+
+    def test_empty_instruction_is_nop(self):
+        assert str(Instruction()) == "NOP"
+        assert Instruction().is_empty()
+
+    def test_listing_contains_labels_and_data(self):
+        machine = example_architecture(4)
+        compiled = compile_dag(build_fig2_dag(), machine)
+        listing = compiled.program.listing()
+        assert "entry:" in listing
+        assert "; data layout:" in listing
+
+
+class TestBlockEmission:
+    def test_one_instruction_per_cycle(self):
+        machine = example_architecture(4)
+        compiled = compile_dag(build_fig2_dag(), machine)
+        block = compiled.blocks["entry"]
+        assert len(block.instructions) == block.solution.instruction_count
+
+    def test_op_operands_are_unit_registers(self):
+        machine = example_architecture(4)
+        compiled = compile_dag(build_fig2_dag(), machine)
+        for instruction in compiled.program.instructions:
+            for op_slot in instruction.ops:
+                rf = machine.unit(op_slot.unit).register_file
+                assert op_slot.destination.register_file == rf
+                for source in op_slot.sources:
+                    assert source.register_file == rf
+
+    def test_transfers_reference_connected_storages(self):
+        machine = example_architecture(4)
+        compiled = compile_dag(build_fig2_dag(), machine)
+        for instruction in compiled.program.instructions:
+            for transfer in instruction.transfers:
+                bus = machine.bus(transfer.bus)
+                for endpoint in (transfer.source, transfer.destination):
+                    storage = (
+                        endpoint.register_file
+                        if isinstance(endpoint, RegRef)
+                        else endpoint.memory
+                    )
+                    assert storage in bus.connects
+
+
+class TestControlFlow:
+    def _branch_function(self):
+        function = Function("f")
+        entry = function.new_block("entry")
+        condition = entry.dag.operation(
+            Opcode.LT, (entry.dag.var("x"), entry.dag.var("y"))
+        )
+        entry.set_terminator(Branch(condition, "yes", "no"))
+        yes = function.new_block("yes")
+        yes.dag.store("r", yes.dag.const(1))
+        yes.set_terminator(Jump("done"))
+        no = function.new_block("no")
+        no.dag.store("r", no.dag.const(2))
+        no.set_terminator(Jump("done"))
+        function.new_block("done")
+        return function
+
+    def test_branch_emits_bnz(self):
+        machine = control_flow_architecture(4)
+        compiled = compile_function(self._branch_function(), machine)
+        kinds = [
+            i.control.kind
+            for i in compiled.program.instructions
+            if i.control is not None
+        ]
+        assert ControlKind.BNZ in kinds
+        assert ControlKind.HALT in kinds
+
+    def test_fallthrough_suppresses_jump(self):
+        machine = control_flow_architecture(4)
+        compiled = compile_function(self._branch_function(), machine)
+        # 'no' follows 'entry' ... layout: entry, yes, no, done; the
+        # branch needs an explicit JMP to 'no' but 'no'->'done' and
+        # 'yes'->'done'... only one of them falls through.
+        jumps = [
+            i.control.target
+            for i in compiled.program.instructions
+            if i.control is not None and i.control.kind is ControlKind.JMP
+        ]
+        # no -> done falls through (done is next); yes -> done needs JMP.
+        assert jumps.count("done") == 1
+
+    def test_labels_point_at_block_starts(self):
+        machine = control_flow_architecture(4)
+        compiled = compile_function(self._branch_function(), machine)
+        program = compiled.program
+        assert set(program.labels) == {"entry", "yes", "no", "done"}
+        assert program.labels["entry"] == 0
+        for address in program.labels.values():
+            assert 0 <= address <= len(program.instructions)
+
+    def test_total_metrics(self):
+        machine = control_flow_architecture(4)
+        compiled = compile_function(self._branch_function(), machine)
+        assert compiled.total_instructions == len(compiled.program.instructions)
+        assert compiled.body_instructions <= compiled.total_instructions
+        assert compiled.total_spills == 0
+
+    def test_whole_function_shares_layout(self):
+        machine = control_flow_architecture(4)
+        compiled = compile_function(self._branch_function(), machine)
+        # 'r' written by two blocks: one address only.
+        assert list(compiled.program.symbols).count("r") == 1
+
+    def test_minic_function_compiles(self):
+        machine = control_flow_architecture(4)
+        function = compile_source(
+            "s = 0; i = 0; while (i < 3) { s = s + i; i = i + 1; }"
+        )
+        compiled = compile_function(function, machine)
+        assert compiled.total_instructions > 0

@@ -1,0 +1,148 @@
+"""Tests for the textual assembler and the binary encoder/decoder."""
+
+import pytest
+
+from repro.assembler import (
+    EncodingLayout,
+    decode_program,
+    encode_program,
+    parse_assembly,
+    program_to_text,
+)
+from repro.asmgen import compile_dag, compile_function
+from repro.errors import AssemblerError
+from repro.frontend import compile_source
+from repro.isdl import control_flow_architecture, example_architecture
+from repro.simulator import run_program
+
+from conftest import build_fig2_dag, build_wide_dag
+
+
+@pytest.fixture
+def machine():
+    return example_architecture(4)
+
+
+@pytest.fixture
+def program(machine):
+    return compile_dag(build_fig2_dag(), machine).program
+
+
+class TestTextFormat:
+    def test_round_trip_exact(self, program, machine):
+        text = program_to_text(program)
+        reparsed = parse_assembly(text, machine)
+        assert program_to_text(reparsed) == text
+
+    def test_round_trip_preserves_behaviour(self, program, machine):
+        env = {"a": 5, "b": 6, "c": 7, "d": 8}
+        text = program_to_text(program)
+        reparsed = parse_assembly(text, machine)
+        assert (
+            run_program(program, machine, env).variables
+            == run_program(reparsed, machine, env).variables
+        )
+
+    def test_comments_and_blank_lines_ignored(self, machine):
+        source = """
+        .machine arch1_r4
+        ; a comment
+        .symbol x 0
+
+          B1: DM[0] -> RF1.R0   ; trailing comment
+          HALT
+        """
+        parsed = parse_assembly(source, machine)
+        assert len(parsed.instructions) == 2
+
+    def test_machine_mismatch_rejected(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly(".machine other\nHALT\n", machine)
+
+    def test_unknown_resource_rejected(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly("U9: ADD RF1.R0, RF1.R1 -> RF1.R2\n", machine)
+
+    def test_undefined_label_rejected(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly("JMP nowhere\n", machine)
+
+    def test_duplicate_label_rejected(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly("x:\nx:\nHALT\n", machine)
+
+    def test_malformed_location_rejected(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly("B1: DM(0) -> RF1.R0\n", machine)
+
+    def test_nop_parses_to_empty_instruction(self, machine):
+        parsed = parse_assembly("NOP\n", machine)
+        assert parsed.instructions[0].is_empty()
+
+    def test_branch_condition_must_be_register(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly("BNZ DM[0], somewhere\nsomewhere:\n", machine)
+
+    def test_two_control_slots_rejected(self, machine):
+        with pytest.raises(AssemblerError):
+            parse_assembly("x:\n HALT | HALT\n", machine)
+
+
+class TestBinaryEncoding:
+    def test_round_trip_behaviour(self, program, machine):
+        env = {"a": 2, "b": 3, "c": 4, "d": 5}
+        image = encode_program(program, machine)
+        decoded = decode_program(image, machine)
+        assert (
+            run_program(decoded, machine, env).variables
+            == run_program(program, machine, env).variables
+        )
+
+    def test_word_width_constant(self, program, machine):
+        layout = EncodingLayout(machine)
+        image = encode_program(program, machine)
+        assert image.word_bits == layout.word_bits
+        for word in image.words:
+            assert word < (1 << layout.word_bits)
+
+    def test_bytes_length(self, program, machine):
+        image = encode_program(program, machine)
+        assert (
+            len(image.to_bytes())
+            == len(image.words) * ((image.word_bits + 7) // 8)
+        )
+
+    def test_control_flow_round_trip(self):
+        machine = control_flow_architecture(4)
+        function = compile_source(
+            "s = 0; i = 0; while (i < 4) { s = s + i * i; i = i + 1; }"
+        )
+        compiled = compile_function(function, machine)
+        image = encode_program(compiled.program, machine)
+        decoded = decode_program(image, machine)
+        original = run_program(compiled.program, machine, {})
+        replayed = run_program(decoded, machine, {})
+        assert original.variables["s"] == replayed.variables["s"] == 14
+
+    def test_machine_mismatch_rejected(self, program):
+        other = example_architecture(2)
+        with pytest.raises(AssemblerError):
+            encode_program(program, other)
+
+    def test_spilled_program_round_trips(self):
+        machine = example_architecture(2)
+        compiled = compile_dag(build_wide_dag(5), machine)
+        env = {f"x{i}": i + 1 for i in range(5)}
+        env.update({f"y{i}": i + 2 for i in range(5)})
+        image = encode_program(compiled.program, machine)
+        decoded = decode_program(image, machine)
+        assert (
+            run_program(decoded, machine, env).variables["sum"]
+            == run_program(compiled.program, machine, env).variables["sum"]
+        )
+
+    def test_text_of_decoded_program_parses(self, program, machine):
+        image = encode_program(program, machine)
+        decoded = decode_program(image, machine)
+        text = program_to_text(decoded)
+        parse_assembly(text, machine)  # no exception

@@ -1,0 +1,185 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_machine
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.minic"
+    path.write_text("y = (a + b) * (a - c);\nz = y + 1;\n")
+    return str(path)
+
+
+class TestResolveMachine:
+    def test_builtin(self):
+        assert resolve_machine("arch1").name == "arch1_r4"
+
+    def test_builtin_with_registers(self):
+        machine = resolve_machine("arch1:2")
+        assert machine.rf_of_unit("U1").size == 2
+
+    def test_isdl_file(self, tmp_path):
+        path = tmp_path / "m.isdl"
+        path.write_text(
+            "machine filemachine { memory DM size 16; regfile R size 2;"
+            " unit U regfile R { op ADD; } bus B connects DM, R; }"
+        )
+        assert resolve_machine(str(path)).name == "filemachine"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ReproError):
+            resolve_machine("no_such_machine")
+
+
+class TestCommands:
+    def test_machines_lists_builtins(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for key in ("arch1", "arch2", "mac", "single"):
+            assert key in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "-m", "arch2"]) == 0
+        out = capsys.readouterr().out
+        assert "unit U2" in out or "U2" in out
+        assert "machine arch2_r4" in out
+
+    def test_compile_prints_listing(self, program_file, capsys):
+        assert main(["compile", program_file, "-m", "arch1"]) == 0
+        out = capsys.readouterr().out
+        assert "bb0:" in out  # frontend block label
+        assert "HALT" in out
+
+    def test_compile_writes_artifacts(self, program_file, tmp_path, capsys):
+        asm = tmp_path / "out.s"
+        binary = tmp_path / "out.bin"
+        code = main(
+            [
+                "compile",
+                program_file,
+                "-m",
+                "arch1",
+                "--asm",
+                str(asm),
+                "--bin",
+                str(binary),
+            ]
+        )
+        assert code == 0
+        assert asm.exists() and ".machine arch1_r4" in asm.read_text()
+        assert binary.exists() and binary.stat().st_size > 0
+        # The written assembly re-parses and behaves identically.
+        from repro.assembler import parse_assembly
+        from repro.isdl import example_architecture
+        from repro.simulator import run_program
+
+        machine = example_architecture(4)
+        program = parse_assembly(asm.read_text(), machine)
+        result = run_program(
+            program, machine, {"a": 5, "b": 3, "c": 1}
+        )
+        assert result.variables["y"] == (5 + 3) * (5 - 1)
+
+    def test_run_reports_variables(self, program_file, capsys):
+        code = main(
+            [
+                "run",
+                program_file,
+                "-m",
+                "arch1",
+                "--set",
+                "a=5",
+                "--set",
+                "b=3",
+                "--set",
+                "c=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "y = 32" in out
+        assert "z = 33" in out
+
+    def test_bin_is_object_file(self, program_file, tmp_path, capsys):
+        from repro.assembler import load_object
+
+        binary = tmp_path / "out.avo"
+        main(
+            ["compile", program_file, "-m", "arch1", "--bin", str(binary)]
+        )
+        image = load_object(binary.read_bytes())
+        assert image.machine_name == "arch1_r4"
+        assert image.symbols["y"] >= 0
+
+    def test_disasm_object_file(self, program_file, tmp_path, capsys):
+        binary = tmp_path / "out.avo"
+        main(
+            ["compile", program_file, "-m", "arch1", "--bin", str(binary)]
+        )
+        capsys.readouterr()
+        assert main(["disasm", str(binary), "-m", "arch1"]) == 0
+        out = capsys.readouterr().out
+        assert "HALT" in out
+
+    def test_simulate_object_file(self, program_file, tmp_path, capsys):
+        binary = tmp_path / "out.avo"
+        main(
+            ["compile", program_file, "-m", "arch1", "--bin", str(binary)]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate",
+                str(binary),
+                "-m",
+                "arch1",
+                "--set",
+                "a=5",
+                "--set",
+                "b=3",
+                "--set",
+                "c=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "y = 32" in out
+
+    def test_run_with_trace(self, program_file, capsys):
+        main(
+            [
+                "run",
+                program_file,
+                "-m",
+                "arch1",
+                "--set",
+                "a=1",
+                "--trace",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "@" in out  # trace lines show pc
+
+    def test_run_bad_binding(self, program_file, capsys):
+        assert (
+            main(["run", program_file, "-m", "arch1", "--set", "oops"]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_machine_exit_code(self, program_file, capsys):
+        assert main(["run", program_file, "-m", "ghost"]) == 2
+
+    def test_compile_heuristics_off(self, program_file, capsys):
+        assert (
+            main(
+                ["compile", program_file, "-m", "arch2", "--heuristics-off"]
+            )
+            == 0
+        )
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,19 @@
+"""CLI coverage for the tables command (fast variant, no optimal)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_tables_command_table2_fast(capsys):
+    code = main(["tables", "--table", "2", "--no-optimal"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "Ex5" in out
+    assert "vs. paper" in out
+
+
+def test_tables_command_rejects_bad_choice():
+    with pytest.raises(SystemExit):
+        main(["tables", "--table", "9"])

@@ -1,0 +1,174 @@
+"""Tests for functional-unit assignment exploration (Section IV-A)."""
+
+import pytest
+
+from repro.covering import HeuristicConfig, explore_assignments
+from repro.covering.assignment import _CostModel, _Partial
+from repro.ir import BlockDAG, Opcode
+from repro.sndag import build_split_node_dag
+
+
+def _alt(sn, op_id, unit):
+    for alternative in sn.alternatives(op_id):
+        if alternative.unit == unit:
+            return alternative
+    raise AssertionError(f"no alternative on {unit}")
+
+
+class TestFig6CostFunction:
+    """Reproduces the incremental costs of the paper's Fig. 6.
+
+    The Fig. 2 block feeds a COMPL sink executable only on U1; costs:
+    SUB@U1 = 0, SUB@U2 = 1; with SUB@U1 and MUL@U2 chosen,
+    ADD@U1 = 2 (two operand loads) and ADD@U2 = 4 (two loads + result
+    transfer + lost merge with the MUL).
+    """
+
+    @pytest.fixture
+    def setup(self, fig6_dag, arch_fig6):
+        sn = build_split_node_dag(fig6_dag, arch_fig6)
+        model = _CostModel(sn)
+        dag = fig6_dag
+        ops = {dag.node(o).opcode: o for o in dag.operation_nodes()}
+        return sn, model, ops
+
+    def test_compl_only_on_u1(self, setup):
+        sn, model, ops = setup
+        alternatives = sn.alternatives(ops[Opcode.NOT])
+        assert [a.unit for a in alternatives] == ["U1"]
+
+    def test_sub_costs(self, setup):
+        sn, model, ops = setup
+        compl = ops[Opcode.NOT]
+        partial = _Partial(
+            choice={compl: _alt(sn, compl, "U1")}, cost=0
+        )
+        sub = ops[Opcode.SUB]
+        assert model.incremental_cost(partial, sub, _alt(sn, sub, "U1")) == 0
+        assert model.incremental_cost(partial, sub, _alt(sn, sub, "U2")) == 1
+
+    def test_add_costs_with_mul_on_u2(self, setup):
+        sn, model, ops = setup
+        compl, sub, mul, add = (
+            ops[Opcode.NOT],
+            ops[Opcode.SUB],
+            ops[Opcode.MUL],
+            ops[Opcode.ADD],
+        )
+        partial = _Partial(
+            choice={
+                compl: _alt(sn, compl, "U1"),
+                sub: _alt(sn, sub, "U1"),
+                mul: _alt(sn, mul, "U2"),
+            },
+            cost=0,
+        )
+        # Two operand loads only (same unit as SUB, parallel with MUL).
+        assert model.incremental_cost(partial, add, _alt(sn, add, "U1")) == 2
+        # Two loads + transfer to SUB on U1 + foregone merge with MUL.
+        assert model.incremental_cost(partial, add, _alt(sn, add, "U2")) == 4
+
+    def test_mul_units_cost_equally(self, setup):
+        sn, model, ops = setup
+        compl, sub, mul = ops[Opcode.NOT], ops[Opcode.SUB], ops[Opcode.MUL]
+        partial = _Partial(
+            choice={
+                compl: _alt(sn, compl, "U1"),
+                sub: _alt(sn, sub, "U1"),
+            },
+            cost=0,
+        )
+        u2 = model.incremental_cost(partial, mul, _alt(sn, mul, "U2"))
+        u3 = model.incremental_cost(partial, mul, _alt(sn, mul, "U3"))
+        assert u2 == u3  # "both paths are explored"
+
+    def test_pruned_exploration_keeps_sub_and_add_on_u1(
+        self, fig6_dag, arch_fig6
+    ):
+        sn = build_split_node_dag(fig6_dag, arch_fig6)
+        assignments = explore_assignments(sn, HeuristicConfig.default())
+        dag = fig6_dag
+        ops = {dag.node(o).opcode: o for o in dag.operation_nodes()}
+        # The paper: "select the two assignments where both the SUB and
+        # ADD operations are performed on unit U1".
+        assert len(assignments) == 2
+        for assignment in assignments:
+            assert assignment.unit_of(ops[Opcode.SUB]) == "U1"
+            assert assignment.unit_of(ops[Opcode.ADD]) == "U1"
+        units = {a.unit_of(ops[Opcode.MUL]) for a in assignments}
+        assert units == {"U2", "U3"}
+
+
+class TestExploration:
+    def test_exhaustive_enumerates_all(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1)
+        assignments = explore_assignments(
+            sn, HeuristicConfig.heuristics_off()
+        )
+        assert len(assignments) == 12  # 2 x 2 x 3
+
+    def test_costs_sorted_ascending(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1)
+        assignments = explore_assignments(
+            sn, HeuristicConfig.heuristics_off()
+        )
+        costs = [a.cost for a in assignments]
+        assert costs == sorted(costs)
+
+    def test_num_assignments_truncates(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1)
+        config = HeuristicConfig.heuristics_off().with_(num_assignments=3)
+        assert len(explore_assignments(sn, config)) == 3
+
+    def test_signatures_unique(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1)
+        assignments = explore_assignments(
+            sn, HeuristicConfig.heuristics_off()
+        )
+        signatures = [a.signature() for a in assignments]
+        assert len(signatures) == len(set(signatures))
+
+    def test_pruned_subset_of_exhaustive(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1)
+        pruned = {
+            a.signature()
+            for a in explore_assignments(sn, HeuristicConfig.default())
+        }
+        full = {
+            a.signature()
+            for a in explore_assignments(sn, HeuristicConfig.heuristics_off())
+        }
+        assert pruned <= full
+        assert pruned  # something survived
+
+    def test_frontier_limit_bounds_width(self, wide_dag, arch1):
+        sn = build_split_node_dag(wide_dag, arch1)
+        config = HeuristicConfig.heuristics_off().with_(
+            frontier_limit=4, num_assignments=None
+        )
+        limited = explore_assignments(sn, config)
+        assert limited  # still produces complete assignments
+
+    def test_complex_alternative_covers_interior(self, arch_mac):
+        dag = BlockDAG()
+        x, y, acc = dag.var("x"), dag.var("y"), dag.var("acc")
+        mul = dag.operation(Opcode.MUL, (x, y))
+        add = dag.operation(Opcode.ADD, (mul, acc))
+        dag.store("acc", add)
+        sn = build_split_node_dag(dag, arch_mac)
+        assignments = explore_assignments(
+            sn, HeuristicConfig.heuristics_off()
+        )
+        mac_assignments = [
+            a for a in assignments if a.choice[add].op_name == "MAC"
+        ]
+        assert mac_assignments
+        for assignment in mac_assignments:
+            # Interior op maps to the same complex alternative.
+            assert assignment.choice[mul] is assignment.choice[add]
+            assert len(assignment.covering_ops()) == 1
+
+    def test_covering_ops_one_per_emitted_op(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1)
+        assignment = explore_assignments(sn, HeuristicConfig.default())[0]
+        assert len(assignment.covering_ops()) == 3

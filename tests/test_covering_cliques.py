@@ -1,0 +1,230 @@
+"""Tests for the parallelism matrix (Fig. 7) and clique generation
+(Fig. 8), the level-window heuristic, and constraint legality."""
+
+import numpy as np
+import pytest
+
+from repro.covering import (
+    HeuristicConfig,
+    TaskGraph,
+    TaskKind,
+    explore_assignments,
+    generate_maximal_cliques,
+    legalize_cliques,
+    parallelism_matrix,
+)
+from repro.covering.cliques import is_legal_instruction
+from repro.covering.parallelism import task_levels
+from repro.ir import BlockDAG, Opcode
+from repro.sndag import build_split_node_dag
+
+
+def _graph_for(dag, machine, index=0):
+    sn = build_split_node_dag(dag, machine)
+    assignments = explore_assignments(sn, HeuristicConfig.heuristics_off())
+    return TaskGraph(sn, assignments[index])
+
+
+class TestMatrix:
+    def test_diagonal_is_one(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        matrix, _ = parallelism_matrix(graph)
+        assert all(matrix[i, i] == 1 for i in range(matrix.shape[0]))
+
+    def test_symmetric(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        matrix, _ = parallelism_matrix(graph)
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_same_resource_conflicts(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        matrix, index = parallelism_matrix(graph)
+        for i, task_a in enumerate(index):
+            for j, task_b in enumerate(index):
+                if i != j and (
+                    graph.tasks[task_a].resource
+                    == graph.tasks[task_b].resource
+                ):
+                    assert matrix[i, j] == 1
+
+    def test_dependence_conflicts(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        matrix, index = parallelism_matrix(graph)
+        position = {t: i for i, t in enumerate(index)}
+        for task_id in graph.task_ids():
+            for dependency in graph.tasks[task_id].dependencies():
+                assert matrix[position[task_id], position[dependency]] == 1
+
+    def test_fig7_style_pairs(self, fig2_dag, arch1):
+        """The Fig. 7 narrative: an ADD on U3 is parallel with a MUL on
+        U2 (different units, no dependence)."""
+        dag = BlockDAG()
+        a, b, c, d = dag.var("a"), dag.var("b"), dag.var("c"), dag.var("d")
+        add = dag.operation(Opcode.ADD, (a, b))
+        mul = dag.operation(Opcode.MUL, (c, d))
+        dag.store("s", add)
+        dag.store("p", mul)
+        sn = build_split_node_dag(dag, arch1)
+        target = next(
+            x
+            for x in explore_assignments(sn, HeuristicConfig.heuristics_off())
+            if x.unit_of(add) == "U3" and x.unit_of(mul) == "U2"
+        )
+        graph = TaskGraph(sn, target)
+        matrix, index = parallelism_matrix(graph)
+        position = {t: i for i, t in enumerate(index)}
+        add_task = next(
+            t.task_id for t in graph.tasks.values() if t.op_name == "ADD"
+        )
+        mul_task = next(
+            t.task_id for t in graph.tasks.values() if t.op_name == "MUL"
+        )
+        assert matrix[position[add_task], position[mul_task]] == 0
+
+    def test_level_window_adds_conflicts(self, wide_dag, arch1):
+        graph = _graph_for(wide_dag, arch1)
+        loose, _ = parallelism_matrix(graph, level_window=None)
+        tight, _ = parallelism_matrix(graph, level_window=0)
+        assert tight.sum() >= loose.sum()
+
+    def test_task_levels_bounds(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        from_top, from_bottom = task_levels(graph, graph.task_ids())
+        assert min(from_bottom.values()) == 0
+        assert min(from_top.values()) == 0
+        sinks = [t for t in graph.task_ids() if not graph.consumers_of(t)]
+        assert all(from_top[t] == 0 for t in sinks)
+
+
+class TestCliqueGeneration:
+    def test_fig7_matrix_produces_fig8_cliques(self):
+        """The paper's exact example: nodes N2, N9, N10, N14 with the
+        Fig. 7 matrix yield cliques (N2), (N10,N9), (N10,N14)."""
+        # Index order: N2, N9, N10, N14 (matrix copied from Fig. 7).
+        matrix = np.array(
+            [
+                [0, 1, 1, 1],
+                [1, 0, 0, 1],
+                [1, 0, 0, 0],
+                [1, 1, 0, 0],
+            ],
+            dtype=np.uint8,
+        )
+        # The paper's convention stores 0 on the diagonal implicitly; our
+        # generator expects a 1-diagonal conflict matrix.
+        np.fill_diagonal(matrix, 1)
+        cliques = generate_maximal_cliques(matrix)
+        named = {
+            frozenset({0}): "C1",
+            frozenset({1, 2}): "C2",
+            frozenset({2, 3}): "C3",
+        }
+        assert set(cliques) == set(named)
+
+    def test_all_parallel_single_clique(self):
+        matrix = np.ones((4, 4), dtype=np.uint8) - np.ones(4, dtype=np.uint8)
+        matrix = np.zeros((4, 4), dtype=np.uint8)
+        np.fill_diagonal(matrix, 1)
+        cliques = generate_maximal_cliques(matrix)
+        assert cliques == [frozenset({0, 1, 2, 3})]
+
+    def test_all_conflicting_singletons(self):
+        matrix = np.ones((3, 3), dtype=np.uint8)
+        cliques = generate_maximal_cliques(matrix)
+        assert set(cliques) == {
+            frozenset({0}),
+            frozenset({1}),
+            frozenset({2}),
+        }
+
+    def test_every_node_covered(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        matrix, index = parallelism_matrix(graph)
+        cliques = generate_maximal_cliques(matrix)
+        covered = set().union(*cliques)
+        assert covered == set(range(len(index)))
+
+    def test_no_clique_is_subset_of_another(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        matrix, _ = parallelism_matrix(graph)
+        cliques = generate_maximal_cliques(matrix)
+        for clique in cliques:
+            assert not any(
+                clique < other for other in cliques if other != clique
+            )
+
+    def test_cliques_are_actual_cliques(self, wide_dag, arch1):
+        graph = _graph_for(wide_dag, arch1)
+        matrix, _ = parallelism_matrix(graph)
+        for clique in generate_maximal_cliques(matrix):
+            members = sorted(clique)
+            for i in members:
+                for j in members:
+                    if i != j:
+                        assert matrix[i, j] == 0
+
+    def test_level_window_reduces_clique_count(self, wide_dag, arch1):
+        graph = _graph_for(wide_dag, arch1)
+        loose, _ = parallelism_matrix(graph, level_window=None)
+        tight, _ = parallelism_matrix(graph, level_window=0)
+        assert len(generate_maximal_cliques(tight)) <= len(
+            generate_maximal_cliques(loose)
+        )
+
+
+class TestLegality:
+    def _constrained_graph(self, arch_mac):
+        dag = BlockDAG()
+        pairs = []
+        for name in ("a", "b", "c", "d"):
+            pairs.append(dag.var(name))
+        s1 = dag.operation(Opcode.ADD, (pairs[0], pairs[1]))
+        s2 = dag.operation(Opcode.ADD, (pairs[2], pairs[3]))
+        dag.store("x", s1)
+        dag.store("y", s2)
+        sn = build_split_node_dag(dag, arch_mac)
+        target = next(
+            a
+            for a in explore_assignments(sn, HeuristicConfig.heuristics_off())
+            if {alt.unit for alt in a.choice.values()} == {"U1", "U3"}
+        )
+        return TaskGraph(sn, target), s1, s2
+
+    def test_constraint_violation_detected(self, arch_mac):
+        graph, s1, s2 = self._constrained_graph(arch_mac)
+        add_tasks = [
+            t.task_id
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.OP and t.op_name == "ADD"
+        ]
+        both = frozenset(add_tasks)
+        # arch_mac forbids U1.ADD together with U3.ADD.
+        assert not is_legal_instruction(graph, both, arch_mac)
+
+    def test_legalize_splits_violating_clique(self, arch_mac):
+        graph, *_ = self._constrained_graph(arch_mac)
+        add_tasks = frozenset(
+            t.task_id
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.OP
+        )
+        legal = legalize_cliques(graph, [add_tasks], arch_mac)
+        assert legal
+        for clique in legal:
+            assert is_legal_instruction(graph, clique, arch_mac)
+            assert clique < add_tasks
+
+    def test_no_constraints_passthrough(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        cliques = [frozenset(graph.task_ids()[:2])]
+        assert legalize_cliques(graph, cliques, arch1) == cliques
+
+    def test_wildcard_term_matches_transfers(self, arch_mac):
+        graph, *_ = self._constrained_graph(arch_mac)
+        xfer = next(
+            t for t in graph.tasks.values() if t.kind is TaskKind.XFER
+        )
+        from repro.covering.cliques import _matches_term
+
+        assert _matches_term(xfer, xfer.resource, "*")
+        assert not _matches_term(xfer, xfer.resource, "ADD")

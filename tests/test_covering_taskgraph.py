@@ -1,0 +1,206 @@
+"""Tests for task-graph materialisation and spill insertion (Fig. 9)."""
+
+import pytest
+
+from repro.covering import (
+    HeuristicConfig,
+    TaskGraph,
+    TaskKind,
+    explore_assignments,
+)
+from repro.errors import CoverageError
+from repro.ir import BlockDAG, Opcode
+from repro.sndag import build_split_node_dag
+
+
+def _graph_for(dag, machine, index=0, pin_value=None, config=None):
+    sn = build_split_node_dag(dag, machine)
+    assignments = explore_assignments(
+        sn, config or HeuristicConfig.default()
+    )
+    return TaskGraph(sn, assignments[index], pin_value=pin_value)
+
+
+class TestConstruction:
+    def test_one_op_task_per_covering_op(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        op_tasks = [
+            t for t in graph.tasks.values() if t.kind is TaskKind.OP
+        ]
+        assert len(op_tasks) == 3
+
+    def test_leaf_loads_created(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        loads = [
+            t
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.XFER and t.source_storage == "DM"
+        ]
+        assert len(loads) == 4  # a, b, c, d
+
+    def test_store_transfer_carries_symbol(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        stores = [
+            t for t in graph.tasks.values() if t.store_symbol == "out"
+        ]
+        assert len(stores) == 1
+        assert stores[0].dest_storage == "DM"
+
+    def test_dependencies_acyclic_and_valid(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        graph.validate()
+
+    def test_same_unit_chain_needs_no_transfer(self, arch1):
+        # ADD then SUB both only placeable on U1/U2; when chained on the
+        # same unit there is no inter-unit transfer of the intermediate.
+        dag = BlockDAG()
+        a, b, c = dag.var("a"), dag.var("b"), dag.var("c")
+        add = dag.operation(Opcode.ADD, (a, b))
+        sub = dag.operation(Opcode.SUB, (add, c))
+        dag.store("x", sub)
+        graph = _graph_for(dag, arch1)
+        add_task = next(
+            t for t in graph.tasks.values() if t.op_name == "ADD"
+        )
+        sub_task = next(
+            t for t in graph.tasks.values() if t.op_name == "SUB"
+        )
+        if add_task.unit == sub_task.unit:
+            assert any(
+                r.producer == add_task.task_id for r in sub_task.reads
+            )
+
+    def test_shared_operand_loaded_once_per_bank(self, arch1):
+        dag = BlockDAG()
+        a, b, c = dag.var("a"), dag.var("b"), dag.var("c")
+        m1 = dag.operation(Opcode.MUL, (a, b))
+        m2 = dag.operation(Opcode.MUL, (a, c))
+        dag.store("x", dag.operation(Opcode.ADD, (m1, m2)))
+        graph = _graph_for(dag, arch1)
+        a_loads = [
+            t
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.XFER and t.value == a
+        ]
+        destinations = [t.dest_storage for t in a_loads]
+        assert len(destinations) == len(set(destinations))
+
+    def test_store_of_plain_leaf_is_memory_copy(self, arch1):
+        dag = BlockDAG()
+        dag.store("y", dag.var("x"))
+        graph = _graph_for(dag, arch1)
+        (task,) = graph.tasks.values()
+        assert task.kind is TaskKind.XFER
+        assert task.source_storage == "DM"
+        assert task.dest_storage == "DM"
+        assert task.store_symbol == "y"
+
+    def test_pinning_branch_condition(self, arch1):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        diff = dag.operation(Opcode.SUB, (a, b))
+        dag.store("d", diff)
+        graph = _graph_for(dag, arch1, pin_value=diff)
+        assert graph.condition_read is not None
+        assert graph.condition_read.producer in graph.pinned
+
+    def test_pinning_leaf_condition_creates_load(self, arch1):
+        dag = BlockDAG()
+        flag = dag.var("flag")
+        dag.store("y", dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b"))))
+        graph = _graph_for(dag, arch1, pin_value=flag)
+        read = graph.condition_read
+        assert read is not None
+        assert read.storage.startswith("RF")
+        assert graph.tasks[read.producer].value == flag
+
+    def test_multi_hop_chain_on_dual_bus(self, fig2_dag, arch_dual):
+        sn = build_split_node_dag(fig2_dag, arch_dual)
+        assignments = explore_assignments(
+            sn, HeuristicConfig.heuristics_off()
+        )
+        # Find an assignment placing something on U3 (RF3, two hops from DM).
+        target = next(
+            a
+            for a in assignments
+            if any(alt.unit == "U3" for alt in a.choice.values())
+        )
+        graph = TaskGraph(sn, target)
+        rf3_arrivals = [
+            t
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.XFER and t.dest_storage == "RF3"
+        ]
+        assert rf3_arrivals
+        for task in rf3_arrivals:
+            assert task.bus == "B2"  # only B2 reaches RF3
+
+
+class TestSpilling:
+    def _delivery_with_pending(self, graph):
+        for task_id in graph.register_deliveries():
+            if graph.consumers_of(task_id):
+                return task_id
+        raise AssertionError("no spillable delivery")
+
+    def test_spill_inserts_spill_and_reload(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        delivery = self._delivery_with_pending(graph)
+        before = len(graph.tasks)
+        spill_id, new_ids = graph.spill_delivery(delivery, covered=set())
+        assert graph.tasks[spill_id].is_spill
+        assert graph.tasks[spill_id].dest_storage == "DM"
+        reloads = [t for t in new_ids if graph.tasks[t].is_reload]
+        assert reloads
+        assert len(graph.tasks) > before - 1
+        graph.validate()
+        assert graph.spill_count == 1
+        assert graph.reload_count >= 1
+
+    def test_spill_rewires_consumers_to_reload(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        delivery = self._delivery_with_pending(graph)
+        consumers_before = graph.consumers_of(delivery)
+        spill_id, _ = graph.spill_delivery(delivery, covered=set())
+        # Only the spill still reads the original delivery.
+        assert graph.consumers_of(delivery) == [spill_id]
+        for consumer in consumers_before:
+            if consumer in graph.tasks:
+                assert all(
+                    r.producer != delivery
+                    for r in graph.tasks[consumer].reads
+                )
+
+    def test_pending_transfer_replaced_by_reload(self, fig2_dag, arch1):
+        # Fig. 9: a transfer of the spilled value out of its bank is
+        # removed and its consumers read a fresh reload instead.
+        graph = _graph_for(fig2_dag, arch1)
+        xfer = next(
+            t
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.XFER
+            and t.reads[0].producer is not None
+            and t.source_storage.startswith("RF")
+            and t.dest_storage.startswith("RF")
+        )
+        delivery = xfer.reads[0].producer
+        victim_id = xfer.task_id
+        graph.spill_delivery(delivery, covered=set())
+        assert victim_id not in graph.tasks  # obsolete transfer removed
+        graph.validate()
+
+    def test_spilling_pinned_delivery_rejected(self, arch1):
+        dag = BlockDAG()
+        diff = dag.operation(Opcode.SUB, (dag.var("a"), dag.var("b")))
+        dag.store("d", diff)
+        graph = _graph_for(dag, arch1, pin_value=diff)
+        pinned = next(iter(graph.pinned))
+        with pytest.raises(CoverageError):
+            graph.spill_delivery(pinned, covered=set())
+
+    def test_spill_without_pending_consumers_rejected(self, fig2_dag, arch1):
+        graph = _graph_for(fig2_dag, arch1)
+        delivery = self._delivery_with_pending(graph)
+        everything = set(graph.task_ids())
+        with pytest.raises(CoverageError):
+            graph.spill_delivery(delivery, covered=everything)

@@ -1,0 +1,262 @@
+"""End-to-end validation: generated code vs. the IR interpreter.
+
+These are the strongest tests in the suite: arbitrary expression DAGs
+are compiled through the full pipeline (Split-Node DAG → concurrent
+covering → register allocation → peephole → emission) and executed on
+the VLIW simulator; the final data memory must match the reference
+interpreter on every output variable, for every architecture.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.asmgen import compile_dag, compile_function
+from repro.covering import HeuristicConfig
+from repro.eval import WORKLOADS
+from repro.frontend import compile_source
+from repro.ir import BasicBlock, BlockDAG, Function, Opcode, interpret_function
+from repro.isdl import (
+    architecture_two,
+    control_flow_architecture,
+    dual_bus_architecture,
+    example_architecture,
+    mac_dsp_architecture,
+    single_unit_architecture,
+)
+from repro.simulator import run_program
+
+MACHINES = [
+    example_architecture(4),
+    example_architecture(2),
+    architecture_two(4),
+    dual_bus_architecture(4),
+    mac_dsp_architecture(4),
+    single_unit_architecture(8),
+]
+
+
+def check_block(dag: BlockDAG, machine, env, config=None, peephole=True):
+    function = Function("f")
+    function.add_block(BasicBlock("entry", dag))
+    reference = interpret_function(function, env)
+    compiled = compile_dag(dag, machine, config=config, peephole=peephole)
+    simulated = run_program(compiled.program, machine, env)
+    for symbol in dag.store_symbols():
+        assert simulated.variables[symbol] == reference[symbol], (
+            machine.name,
+            symbol,
+        )
+    return compiled
+
+
+class TestWorkloadsEverywhere:
+    @pytest.mark.parametrize(
+        "machine", MACHINES, ids=lambda m: m.name
+    )
+    @pytest.mark.parametrize(
+        "load", WORKLOADS, ids=lambda w: w.name
+    )
+    def test_workload_on_machine(self, load, machine):
+        check_block(load.build(), machine, load.inputs)
+
+    @pytest.mark.parametrize("load", WORKLOADS, ids=lambda w: w.name)
+    def test_workload_without_peephole(self, load):
+        check_block(
+            load.build(), example_architecture(2), load.inputs, peephole=False
+        )
+
+    @pytest.mark.parametrize("load", WORKLOADS[:3], ids=lambda w: w.name)
+    def test_workload_heuristics_off(self, load):
+        check_block(
+            load.build(),
+            example_architecture(4),
+            load.inputs,
+            config=HeuristicConfig.heuristics_off(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Random-DAG property tests
+# ----------------------------------------------------------------------
+
+_ARITH = [Opcode.ADD, Opcode.SUB, Opcode.MUL]
+
+
+@st.composite
+def random_blocks(draw):
+    """A random basic block over ADD/SUB/MUL with 1-10 operations."""
+    dag = BlockDAG()
+    leaf_count = draw(st.integers(2, 5))
+    values = [dag.var(f"v{i}") for i in range(leaf_count)]
+    values.append(dag.const(draw(st.integers(-8, 8))))
+    op_count = draw(st.integers(1, 10))
+    for _ in range(op_count):
+        opcode = draw(st.sampled_from(_ARITH))
+        left = draw(st.sampled_from(values))
+        right = draw(st.sampled_from(values))
+        values.append(dag.operation(opcode, (left, right)))
+    store_count = draw(st.integers(1, 3))
+    for index in range(store_count):
+        # Sometimes overwrite an input variable: stores racing the reads
+        # of their entry values exercise the anti-dependence machinery
+        # (including register-staged swap copies).
+        if draw(st.booleans()):
+            target = f"v{draw(st.integers(0, leaf_count - 1))}"
+        else:
+            target = f"out{index}"
+        dag.store(target, draw(st.sampled_from(values)))
+    env = {
+        f"v{i}": draw(st.integers(-100, 100)) for i in range(leaf_count)
+    }
+    return dag, env
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_blocks())
+def test_random_blocks_on_fig3_architecture(block):
+    dag, env = block
+    check_block(dag, example_architecture(4), env)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_blocks())
+def test_random_blocks_under_register_pressure(block):
+    dag, env = block
+    check_block(dag, example_architecture(2), env)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_blocks())
+def test_random_blocks_on_architecture_two(block):
+    dag, env = block
+    check_block(dag, architecture_two(4), env)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_blocks())
+def test_random_blocks_on_dual_bus(block):
+    dag, env = block
+    check_block(dag, dual_bus_architecture(4), env)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_blocks())
+def test_random_blocks_with_mac_patterns(block):
+    dag, env = block
+    check_block(dag, mac_dsp_architecture(4), env)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(random_blocks())
+def test_schedule_invariants_on_random_blocks(block):
+    from repro.covering import generate_block_solution
+    from repro.regalloc.liveness import pressure_profile
+
+    dag, _env = block
+    machine = example_architecture(2)
+    solution = generate_block_solution(dag, machine)
+    solution.validate()
+    for bank, counts in pressure_profile(solution).items():
+        capacity = machine.register_file(bank).size
+        assert all(count <= capacity for count in counts)
+
+
+# ----------------------------------------------------------------------
+# Whole programs with control flow
+# ----------------------------------------------------------------------
+
+
+class TestWholeProgramsEndToEnd:
+    SOURCES = {
+        "gcd_like": """
+            while (b != 0) { t = b; b = a % b; a = t; }
+        """,
+        "fir": """
+            acc = 0;
+            for (i = 0; i < 4; i = i + 1) { acc = acc + x[i] * h[i]; }
+        """,
+        "clamp": """
+            if (x < lo) { y = lo; } else if (x > hi) { y = hi; }
+            else { y = x; }
+        """,
+        "sum_of_squares": """
+            s = 0; i = 1;
+            while (i <= n) { s = s + i * i; i = i + 1; }
+        """,
+        "abs_diff": """
+            d = a - b;
+            if (d < 0) { d = 0 - d; }
+        """,
+    }
+
+    ENVS = {
+        "gcd_like": {"a": 48, "b": 18},
+        "fir": {
+            "x[0]": 1, "x[1]": -2, "x[2]": 3, "x[3]": -4,
+            "h[0]": 5, "h[1]": 6, "h[2]": 7, "h[3]": 8,
+        },
+        "clamp": {"x": 150, "lo": 0, "hi": 100},
+        "sum_of_squares": {"n": 6},
+        "abs_diff": {"a": 3, "b": 9},
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_program(self, name):
+        machine = control_flow_architecture(4)
+        function = compile_source(self.SOURCES[name])
+        env = self.ENVS[name]
+        reference = interpret_function(function, env)
+        compiled = compile_function(function, machine)
+        simulated = run_program(compiled.program, machine, env)
+        for symbol in function.variables():
+            if symbol in reference:
+                assert simulated.variables[symbol] == reference[symbol], (
+                    name,
+                    symbol,
+                )
+
+    def test_branch_on_variable(self):
+        machine = control_flow_architecture(4)
+        function = compile_source(
+            "if (flag) { r = 1; } else { r = 2; }"
+        )
+        compiled = compile_function(function, machine)
+        assert run_program(compiled.program, machine, {"flag": 1}).variables["r"] == 1
+        assert run_program(compiled.program, machine, {"flag": 0}).variables["r"] == 2
+
+    def test_assembler_binary_of_compiled_function_runs(self):
+        from repro.assembler import decode_program, encode_program
+
+        machine = control_flow_architecture(4)
+        function = compile_source(self.SOURCES["sum_of_squares"])
+        compiled = compile_function(function, machine)
+        decoded = decode_program(
+            encode_program(compiled.program, machine), machine
+        )
+        assert (
+            run_program(decoded, machine, {"n": 5}).variables["s"] == 55
+        )

@@ -1,0 +1,37 @@
+"""Every example script must run cleanly end to end.
+
+Each example validates its own generated code against the reference
+interpreter (asserting internally), so a zero exit status means the
+demonstrated flow actually works.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(SCRIPTS) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=str(EXAMPLES_DIR.parent),
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stdout[-800:]}"
+        f"\n{completed.stderr[-800:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,150 @@
+"""Tests for extensions beyond the paper's published system:
+
+- the register-aware assignment cost (the paper's stated ongoing work),
+- task-graph / schedule visualisation and slot-utilisation reporting.
+"""
+
+import pytest
+
+from repro.covering import (
+    HeuristicConfig,
+    TaskGraph,
+    explore_assignments,
+    generate_block_solution,
+)
+from repro.covering.render import (
+    schedule_table,
+    task_graph_to_dot,
+    utilization,
+)
+from repro.eval import workload
+from repro.ir import BlockDAG, Opcode
+from repro.isdl import example_architecture
+from repro.sndag import build_split_node_dag
+
+from conftest import build_fig2_dag, build_wide_dag
+
+
+class TestRegisterAwareAssignment:
+    def test_flag_changes_costs_under_pressure(self):
+        # Eight independent products forced through few registers: the
+        # register-aware model must distribute work or pay penalties.
+        machine = example_architecture(2)
+        dag = build_wide_dag(6)
+        sn = build_split_node_dag(dag, machine)
+        plain = explore_assignments(
+            sn, HeuristicConfig.default()
+        )
+        aware = explore_assignments(
+            sn,
+            HeuristicConfig.default().with_(register_aware_assignment=True),
+        )
+        assert plain and aware
+        # Costs include penalties now, so totals differ (or at minimum,
+        # are not cheaper).
+        assert aware[0].cost >= plain[0].cost
+
+    def test_no_penalty_when_bank_is_large(self):
+        machine = example_architecture(8)
+        dag = build_fig2_dag()
+        sn = build_split_node_dag(dag, machine)
+        plain = explore_assignments(sn, HeuristicConfig.default())
+        aware = explore_assignments(
+            sn,
+            HeuristicConfig.default().with_(register_aware_assignment=True),
+        )
+        assert [a.signature() for a in plain] == [
+            a.signature() for a in aware
+        ]
+        assert [a.cost for a in plain] == [a.cost for a in aware]
+
+    def test_quality_not_hurt_on_table_workloads(self):
+        machine = example_architecture(2)
+        for name in ("Ex4", "Ex5"):
+            dag = workload(name).build()
+            plain = generate_block_solution(dag, machine)
+            aware = generate_block_solution(
+                dag,
+                machine,
+                HeuristicConfig.default().with_(
+                    register_aware_assignment=True
+                ),
+            )
+            aware.validate()
+            # The extension may help; it must not blow up code size.
+            assert (
+                aware.instruction_count
+                <= plain.instruction_count + 2
+            )
+
+    def test_penalty_scales_with_weight(self):
+        machine = example_architecture(2)
+        dag = build_wide_dag(6)
+        sn = build_split_node_dag(dag, machine)
+        gentle = explore_assignments(
+            sn,
+            HeuristicConfig.default().with_(
+                register_aware_assignment=True, spill_penalty=1
+            ),
+        )
+        harsh = explore_assignments(
+            sn,
+            HeuristicConfig.default().with_(
+                register_aware_assignment=True, spill_penalty=10
+            ),
+        )
+        assert harsh[0].cost >= gentle[0].cost
+
+
+class TestRendering:
+    @pytest.fixture
+    def solution(self, arch1):
+        return generate_block_solution(build_fig2_dag(), arch1)
+
+    def test_task_graph_dot(self, solution):
+        dot = task_graph_to_dot(solution.graph)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        for task_id in solution.graph.task_ids():
+            assert f"t{task_id} " in dot
+
+    def test_dot_marks_spills(self):
+        machine = example_architecture(2)
+        solution = generate_block_solution(
+            workload("Ex5").build(), machine
+        )
+        if solution.spill_count:
+            dot = task_graph_to_dot(solution.graph)
+            assert "lightcoral" in dot
+
+    def test_dot_shows_anti_dependences(self, arch1):
+        dag = BlockDAG()
+        x = dag.var("x")
+        dag.store("y", x)
+        dag.store("x", dag.operation(Opcode.ADD, (x, x)))
+        solution = generate_block_solution(dag, arch1)
+        assert "style=dashed" in task_graph_to_dot(solution.graph)
+
+    def test_schedule_table_one_row_per_cycle(self, solution):
+        table = schedule_table(solution)
+        rows = [
+            line
+            for line in table.splitlines()
+            if line and line[:5].strip().isdigit()
+        ]
+        assert len(rows) == solution.instruction_count
+
+    def test_utilization_bounds(self, solution):
+        use = utilization(solution)
+        machine = solution.graph.machine
+        assert set(use) == set(
+            machine.unit_names() + machine.bus_names()
+        )
+        for fraction in use.values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_single_bus_is_bottleneck(self, solution):
+        # On the Fig. 3 machine with memory-resident operands, the bus
+        # works hardest.
+        use = utilization(solution)
+        assert use["B1"] == max(use.values())

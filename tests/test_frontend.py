@@ -1,0 +1,270 @@
+"""Tests for the minic lexer, parser, and lowering."""
+
+import pytest
+
+from repro.errors import LexError, ParseError, SemanticError
+from repro.frontend import ast, compile_source, parse_program, tokenize_source
+from repro.frontend.lower import element_symbol, lower_program
+from repro.ir import Branch, Jump, Opcode, Return, interpret_function
+
+
+class TestLexer:
+    def test_numbers_and_idents(self):
+        kinds = [(t.kind, t.text) for t in tokenize_source("x1 = 42;")]
+        assert kinds[:4] == [
+            ("IDENT", "x1"),
+            ("OP", "="),
+            ("NUMBER", "42"),
+            ("PUNCT", ";"),
+        ]
+
+    def test_keywords_distinguished(self):
+        tokens = tokenize_source("if while for forx")
+        assert [t.kind for t in tokens[:4]] == [
+            "KEYWORD",
+            "KEYWORD",
+            "KEYWORD",
+            "IDENT",
+        ]
+
+    def test_greedy_multichar_operators(self):
+        tokens = tokenize_source("a <= b << 2")
+        operators = [t.text for t in tokens if t.kind == "OP"]
+        assert operators == ["<=", "<<"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize_source("a = 1; # hello\nb = 2; // world\n")
+        texts = [t.text for t in tokens if t.kind == "IDENT"]
+        assert texts == ["a", "b"]
+
+    def test_bad_character_raises_with_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize_source("a = @;")
+        assert info.value.line == 1
+
+    def test_line_tracking(self):
+        tokens = tokenize_source("a\nbb\nccc")
+        lines = [t.line for t in tokens if t.kind == "IDENT"]
+        assert lines == [1, 2, 3]
+
+
+class TestParser:
+    def test_simple_assignment(self):
+        program = parse_program("x = a + b;")
+        (stmt,) = program.statements
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == ast.Name("x")
+        assert isinstance(stmt.expr, ast.Binary)
+
+    def test_precedence_mul_binds_tighter(self):
+        (stmt,) = parse_program("x = a + b * c;").statements
+        assert stmt.expr.op == "+"
+        assert stmt.expr.right.op == "*"
+
+    def test_parentheses_override(self):
+        (stmt,) = parse_program("x = (a + b) * c;").statements
+        assert stmt.expr.op == "*"
+        assert stmt.expr.left.op == "+"
+
+    def test_left_associativity(self):
+        (stmt,) = parse_program("x = a - b - c;").statements
+        assert stmt.expr.op == "-"
+        assert stmt.expr.left.op == "-"
+
+    def test_comparison_weaker_than_shift(self):
+        (stmt,) = parse_program("x = a << 1 < b;").statements
+        assert stmt.expr.op == "<"
+
+    def test_unary_chains(self):
+        (stmt,) = parse_program("x = - - a;").statements
+        assert stmt.expr == ast.Unary("-", ast.Unary("-", ast.Name("a")))
+
+    def test_min_max_abs(self):
+        (stmt,) = parse_program("x = min(a, max(b, 1)) + abs(c);").statements
+        assert stmt.expr.left.op == "min"
+        assert stmt.expr.left.right.op == "max"
+        assert stmt.expr.right == ast.Unary("abs", ast.Name("c"))
+
+    def test_array_target_and_read(self):
+        (stmt,) = parse_program("a[2] = b[i + 1];").statements
+        assert stmt.target == ast.Index("a", ast.Num(2))
+        assert isinstance(stmt.expr, ast.Index)
+
+    def test_if_else_chain(self):
+        (stmt,) = parse_program(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+        ).statements
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.orelse[0], ast.If)
+
+    def test_while_and_for(self):
+        program = parse_program(
+            "while (a) { a = a - 1; } for (i = 0; i < 3; i = i + 1) { s = s + i; }"
+        )
+        assert isinstance(program.statements[0], ast.While)
+        assert isinstance(program.statements[1], ast.For)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("x = 1")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("if (a) { x = 1;")
+
+    def test_garbage_expression_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("x = ;")
+
+    def test_substitute_helper(self):
+        expr = ast.Binary("+", ast.Name("i"), ast.Index("a", ast.Name("i")))
+        result = ast.substitute(expr, "i", ast.Num(3))
+        assert result.left == ast.Num(3)
+        assert result.right.index == ast.Num(3)
+
+
+class TestLowering:
+    def test_straight_line_single_block(self):
+        function = compile_source("y = a * b + c;", optimize=False)
+        assert len(function) == 1
+
+    def test_value_forwarding_within_block(self):
+        # t is reused directly, not reloaded from memory.
+        function = compile_source("t = a + b; u = t * t;", optimize=False)
+        block = next(iter(function))
+        assert "t" not in block.dag.var_symbols()
+
+    def test_all_assigned_variables_stored(self):
+        function = compile_source("t = a + b; u = t * 2;", optimize=False)
+        block = next(iter(function))
+        assert set(block.dag.store_symbols()) == {"t", "u"}
+
+    def test_constant_folding_during_lowering(self):
+        function = compile_source("x = 2 * 3 + 1;", optimize=False)
+        block = next(iter(function))
+        assert block.dag.operation_nodes() == []
+        store = block.dag.node(block.dag.stores[0])
+        assert block.dag.node(store.operands[0]).value == 7
+
+    def test_division_by_zero_not_folded(self):
+        function = compile_source("x = 1 / 0;", optimize=False)
+        block = next(iter(function))
+        assert len(block.dag.operation_nodes()) == 1
+
+    def test_if_creates_branch_structure(self):
+        function = compile_source(
+            "if (a < b) { x = 1; } else { x = 2; }", optimize=False
+        )
+        entry = function.block(function.entry)
+        assert isinstance(entry.terminator, Branch)
+        env_true = interpret_function(function, {"a": 0, "b": 5})
+        env_false = interpret_function(function, {"a": 5, "b": 0})
+        assert env_true["x"] == 1
+        assert env_false["x"] == 2
+
+    def test_while_semantics(self):
+        function = compile_source(
+            "s = 0; while (n > 0) { s = s + n; n = n - 1; }", optimize=False
+        )
+        assert interpret_function(function, {"n": 4})["s"] == 10
+
+    def test_for_desugars_to_while(self):
+        function = compile_source(
+            "s = 0; for (i = 0; i < 5; i = i + 1) { s = s + i; }",
+            optimize=False,
+        )
+        assert interpret_function(function)["s"] == 10
+
+    def test_dynamic_array_index_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("x = a[n];", optimize=False)
+
+    def test_constant_array_index_resolved(self):
+        function = compile_source("x = a[2] + a[1 + 1];", optimize=False)
+        block = next(iter(function))
+        assert block.dag.var_symbols() == ["a[2]"]
+
+    def test_negative_array_index_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source("x = a[0 - 1];", optimize=False)
+
+    def test_array_write_then_read_forwarded(self):
+        function = compile_source("a[0] = 5; x = a[0] * 2;", optimize=False)
+        assert interpret_function(function)["x"] == 10
+
+    def test_logical_not(self):
+        function = compile_source("x = !a;", optimize=False)
+        assert interpret_function(function, {"a": 0})["x"] == 1
+        assert interpret_function(function, {"a": 3})["x"] == 0
+
+    def test_element_symbol_format(self):
+        assert element_symbol("buf", 3) == "buf[3]"
+        with pytest.raises(SemanticError):
+            element_symbol("buf", -1)
+
+    def test_unrolled_fir_is_single_block(self):
+        function = compile_source(
+            """
+            acc = 0;
+            for (i = 0; i < 4; i = i + 1) { acc = acc + x[i] * h[i]; }
+            """
+        )
+        assert len(function) == 1
+        env = {f"x[{i}]": i + 1 for i in range(4)}
+        env.update({f"h[{i}]": 2 for i in range(4)})
+        assert interpret_function(function, env)["acc"] == 2 * (1 + 2 + 3 + 4)
+
+    @pytest.mark.parametrize(
+        "a, b, expected_and, expected_or",
+        [
+            (0, 0, 0, 0),
+            (0, 7, 0, 1),
+            (3, 0, 0, 1),
+            (3, 7, 1, 1),
+            (-2, 5, 1, 1),
+        ],
+    )
+    def test_logical_operators(self, a, b, expected_and, expected_or):
+        function = compile_source(
+            "x = a && b; y = a || b;", optimize=False
+        )
+        env = interpret_function(function, {"a": a, "b": b})
+        assert env["x"] == expected_and
+        assert env["y"] == expected_or
+
+    def test_logical_precedence(self):
+        # && binds tighter than ||: a && b || c == (a && b) || c.
+        function = compile_source("t = a && b || c;", optimize=False)
+        assert interpret_function(function, {"a": 1, "b": 0, "c": 1})["t"] == 1
+        assert interpret_function(function, {"a": 1, "b": 0, "c": 0})["t"] == 0
+
+    def test_logical_result_is_boolean(self):
+        function = compile_source("x = a && b;", optimize=False)
+        assert interpret_function(function, {"a": 5, "b": 9})["x"] == 1
+
+    def test_logical_in_condition(self):
+        function = compile_source(
+            "if (lo <= x && x <= hi) { ok = 1; } else { ok = 0; }",
+            optimize=False,
+        )
+        assert (
+            interpret_function(function, {"lo": 0, "x": 5, "hi": 9})["ok"]
+            == 1
+        )
+        assert (
+            interpret_function(function, {"lo": 0, "x": 50, "hi": 9})["ok"]
+            == 0
+        )
+
+    def test_nested_if_in_loop(self):
+        function = compile_source(
+            """
+            s = 0;
+            while (n > 0) {
+              if (n % 2 == 0) { s = s + n; }
+              n = n - 1;
+            }
+            """,
+            optimize=False,
+        )
+        assert interpret_function(function, {"n": 6})["s"] == 6 + 4 + 2

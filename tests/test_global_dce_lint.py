@@ -1,0 +1,141 @@
+"""Tests for function-level dead-store elimination and the ISDL linter."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import interpret_function
+from repro.isdl import (
+    LintWarning,
+    example_architecture,
+    lint_machine,
+    parse_machine,
+)
+from repro.opt import eliminate_dead_stores, variable_liveness
+
+
+class TestVariableLiveness:
+    def test_straight_line_all_outputs_live(self):
+        function = compile_source("t = a + b; u = t * 2;", optimize=False)
+        live = variable_liveness(function)
+        (name,) = function.block_names
+        assert {"t", "u"} <= live[name]
+
+    def test_restricted_outputs(self):
+        function = compile_source("t = a + b; u = t * 2;", optimize=False)
+        live = variable_liveness(function, outputs=["u"])
+        (name,) = function.block_names
+        assert "u" in live[name]
+        assert "t" not in live[name]
+
+    def test_loop_carried_variable_stays_live(self):
+        function = compile_source(
+            "s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; }",
+            optimize=False,
+        )
+        live = variable_liveness(function, outputs=["s"])
+        # In the loop body block, both s and i must be live-out (the
+        # header re-reads them).
+        body = [
+            b
+            for b in function
+            if "s" in b.dag.store_symbols() and "i" in b.dag.store_symbols()
+        ]
+        assert body
+        assert {"s", "i"} <= live[body[0].name]
+
+
+class TestEliminateDeadStores:
+    def test_dead_temp_removed(self):
+        function = compile_source("t = a + b; u = t * 2;", optimize=False)
+        removed = eliminate_dead_stores(function, outputs=["u"])
+        assert removed == 1
+        (block,) = list(function)
+        assert block.dag.store_symbols() == ["u"]
+
+    def test_semantics_preserved_for_outputs(self):
+        source = "t = a + b; u = t * t; v = u - a;"
+        env = {"a": 3, "b": 4}
+        reference = interpret_function(compile_source(source), env)
+        function = compile_source(source)
+        eliminate_dead_stores(function, outputs=["v"])
+        result = interpret_function(function, env)
+        assert result["v"] == reference["v"]
+
+    def test_default_outputs_keep_everything(self):
+        function = compile_source("t = a + b; u = t * 2;", optimize=False)
+        assert eliminate_dead_stores(function) == 0
+
+    def test_induction_variable_dies_after_unrolled_loop(self):
+        function = compile_source(
+            "acc = 0; for (i = 0; i < 4; i = i + 1) { acc = acc + x[i]; }"
+        )
+        removed = eliminate_dead_stores(function, outputs=["acc"])
+        assert removed >= 1  # the final i store goes away
+        (block,) = list(function)
+        assert "i" not in block.dag.store_symbols()
+
+    def test_branch_condition_survives(self):
+        function = compile_source(
+            "if (a < b) { r = 1; } else { r = 2; }", optimize=False
+        )
+        eliminate_dead_stores(function, outputs=["r"])
+        function.validate()
+        assert interpret_function(function, {"a": 0, "b": 9})["r"] == 1
+
+    def test_loop_program_still_correct(self):
+        source = "s = 0; i = 0; while (i < 5) { s = s + i * i; i = i + 1; }"
+        function = compile_source(source)
+        eliminate_dead_stores(function, outputs=["s"])
+        assert interpret_function(function, {})["s"] == 30
+
+
+class TestLint:
+    def test_builtins_are_clean(self):
+        from repro.isdl.builtin_machines import BUILTIN_MACHINES
+
+        for key, factory in BUILTIN_MACHINES.items():
+            assert lint_machine(factory()) == [], key
+
+    def _codes(self, source):
+        return {w.code for w in lint_machine(parse_machine(source))}
+
+    def test_isolated_regfile(self):
+        codes = self._codes(
+            "machine m { memory DM size 16; regfile R1 size 2;"
+            " regfile R2 size 2;"
+            " unit U1 regfile R1 { op ADD; } unit U2 regfile R2 { op SUB; }"
+            " bus B connects DM, R1; }"
+        )
+        assert "isolated-regfile" in codes
+        assert "unreachable-unit" in codes
+        assert "writeback-impossible" in codes
+
+    def test_unused_regfile(self):
+        codes = self._codes(
+            "machine m { memory DM size 16; regfile R1 size 2;"
+            " regfile SPARE size 2;"
+            " unit U1 regfile R1 { op ADD; }"
+            " bus B connects DM, R1, SPARE; }"
+        )
+        assert "unused-regfile" in codes
+
+    def test_bank_too_small(self):
+        codes = self._codes(
+            "machine m { memory DM size 16; regfile R1 size 1;"
+            " unit U1 regfile R1 { op ADD; }"
+            " bus B connects DM, R1; }"
+        )
+        assert "bank-too-small" in codes
+
+    def test_vacuous_constraint(self):
+        codes = self._codes(
+            "machine m { memory DM size 16; regfile R1 size 4;"
+            " unit U1 regfile R1 { op ADD; op SUB; }"
+            " bus B connects DM, R1;"
+            " constraint never U1.ADD & U1.SUB; }"
+        )
+        assert "vacuous-constraint" in codes
+
+    def test_warning_str(self):
+        warning = LintWarning("demo", "message")
+        assert str(warning) == "[demo] message"

@@ -1,0 +1,139 @@
+"""Word arithmetic shared between the interpreter and the simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir.arith import WORD_MAX, WORD_MIN, apply_operation, wrap
+from repro.ir.ops import Opcode
+
+words = st.integers(min_value=WORD_MIN, max_value=WORD_MAX)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(0) == 0
+        assert wrap(WORD_MAX) == WORD_MAX
+        assert wrap(WORD_MIN) == WORD_MIN
+
+    def test_overflow_wraps_negative(self):
+        assert wrap(WORD_MAX + 1) == WORD_MIN
+
+    def test_underflow_wraps_positive(self):
+        assert wrap(WORD_MIN - 1) == WORD_MAX
+
+    def test_full_period(self):
+        assert wrap(2**32) == 0
+        assert wrap(-(2**32)) == 0
+
+    @given(st.integers(-(2**80), 2**80))
+    def test_always_in_range(self, value):
+        assert WORD_MIN <= wrap(value) <= WORD_MAX
+
+    @given(words)
+    def test_idempotent(self, value):
+        assert wrap(wrap(value)) == wrap(value)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize(
+        "opcode, a, b, expected",
+        [
+            (Opcode.ADD, 2, 3, 5),
+            (Opcode.SUB, 2, 3, -1),
+            (Opcode.MUL, -4, 5, -20),
+            (Opcode.DIV, 7, 2, 3),
+            (Opcode.DIV, -7, 2, -3),  # trunc toward zero
+            (Opcode.DIV, 7, -2, -3),
+            (Opcode.MOD, 7, 3, 1),
+            (Opcode.MOD, -7, 3, -1),
+            (Opcode.AND, 0b1100, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0b1110),
+            (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+            (Opcode.SHL, 1, 4, 16),
+            (Opcode.SHR, -8, 1, -4),  # arithmetic shift
+            (Opcode.MIN, 3, -2, -2),
+            (Opcode.MAX, 3, -2, 3),
+            (Opcode.EQ, 5, 5, 1),
+            (Opcode.EQ, 5, 6, 0),
+            (Opcode.NE, 5, 6, 1),
+            (Opcode.LT, -1, 0, 1),
+            (Opcode.LE, 0, 0, 1),
+            (Opcode.GT, 1, 0, 1),
+            (Opcode.GE, -1, 0, 0),
+        ],
+    )
+    def test_basic_results(self, opcode, a, b, expected):
+        assert apply_operation(opcode, a, b) == expected
+
+    def test_mul_overflow_wraps(self):
+        assert apply_operation(Opcode.MUL, 2**20, 2**20) == wrap(2**40)
+
+    def test_add_overflow_wraps(self):
+        assert apply_operation(Opcode.ADD, WORD_MAX, 1) == WORD_MIN
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(IRError):
+            apply_operation(Opcode.DIV, 1, 0)
+
+    def test_mod_by_zero_raises(self):
+        with pytest.raises(IRError):
+            apply_operation(Opcode.MOD, 1, 0)
+
+    def test_shift_uses_low_five_bits(self):
+        assert apply_operation(Opcode.SHL, 1, 33) == 2
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(IRError):
+            apply_operation(Opcode.ADD, 1)
+
+    @given(words, words)
+    def test_add_commutes(self, a, b):
+        assert apply_operation(Opcode.ADD, a, b) == apply_operation(
+            Opcode.ADD, b, a
+        )
+
+    @given(words, words)
+    def test_sub_antisymmetric(self, a, b):
+        assert apply_operation(Opcode.SUB, a, b) == wrap(
+            -apply_operation(Opcode.SUB, b, a)
+        )
+
+    @given(words, st.integers(min_value=WORD_MIN, max_value=-1).map(abs))
+    def test_div_mod_consistency(self, a, b):
+        quotient = apply_operation(Opcode.DIV, a, b)
+        remainder = apply_operation(Opcode.MOD, a, b)
+        assert wrap(quotient * b + remainder) == a
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize(
+        "opcode, a, expected",
+        [
+            (Opcode.NEG, 5, -5),
+            (Opcode.NEG, 0, 0),
+            (Opcode.NOT, 0, -1),
+            (Opcode.NOT, -1, 0),
+            (Opcode.ABS, -7, 7),
+            (Opcode.ABS, 7, 7),
+        ],
+    )
+    def test_basic_results(self, opcode, a, expected):
+        assert apply_operation(opcode, a) == expected
+
+    def test_neg_min_wraps(self):
+        assert apply_operation(Opcode.NEG, WORD_MIN) == WORD_MIN
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(IRError):
+            apply_operation(Opcode.NEG, 1, 2)
+
+    def test_leaf_opcode_raises(self):
+        with pytest.raises(IRError):
+            apply_operation(Opcode.CONST, 1)
+
+    @given(words)
+    def test_not_is_involution(self, a):
+        assert apply_operation(
+            Opcode.NOT, apply_operation(Opcode.NOT, a)
+        ) == a

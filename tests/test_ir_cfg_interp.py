@@ -1,0 +1,178 @@
+"""Tests for basic blocks, functions, and the reference interpreter."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BasicBlock,
+    BlockDAG,
+    Branch,
+    Function,
+    Jump,
+    Opcode,
+    Return,
+    evaluate_dag,
+    format_function,
+    interpret_function,
+)
+from repro.ir.interp import execute_block
+
+
+class TestBasicBlock:
+    def test_empty_name_rejected(self):
+        with pytest.raises(IRError):
+            BasicBlock("")
+
+    def test_default_terminator_is_return(self):
+        assert isinstance(BasicBlock("b").terminator, Return)
+
+    def test_invalid_terminator_rejected(self):
+        with pytest.raises(IRError):
+            BasicBlock("b").set_terminator("jump somewhere")
+
+    def test_branch_condition_must_be_in_dag(self):
+        block = BasicBlock("b")
+        with pytest.raises(IRError):
+            block.set_terminator(Branch(42, "x", "y"))
+
+    def test_successors(self):
+        block = BasicBlock("b")
+        assert block.successors() == []
+        block.set_terminator(Jump("t"))
+        assert block.successors() == ["t"]
+        condition = block.dag.var("c")
+        block.set_terminator(Branch(condition, "yes", "no"))
+        assert block.successors() == ["yes", "no"]
+
+
+class TestFunction:
+    def test_duplicate_block_rejected(self):
+        function = Function("f")
+        function.new_block("a")
+        with pytest.raises(IRError):
+            function.new_block("a")
+
+    def test_missing_entry_fails_validation(self):
+        function = Function("f", entry="nope")
+        function.new_block("a")
+        with pytest.raises(IRError):
+            function.validate()
+
+    def test_dangling_target_fails_validation(self):
+        function = Function("f", entry="a")
+        block = function.new_block("a")
+        block.set_terminator(Jump("ghost"))
+        with pytest.raises(IRError):
+            function.validate()
+
+    def test_block_lookup(self):
+        function = Function("f")
+        function.new_block("a")
+        assert function.block("a").name == "a"
+        assert "a" in function
+        with pytest.raises(IRError):
+            function.block("zzz")
+
+    def test_variables_sorted_union_of_reads_and_writes(self):
+        function = Function("f", entry="a")
+        block = function.new_block("a")
+        value = block.dag.operation(
+            Opcode.ADD, (block.dag.var("x"), block.dag.var("b"))
+        )
+        block.dag.store("z", value)
+        assert function.variables() == ["b", "x", "z"]
+
+    def test_format_function_runs(self):
+        function = Function("f", entry="a")
+        block = function.new_block("a")
+        block.dag.store("y", block.dag.const(1))
+        assert "function f" in format_function(function)
+
+
+class TestEvaluateDag:
+    def test_missing_variables_default_to_zero(self):
+        dag = BlockDAG()
+        value = dag.operation(Opcode.ADD, (dag.var("a"), dag.const(5)))
+        values = evaluate_dag(dag, {})
+        assert values[value] == 5
+
+    def test_store_evaluates_to_stored_value(self):
+        dag = BlockDAG()
+        store = dag.store("x", dag.const(9))
+        assert evaluate_dag(dag, {})[store] == 9
+
+    def test_execute_block_updates_only_stored(self):
+        dag = BlockDAG()
+        dag.store("x", dag.operation(Opcode.MUL, (dag.var("a"), dag.const(2))))
+        env = execute_block(dag, {"a": 4, "other": 1})
+        assert env == {"a": 4, "other": 1, "x": 8}
+
+    def test_reads_see_entry_values_not_stores(self):
+        # A store to 'a' in the same block must not affect var('a') reads.
+        dag = BlockDAG()
+        a = dag.var("a")
+        dag.store("a", dag.const(99))
+        doubled = dag.operation(Opcode.ADD, (a, a))
+        dag.store("b", doubled)
+        env = execute_block(dag, {"a": 5})
+        assert env["b"] == 10
+        assert env["a"] == 99
+
+
+class TestInterpretFunction:
+    def test_straight_line(self, fig2_dag):
+        function = Function("f", entry="entry")
+        function.add_block(BasicBlock("entry", fig2_dag))
+        env = interpret_function(function, {"a": 1, "b": 2, "c": 3, "d": 4})
+        assert env["out"] == (1 + 2) - (3 * 4)
+
+    def test_branch_both_arms(self):
+        function = Function("f")
+        entry = function.new_block("entry")
+        condition = entry.dag.operation(
+            Opcode.LT, (entry.dag.var("x"), entry.dag.const(10))
+        )
+        entry.set_terminator(Branch(condition, "small", "big"))
+        small = function.new_block("small")
+        small.dag.store("r", small.dag.const(1))
+        big = function.new_block("big")
+        big.dag.store("r", big.dag.const(2))
+        assert interpret_function(function, {"x": 5})["r"] == 1
+        assert interpret_function(function, {"x": 50})["r"] == 2
+
+    def test_loop_accumulates(self):
+        function = Function("f")
+        entry = function.new_block("entry")
+        entry.dag.store("i", entry.dag.const(0))
+        entry.dag.store("s", entry.dag.const(0))
+        entry.set_terminator(Jump("head"))
+        head = function.new_block("head")
+        condition = head.dag.operation(
+            Opcode.LT, (head.dag.var("i"), head.dag.const(4))
+        )
+        head.set_terminator(Branch(condition, "body", "exit"))
+        body = function.new_block("body")
+        i = body.dag.var("i")
+        body.dag.store(
+            "s", body.dag.operation(Opcode.ADD, (body.dag.var("s"), i))
+        )
+        body.dag.store(
+            "i", body.dag.operation(Opcode.ADD, (i, body.dag.const(1)))
+        )
+        body.set_terminator(Jump("head"))
+        function.new_block("exit")
+        assert interpret_function(function)["s"] == 0 + 1 + 2 + 3
+
+    def test_nontermination_guard(self):
+        function = Function("f")
+        entry = function.new_block("entry")
+        entry.set_terminator(Jump("entry"))
+        with pytest.raises(IRError):
+            interpret_function(function, max_steps=10)
+
+    def test_initial_values_wrapped(self):
+        function = Function("f")
+        block = function.new_block("entry")
+        block.dag.store("y", block.dag.var("x"))
+        env = interpret_function(function, {"x": 2**33 + 5})
+        assert env["y"] == 5

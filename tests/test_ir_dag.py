@@ -1,0 +1,201 @@
+"""Tests for the hash-consed basic-block expression DAG."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import BlockDAG, Opcode
+from repro.ir.ops import (
+    OPCODE_INFO,
+    arity_of,
+    is_leaf,
+    is_operation,
+)
+from repro.ir.ops import is_commutative
+
+
+class TestOpcodeTables:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_INFO
+
+    def test_leaves(self):
+        assert is_leaf(Opcode.CONST)
+        assert is_leaf(Opcode.VAR)
+        assert not is_leaf(Opcode.ADD)
+        assert not is_leaf(Opcode.STORE)
+
+    def test_operations_exclude_meta(self):
+        assert is_operation(Opcode.ADD)
+        assert is_operation(Opcode.NOT)
+        assert not is_operation(Opcode.STORE)
+        assert not is_operation(Opcode.VAR)
+
+    def test_arities(self):
+        assert arity_of(Opcode.ADD) == 2
+        assert arity_of(Opcode.NEG) == 1
+        assert arity_of(Opcode.CONST) == 0
+        assert arity_of(Opcode.STORE) == 1
+
+    def test_commutativity(self):
+        assert is_commutative(Opcode.ADD)
+        assert is_commutative(Opcode.MUL)
+        assert not is_commutative(Opcode.SUB)
+        assert not is_commutative(Opcode.SHL)
+
+
+class TestConstruction:
+    def test_var_interning(self):
+        dag = BlockDAG()
+        assert dag.var("a") == dag.var("a")
+        assert dag.var("a") != dag.var("b")
+
+    def test_const_interning(self):
+        dag = BlockDAG()
+        assert dag.const(5) == dag.const(5)
+        assert dag.const(5) != dag.const(6)
+
+    def test_operation_cse(self):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        first = dag.operation(Opcode.ADD, (a, b))
+        second = dag.operation(Opcode.ADD, (a, b))
+        assert first == second
+
+    def test_operand_order_distinguishes(self):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        assert dag.operation(Opcode.SUB, (a, b)) != dag.operation(
+            Opcode.SUB, (b, a)
+        )
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(IRError):
+            BlockDAG().var("")
+
+    def test_wrong_arity_rejected(self):
+        dag = BlockDAG()
+        a = dag.var("a")
+        with pytest.raises(IRError):
+            dag.operation(Opcode.ADD, (a,))
+
+    def test_leaf_opcode_via_operation_rejected(self):
+        with pytest.raises(IRError):
+            BlockDAG().operation(Opcode.CONST, ())
+
+    def test_unknown_operand_rejected(self):
+        dag = BlockDAG()
+        with pytest.raises(IRError):
+            dag.operation(Opcode.NEG, (99,))
+
+    def test_store_records_program_order(self):
+        dag = BlockDAG()
+        a = dag.var("a")
+        dag.store("x", a)
+        dag.store("y", a)
+        assert dag.store_symbols() == ["x", "y"]
+
+    def test_second_store_same_symbol_replaces_first(self):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        dag.store("x", a)
+        dag.store("x", b)
+        assert dag.store_symbols() == ["x"]
+        store = dag.node(dag.stores[0])
+        assert store.operands == (b,)
+
+    def test_remove_store(self):
+        dag = BlockDAG()
+        dag.store("x", dag.var("a"))
+        assert dag.remove_store("x")
+        assert dag.store_symbols() == []
+        assert not dag.remove_store("x")
+
+
+class TestInspection:
+    def build(self):
+        dag = BlockDAG()
+        a, b, c = dag.var("a"), dag.var("b"), dag.const(3)
+        add = dag.operation(Opcode.ADD, (a, b))
+        mul = dag.operation(Opcode.MUL, (add, c))
+        dag.store("out", mul)
+        return dag, (a, b, c, add, mul)
+
+    def test_node_lookup(self):
+        dag, (a, *_rest) = self.build()
+        assert dag.node(a).symbol == "a"
+        with pytest.raises(IRError):
+            dag.node(999)
+
+    def test_contains_and_len(self):
+        dag, nodes = self.build()
+        assert all(n in dag for n in nodes)
+        assert len(dag) == 6  # 3 leaves + 2 ops + 1 store
+
+    def test_operation_and_leaf_partition(self):
+        dag, (a, b, c, add, mul) = self.build()
+        assert set(dag.operation_nodes()) == {add, mul}
+        assert set(dag.leaf_nodes()) == {a, b, c}
+
+    def test_consumers(self):
+        dag, (a, b, c, add, mul) = self.build()
+        consumers = dag.consumers()
+        assert consumers[add] == [mul]
+        assert consumers[a] == [add]
+
+    def test_schedule_order_operands_first(self):
+        dag, _ = self.build()
+        order = dag.schedule_order()
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for node in dag:
+            for operand in node.operands:
+                assert position[operand] < position[node.node_id]
+
+    def test_depths(self):
+        dag, (a, b, c, add, mul) = self.build()
+        from_leaves = dag.depth_from_leaves()
+        assert from_leaves[a] == 0
+        assert from_leaves[add] == 1
+        assert from_leaves[mul] == 2
+        from_roots = dag.depth_from_roots()
+        assert from_roots[mul] == 1  # store -> mul
+        assert from_roots[a] == 3
+
+    def test_stats(self):
+        dag, _ = self.build()
+        stats = dag.stats()
+        assert stats["operation_nodes"] == 2
+        assert stats["leaf_nodes"] == 3
+        assert stats["store_nodes"] == 1
+        assert stats["paper_nodes"] == 5
+
+    def test_var_symbols_first_use_order(self):
+        dag = BlockDAG()
+        dag.var("z")
+        dag.var("a")
+        assert dag.var_symbols() == ["z", "a"]
+
+    def test_validate_accepts_well_formed(self):
+        dag, _ = self.build()
+        dag.validate()
+
+    def test_iteration_is_id_sorted(self):
+        dag, _ = self.build()
+        ids = [node.node_id for node in dag]
+        assert ids == sorted(ids)
+
+
+class TestPrinter:
+    def test_format_dag_mentions_all_nodes(self, fig2_dag):
+        from repro.ir import format_dag
+
+        text = format_dag(fig2_dag)
+        assert "ADD" in text and "MUL" in text and "SUB" in text
+        assert "store out" in text
+
+    def test_dot_export_is_digraph(self, fig2_dag):
+        from repro.ir import dag_to_dot
+
+        dot = dag_to_dot(fig2_dag)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot

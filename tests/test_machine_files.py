@@ -1,0 +1,42 @@
+"""The shipped ISDL files in machines/ stay in sync with the builtins."""
+
+import pathlib
+
+import pytest
+
+from repro.isdl import BUILTIN_MACHINES, machine_to_isdl, parse_machine
+
+MACHINES_DIR = pathlib.Path(__file__).parent.parent / "machines"
+
+
+@pytest.mark.parametrize("key", sorted(BUILTIN_MACHINES))
+def test_shipped_file_matches_builtin(key):
+    path = MACHINES_DIR / f"{key}.isdl"
+    assert path.exists(), f"machines/{key}.isdl missing"
+    parsed = parse_machine(path.read_text())
+    builtin = BUILTIN_MACHINES[key]()
+    assert machine_to_isdl(parsed) == machine_to_isdl(builtin), (
+        f"machines/{key}.isdl is stale; regenerate it from "
+        f"repro.isdl.builtin_machines"
+    )
+
+
+def test_no_orphan_files():
+    shipped = {p.stem for p in MACHINES_DIR.glob("*.isdl")}
+    assert shipped == set(BUILTIN_MACHINES)
+
+
+@pytest.mark.parametrize("key", sorted(BUILTIN_MACHINES))
+def test_shipped_file_compiles_a_block(key):
+    from repro.asmgen import compile_dag
+    from repro.ir import BlockDAG, Opcode
+    from repro.simulator import run_program
+
+    machine = parse_machine((MACHINES_DIR / f"{key}.isdl").read_text())
+    dag = BlockDAG()
+    dag.store(
+        "s", dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b")))
+    )
+    compiled = compile_dag(dag, machine)
+    result = run_program(compiled.program, machine, {"a": 20, "b": 22})
+    assert result.variables["s"] == 42

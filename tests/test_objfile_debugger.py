@@ -1,0 +1,194 @@
+"""Tests for the object-file format and the stepping debugger."""
+
+import pytest
+
+from repro.asmgen import compile_dag, compile_function
+from repro.assembler import (
+    decode_program,
+    encode_program,
+    load_object,
+    save_object,
+)
+from repro.assembler.objfile import MAGIC
+from repro.errors import AssemblerError, SimulationError
+from repro.frontend import compile_source
+from repro.ir import interpret_function
+from repro.isdl import control_flow_architecture, example_architecture
+from repro.simulator import Debugger, run_program
+
+from conftest import build_fig2_dag
+
+
+@pytest.fixture
+def machine():
+    return example_architecture(4)
+
+
+@pytest.fixture
+def image(machine):
+    compiled = compile_dag(build_fig2_dag(), machine)
+    return encode_program(compiled.program, machine)
+
+
+class TestObjectFile:
+    def test_round_trip_fields(self, image):
+        blob = save_object(image)
+        recovered = load_object(blob)
+        assert recovered.machine_name == image.machine_name
+        assert recovered.word_bits == image.word_bits
+        assert recovered.words == image.words
+        assert recovered.data == image.data
+        assert recovered.symbols == image.symbols
+
+    def test_round_trip_behaviour(self, image, machine):
+        program = decode_program(load_object(save_object(image)), machine)
+        env = {"a": 1, "b": 2, "c": 3, "d": 4}
+        result = run_program(program, machine, env)
+        assert result.variables["out"] == (1 + 2) - (3 * 4)
+
+    def test_magic_checked(self, image):
+        blob = bytearray(save_object(image))
+        blob[:4] = b"ELF\x00"
+        with pytest.raises(AssemblerError):
+            load_object(bytes(blob))
+
+    def test_version_checked(self, image):
+        blob = bytearray(save_object(image))
+        blob[4] = 99
+        with pytest.raises(AssemblerError):
+            load_object(bytes(blob))
+
+    def test_truncation_detected(self, image):
+        blob = save_object(image)
+        with pytest.raises(AssemblerError):
+            load_object(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_detected(self, image):
+        with pytest.raises(AssemblerError):
+            load_object(save_object(image) + b"\x00")
+
+    def test_file_round_trip(self, image, tmp_path):
+        path = tmp_path / "prog.avo"
+        path.write_bytes(save_object(image))
+        recovered = load_object(path.read_bytes())
+        assert recovered.words == image.words
+
+    def test_magic_constant(self):
+        assert MAGIC == b"AVIV"
+
+    def test_negative_data_values_survive(self, machine):
+        from repro.ir import BlockDAG, Opcode
+
+        dag = BlockDAG()
+        dag.store(
+            "y",
+            dag.operation(Opcode.MUL, (dag.var("x"), dag.const(-7))),
+        )
+        compiled = compile_dag(dag, machine)
+        image = encode_program(compiled.program, machine)
+        assert -7 in image.data.values()
+        recovered = load_object(save_object(image))
+        assert -7 in recovered.data.values()
+
+
+class TestDebugger:
+    def _debugger(self, machine):
+        compiled = compile_dag(build_fig2_dag(), machine)
+        return (
+            Debugger(
+                compiled.program,
+                machine,
+                {"a": 1, "b": 2, "c": 3, "d": 4},
+            ),
+            compiled,
+        )
+
+    def test_step_until_done(self, machine):
+        debugger, compiled = self._debugger(machine)
+        steps = 0
+        while debugger.step():
+            steps += 1
+        assert debugger.finished
+        assert steps + 1 == len(compiled.program.instructions)
+        assert debugger.variable("out") == (1 + 2) - (3 * 4)
+
+    def test_run_to_halt(self, machine):
+        debugger, _ = self._debugger(machine)
+        assert debugger.run() == "halted"
+        assert debugger.variable("out") == -9
+
+    def test_breakpoint_on_label(self):
+        machine = control_flow_architecture(4)
+        function = compile_source(
+            "s = 0; i = 0; while (i < 3) { s = s + i; i = i + 1; }"
+        )
+        compiled = compile_function(function, machine)
+        loop_label = next(
+            name for name in compiled.program.labels if name != "bb0"
+        )
+        debugger = Debugger(compiled.program, machine, {})
+        debugger.add_breakpoint(loop_label)
+        assert debugger.run() == "breakpoint"
+        assert debugger.state.pc == compiled.program.labels[loop_label]
+        # Clearing lets it run to completion.
+        debugger.clear_breakpoint(loop_label)
+        assert debugger.run() == "halted"
+        assert debugger.variable("s") == 3
+
+    def test_breakpoint_by_address(self, machine):
+        debugger, _ = self._debugger(machine)
+        debugger.add_breakpoint(2)
+        assert debugger.run() == "breakpoint"
+        assert debugger.state.pc == 2
+
+    def test_unknown_label_rejected(self, machine):
+        debugger, _ = self._debugger(machine)
+        with pytest.raises(SimulationError):
+            debugger.add_breakpoint("nowhere")
+
+    def test_address_out_of_range_rejected(self, machine):
+        debugger, _ = self._debugger(machine)
+        with pytest.raises(SimulationError):
+            debugger.add_breakpoint(10_000)
+
+    def test_machine_mismatch_rejected(self, machine):
+        compiled = compile_dag(build_fig2_dag(), machine)
+        other = example_architecture(2)
+        with pytest.raises(SimulationError):
+            Debugger(compiled.program, other)
+
+    def test_registers_snapshot(self, machine):
+        debugger, _ = self._debugger(machine)
+        debugger.run()
+        for rf in ("RF1", "RF2", "RF3"):
+            snapshot = debugger.registers(rf)
+            assert len(snapshot) == 4
+
+    def test_where_reports_label_offset(self, machine):
+        debugger, _ = self._debugger(machine)
+        debugger.step()
+        assert debugger.where().startswith("entry+1")
+
+    def test_history_records_instructions(self, machine):
+        debugger, compiled = self._debugger(machine)
+        debugger.run()
+        assert len(debugger.history) == len(compiled.program.instructions)
+
+    def test_unknown_variable_rejected(self, machine):
+        debugger, _ = self._debugger(machine)
+        with pytest.raises(SimulationError):
+            debugger.variable("ghost")
+
+    def test_multi_cycle_writes_drain(self):
+        from repro.isdl import pipelined_dsp_architecture
+        from repro.ir import BlockDAG, Opcode
+
+        machine = pipelined_dsp_architecture(4)
+        dag = BlockDAG()
+        dag.store(
+            "p", dag.operation(Opcode.MUL, (dag.var("x"), dag.var("y")))
+        )
+        compiled = compile_dag(dag, machine)
+        debugger = Debugger(compiled.program, machine, {"x": 6, "y": 7})
+        assert debugger.run() == "halted"
+        assert debugger.variable("p") == 42

@@ -1,0 +1,311 @@
+"""Tests for the machine-independent optimization passes."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.frontend import ast, parse_program
+from repro.frontend.lower import lower_program
+from repro.ir import BlockDAG, Branch, Opcode, interpret_function
+from repro.opt import (
+    algebraic_simplify,
+    common_subexpressions,
+    constant_fold,
+    dead_code_elimination,
+    optimize_block,
+    optimize_function,
+    rebuild_dag,
+    unroll_constant_loops,
+    unroll_loop,
+)
+from repro.opt.unroll import trip_count
+
+
+def _op_count(dag: BlockDAG) -> int:
+    return len(dag.operation_nodes())
+
+
+class TestRebuild:
+    def test_identity_preserves_semantics(self, fig2_dag):
+        new_dag, id_map = rebuild_dag(fig2_dag)
+        env = {"a": 1, "b": 2, "c": 3, "d": 4}
+        from repro.ir.interp import execute_block
+
+        assert execute_block(new_dag, env) == execute_block(fig2_dag, env)
+
+    def test_unreachable_nodes_dropped(self):
+        dag = BlockDAG()
+        dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b")))  # dead
+        dag.store("x", dag.const(1))
+        new_dag, _ = rebuild_dag(dag)
+        assert _op_count(new_dag) == 0
+        assert new_dag.var_symbols() == []
+
+    def test_keep_values_survive(self):
+        dag = BlockDAG()
+        kept = dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b")))
+        dag.store("x", dag.const(1))
+        new_dag, id_map = rebuild_dag(dag, keep_values=[kept])
+        assert kept in id_map
+        assert _op_count(new_dag) == 1
+
+    def test_id_map_covers_stores(self, fig2_dag):
+        _, id_map = rebuild_dag(fig2_dag)
+        for store_id in fig2_dag.stores:
+            assert store_id in id_map
+
+
+class TestConstantFold:
+    def test_folds_constant_tree(self):
+        dag = BlockDAG()
+        value = dag.operation(
+            Opcode.MUL,
+            (
+                dag.operation(Opcode.ADD, (dag.const(2), dag.const(3))),
+                dag.const(4),
+            ),
+        )
+        dag.store("x", value)
+        new_dag, _ = constant_fold(dag)
+        assert _op_count(new_dag) == 0
+        store = new_dag.node(new_dag.stores[0])
+        assert new_dag.node(store.operands[0]).value == 20
+
+    def test_partial_fold(self):
+        dag = BlockDAG()
+        value = dag.operation(
+            Opcode.ADD,
+            (
+                dag.var("a"),
+                dag.operation(Opcode.MUL, (dag.const(2), dag.const(3))),
+            ),
+        )
+        dag.store("x", value)
+        new_dag, _ = constant_fold(dag)
+        assert _op_count(new_dag) == 1
+
+    def test_division_by_zero_survives(self):
+        dag = BlockDAG()
+        dag.store(
+            "x", dag.operation(Opcode.DIV, (dag.const(1), dag.const(0)))
+        )
+        new_dag, _ = constant_fold(dag)
+        assert _op_count(new_dag) == 1
+
+
+class TestAlgebraic:
+    @pytest.mark.parametrize(
+        "build, expected_ops",
+        [
+            (lambda d: d.operation(Opcode.ADD, (d.var("a"), d.const(0))), 0),
+            (lambda d: d.operation(Opcode.ADD, (d.const(0), d.var("a"))), 0),
+            (lambda d: d.operation(Opcode.MUL, (d.var("a"), d.const(1))), 0),
+            (lambda d: d.operation(Opcode.MUL, (d.var("a"), d.const(0))), 0),
+            (lambda d: d.operation(Opcode.SUB, (d.var("a"), d.var("a"))), 0),
+            (lambda d: d.operation(Opcode.XOR, (d.var("a"), d.var("a"))), 0),
+            (lambda d: d.operation(Opcode.AND, (d.var("a"), d.var("a"))), 0),
+            (lambda d: d.operation(Opcode.SHL, (d.var("a"), d.const(0))), 0),
+            (lambda d: d.operation(Opcode.DIV, (d.var("a"), d.const(1))), 0),
+            (lambda d: d.operation(Opcode.MIN, (d.var("a"), d.var("a"))), 0),
+            (lambda d: d.operation(Opcode.SUB, (d.var("a"), d.var("b"))), 1),
+        ],
+    )
+    def test_identities(self, build, expected_ops):
+        dag = BlockDAG()
+        dag.store("x", build(dag))
+        new_dag, _ = algebraic_simplify(dag)
+        assert _op_count(new_dag) == expected_ops
+
+    def test_double_negation(self):
+        dag = BlockDAG()
+        dag.store(
+            "x",
+            dag.operation(
+                Opcode.NEG, (dag.operation(Opcode.NEG, (dag.var("a"),)),)
+            ),
+        )
+        new_dag, _ = algebraic_simplify(dag)
+        # The store now reads the variable directly; the leftover inner
+        # NEG is dead and removed by the DCE pass that follows in the
+        # pipeline.
+        store = new_dag.node(new_dag.stores[0])
+        assert new_dag.node(store.operands[0]).opcode is Opcode.VAR
+        cleaned, _ = dead_code_elimination(new_dag)
+        assert _op_count(cleaned) == 0
+
+    def test_semantics_preserved(self):
+        dag = BlockDAG()
+        a = dag.var("a")
+        dag.store(
+            "x",
+            dag.operation(
+                Opcode.ADD,
+                (
+                    dag.operation(Opcode.MUL, (a, dag.const(1))),
+                    dag.operation(Opcode.SUB, (a, a)),
+                ),
+            ),
+        )
+        new_dag, _ = algebraic_simplify(dag)
+        from repro.ir.interp import execute_block
+
+        assert execute_block(new_dag, {"a": 7})["x"] == 7
+
+
+class TestCSE:
+    def test_commutative_operands_merged(self):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        dag.store("x", dag.operation(Opcode.ADD, (a, b)))
+        dag.store("y", dag.operation(Opcode.ADD, (b, a)))
+        new_dag, _ = common_subexpressions(dag)
+        assert _op_count(new_dag) == 1
+
+    def test_noncommutative_not_merged(self):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        dag.store("x", dag.operation(Opcode.SUB, (a, b)))
+        dag.store("y", dag.operation(Opcode.SUB, (b, a)))
+        new_dag, _ = common_subexpressions(dag)
+        assert _op_count(new_dag) == 2
+
+
+class TestDCE:
+    def test_dead_expression_removed(self):
+        dag = BlockDAG()
+        dag.operation(Opcode.MUL, (dag.var("p"), dag.var("q")))
+        dag.store("x", dag.var("a"))
+        new_dag, _ = dead_code_elimination(dag)
+        assert _op_count(new_dag) == 0
+        assert new_dag.var_symbols() == ["a"]
+
+
+class TestPipeline:
+    def test_block_pipeline_reaches_fixpoint(self):
+        program = parse_program("x = (a + 0) * 1 + (2 * 3) + (b - b);")
+        function = lower_program(program)
+        block = next(iter(function))
+        optimize_block(block)
+        # Result should be a single ADD of a and const 6.
+        assert _op_count(block.dag) == 1
+
+    def test_branch_condition_tracked_through_rewrites(self):
+        program = parse_program(
+            "if ((a + 0) < (b * 1)) { x = 1; } else { x = 2; }"
+        )
+        function = lower_program(program)
+        optimize_function(function)
+        entry = function.block(function.entry)
+        assert isinstance(entry.terminator, Branch)
+        assert entry.terminator.condition in entry.dag
+        assert interpret_function(function, {"a": 1, "b": 5})["x"] == 1
+
+    def test_function_semantics_preserved(self):
+        source = "y = (a * 1 + 0) * (a - 0) + (c ^ c);"
+        program = parse_program(source)
+        unoptimized = lower_program(program)
+        optimized = lower_program(program)
+        optimize_function(optimized)
+        env = {"a": 6, "c": 123}
+        assert (
+            interpret_function(unoptimized, env)["y"]
+            == interpret_function(optimized, env)["y"]
+            == 36
+        )
+
+
+class TestUnrolling:
+    def _loop(self, source: str) -> ast.For:
+        (stmt,) = parse_program(source).statements
+        assert isinstance(stmt, ast.For)
+        return stmt
+
+    def test_trip_count_simple(self):
+        loop = self._loop("for (i = 0; i < 8; i = i + 1) { s = s + i; }")
+        assert trip_count(loop) == 8
+
+    def test_trip_count_step_two(self):
+        loop = self._loop("for (i = 0; i < 8; i = i + 2) { s = s + i; }")
+        assert trip_count(loop) == 4
+
+    def test_trip_count_downward(self):
+        loop = self._loop("for (i = 8; i > 0; i = i - 1) { s = s + i; }")
+        assert trip_count(loop) == 8
+
+    def test_trip_count_dynamic_bound_unknown(self):
+        loop = self._loop("for (i = 0; i < n; i = i + 1) { s = s + i; }")
+        assert trip_count(loop) is None
+
+    def test_trip_count_nonprogressing_unknown(self):
+        loop = self._loop("for (i = 0; i < 8; i = i + 0) { s = s + i; }")
+        assert trip_count(loop) is None
+
+    def test_full_unroll_removes_loop(self):
+        program = parse_program(
+            "for (i = 0; i < 3; i = i + 1) { s = s + x[i]; }"
+        )
+        unrolled = unroll_constant_loops(program)
+        assert all(
+            not isinstance(s, ast.For) for s in unrolled.statements
+        )
+
+    def test_full_unroll_semantics(self):
+        source = "s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i * i; }"
+        reference = lower_program(parse_program(source))
+        unrolled = lower_program(unroll_constant_loops(parse_program(source)))
+        assert (
+            interpret_function(unrolled)["s"]
+            == interpret_function(reference)["s"]
+            == 14
+        )
+
+    def test_loop_with_inner_if_not_fully_unrolled(self):
+        program = parse_program(
+            "for (i = 0; i < 4; i = i + 1) { if (s < 10) { s = s + i; } }"
+        )
+        unrolled = unroll_constant_loops(program)
+        assert isinstance(unrolled.statements[0], ast.For)
+
+    def test_nested_loops_unroll(self):
+        source = """
+        s = 0;
+        for (i = 0; i < 2; i = i + 1) {
+          for (j = 0; j < 2; j = j + 1) { s = s + 1; }
+        }
+        """
+        unrolled = unroll_constant_loops(parse_program(source))
+        assert all(not isinstance(x, ast.For) for x in unrolled.statements)
+        assert interpret_function(lower_program(unrolled))["s"] == 4
+
+    def test_partial_unroll_by_two(self):
+        loop = self._loop("for (i = 0; i < 8; i = i + 1) { s = s + x[i]; }")
+        unrolled = unroll_loop(loop, 2)
+        # body now contains: body, step, body
+        assert len(unrolled.body) == 3
+        program_u = ast.Program((ast.Assign(ast.Name("s"), ast.Num(0)), unrolled))
+        program_r = ast.Program(
+            (ast.Assign(ast.Name("s"), ast.Num(0)), loop)
+        )
+        env = {f"x[{i}]": i for i in range(8)}
+        # Lower with full unrolling so array indices resolve.
+        f_u = lower_program(unroll_constant_loops(program_u))
+        f_r = lower_program(unroll_constant_loops(program_r))
+        assert (
+            interpret_function(f_u, env)["s"]
+            == interpret_function(f_r, env)["s"]
+            == 28
+        )
+
+    def test_partial_unroll_indivisible_raises(self):
+        loop = self._loop("for (i = 0; i < 7; i = i + 1) { s = s + i; }")
+        with pytest.raises(SemanticError):
+            unroll_loop(loop, 2)
+
+    def test_partial_unroll_bad_factor_raises(self):
+        loop = self._loop("for (i = 0; i < 8; i = i + 1) { s = s + i; }")
+        with pytest.raises(SemanticError):
+            unroll_loop(loop, 1)
+
+    def test_dynamic_loop_unroll_raises(self):
+        loop = self._loop("for (i = 0; i < n; i = i + 1) { s = s + i; }")
+        with pytest.raises(SemanticError):
+            unroll_loop(loop, 2)

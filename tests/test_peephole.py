@@ -1,0 +1,94 @@
+"""Tests for peephole optimization: spill removal and compaction."""
+
+import pytest
+
+from repro.covering import HeuristicConfig, generate_block_solution
+from repro.ir import BlockDAG, Opcode, BasicBlock, Function, interpret_function
+from repro.isdl import example_architecture
+from repro.peephole import compact_schedule, peephole_optimize
+from repro.regalloc import allocate_registers
+
+from conftest import build_fig2_dag, build_wide_dag
+
+
+def _simulate_solution(dag, machine, peephole):
+    """Full pipeline through the simulator; returns final variables."""
+    from repro.asmgen import compile_dag
+    from repro.simulator import run_program
+
+    compiled = compile_dag(dag, machine, peephole=peephole)
+    env = {name: i + 1 for i, name in enumerate(sorted(dag.var_symbols()))}
+    return run_program(compiled.program, machine, env).variables, env
+
+
+class TestCompaction:
+    def test_never_lengthens_schedule(self):
+        machine = example_architecture(4)
+        for width in (2, 4, 6):
+            solution = generate_block_solution(build_wide_dag(width), machine)
+            before = solution.instruction_count
+            compact_schedule(solution)
+            assert solution.instruction_count <= before
+            solution.validate()
+
+    def test_gap_is_filled(self):
+        machine = example_architecture(4)
+        solution = generate_block_solution(build_fig2_dag(), machine)
+        # Artificially split the first cycle into singleton cycles to
+        # create slack, then compaction must recover a shorter schedule.
+        padded = [[t] for cycle in solution.schedule for t in cycle]
+        original = solution.schedule
+        solution.schedule = padded
+        if len(padded) > len(original):
+            assert compact_schedule(solution)
+            assert solution.instruction_count <= len(padded)
+            solution.validate()
+
+    def test_compaction_respects_pressure(self):
+        machine = example_architecture(2)
+        solution = generate_block_solution(build_wide_dag(5), machine)
+        compact_schedule(solution)
+        from repro.regalloc.liveness import pressure_profile
+
+        for bank, counts in pressure_profile(solution).items():
+            assert all(
+                c <= machine.register_file(bank).size for c in counts
+            )
+
+
+class TestSpillRemoval:
+    def test_spilled_solution_optimized_stays_correct(self):
+        machine = example_architecture(2)
+        dag = build_wide_dag(5)
+        with_peephole, env = _simulate_solution(dag, machine, peephole=True)
+        without_peephole, _ = _simulate_solution(dag, machine, peephole=False)
+        function = Function("f")
+        function.add_block(BasicBlock("entry", dag))
+        reference = interpret_function(function, env)
+        assert with_peephole["sum"] == reference["sum"]
+        assert without_peephole["sum"] == reference["sum"]
+
+    def test_peephole_never_increases_size(self):
+        machine = example_architecture(2)
+        for width in (4, 5, 6):
+            solution = generate_block_solution(build_wide_dag(width), machine)
+            before = solution.instruction_count
+            report = peephole_optimize(solution)
+            assert solution.instruction_count <= before
+            assert report.cycles_saved >= 0
+            solution.validate()
+            allocate_registers(solution)  # invariant survives peephole
+
+    def test_report_counts_consistent(self):
+        machine = example_architecture(2)
+        solution = generate_block_solution(build_wide_dag(6), machine)
+        spills_before = solution.graph.spill_count
+        report = peephole_optimize(solution)
+        assert solution.graph.spill_count == spills_before - report.spills_removed
+
+    def test_no_spills_no_removal(self):
+        machine = example_architecture(4)
+        solution = generate_block_solution(build_fig2_dag(), machine)
+        report = peephole_optimize(solution)
+        assert report.spills_removed == 0
+        assert report.reloads_removed == 0

@@ -1,0 +1,263 @@
+"""Tests for the machine state and the cycle-level executor."""
+
+import pytest
+
+from repro.asmgen import (
+    ControlKind,
+    ControlSlot,
+    Instruction,
+    MemRef,
+    OpSlot,
+    Program,
+    RegRef,
+    TransferSlot,
+)
+from repro.errors import SimulationError
+from repro.isdl import example_architecture
+from repro.simulator import MachineState, execute_instruction, run_program
+
+
+@pytest.fixture
+def machine():
+    return example_architecture(4)
+
+
+@pytest.fixture
+def state(machine):
+    return MachineState(machine)
+
+
+class TestMachineState:
+    def test_fresh_state_zeroed(self, state):
+        assert state.read_register("RF1", 0) == 0
+        assert state.read_memory("DM", 100) == 0
+
+    def test_write_read_register(self, state):
+        state.write_register("RF2", 3, 42)
+        assert state.read_register("RF2", 3) == 42
+
+    def test_values_wrapped(self, state):
+        state.write_register("RF1", 0, 2**31)
+        assert state.read_register("RF1", 0) == -(2**31)
+
+    def test_unknown_register_file_raises(self, state):
+        with pytest.raises(SimulationError):
+            state.read_register("RF9", 0)
+
+    def test_out_of_range_register_raises(self, state):
+        with pytest.raises(SimulationError):
+            state.write_register("RF1", 4, 1)
+
+    def test_out_of_range_memory_raises(self, state):
+        with pytest.raises(SimulationError):
+            state.read_memory("DM", 10_000)
+
+    def test_location_dispatch(self, state):
+        state.write(RegRef("RF1", 1), 5)
+        state.write(MemRef("DM", 7), 9)
+        assert state.read(RegRef("RF1", 1)) == 5
+        assert state.read(MemRef("DM", 7)) == 9
+
+    def test_load_data(self, state):
+        state.load_data({3: 30, 4: 40})
+        assert state.read_memory("DM", 3) == 30
+
+
+class TestExecuteInstruction:
+    def test_op_executes(self, machine, state):
+        state.write_register("RF1", 0, 4)
+        state.write_register("RF1", 1, 6)
+        instruction = Instruction(
+            ops=(
+                OpSlot(
+                    "U1",
+                    "ADD",
+                    RegRef("RF1", 2),
+                    (RegRef("RF1", 0), RegRef("RF1", 1)),
+                ),
+            )
+        )
+        execute_instruction(instruction, state)
+        assert state.read_register("RF1", 2) == 10
+
+    def test_transfer_moves_word(self, machine, state):
+        state.write_memory("DM", 5, 77)
+        instruction = Instruction(
+            transfers=(
+                TransferSlot("B1", MemRef("DM", 5), RegRef("RF3", 0)),
+            )
+        )
+        execute_instruction(instruction, state)
+        assert state.read_register("RF3", 0) == 77
+
+    def test_read_before_write_semantics(self, machine, state):
+        # Swap-like pattern: op reads R0 while a transfer overwrites R0
+        # in the same cycle; the op must see the old value.
+        state.write_register("RF1", 0, 3)
+        state.write_memory("DM", 0, 99)
+        instruction = Instruction(
+            ops=(
+                OpSlot(
+                    "U1",
+                    "ADD",
+                    RegRef("RF1", 1),
+                    (RegRef("RF1", 0), RegRef("RF1", 0)),
+                ),
+            ),
+            transfers=(
+                TransferSlot("B1", MemRef("DM", 0), RegRef("RF1", 0)),
+            ),
+        )
+        execute_instruction(instruction, state)
+        assert state.read_register("RF1", 1) == 6  # old value used
+        assert state.read_register("RF1", 0) == 99
+
+    def test_unit_used_twice_rejected(self, machine, state):
+        slot = OpSlot(
+            "U1", "ADD", RegRef("RF1", 0), (RegRef("RF1", 0), RegRef("RF1", 1))
+        )
+        with pytest.raises(SimulationError):
+            execute_instruction(Instruction(ops=(slot, slot)), state)
+
+    def test_bus_used_twice_rejected(self, machine, state):
+        transfer = TransferSlot("B1", MemRef("DM", 0), RegRef("RF1", 0))
+        with pytest.raises(SimulationError):
+            execute_instruction(
+                Instruction(transfers=(transfer, transfer)), state
+            )
+
+    def test_cross_file_operand_rejected(self, machine, state):
+        instruction = Instruction(
+            ops=(
+                OpSlot(
+                    "U1",
+                    "ADD",
+                    RegRef("RF1", 0),
+                    (RegRef("RF2", 0), RegRef("RF1", 1)),
+                ),
+            )
+        )
+        with pytest.raises(SimulationError):
+            execute_instruction(instruction, state)
+
+    def test_unknown_op_rejected(self, machine, state):
+        instruction = Instruction(
+            ops=(
+                OpSlot(
+                    "U1",
+                    "MUL",  # U1 has no MUL
+                    RegRef("RF1", 0),
+                    (RegRef("RF1", 0), RegRef("RF1", 1)),
+                ),
+            )
+        )
+        with pytest.raises(SimulationError):
+            execute_instruction(instruction, state)
+
+    def test_transfer_off_bus_rejected(self, machine, state):
+        # Create a second machine where RF3 is not on the bus.
+        from repro.isdl import parse_machine
+
+        isolated = parse_machine(
+            "machine m { memory DM size 16; regfile RF1 size 2;"
+            " regfile RF2 size 2;"
+            " unit U1 regfile RF1 { op ADD; }"
+            " unit U2 regfile RF2 { op SUB; }"
+            " bus B1 connects DM, RF1; }"
+        )
+        local_state = MachineState(isolated)
+        instruction = Instruction(
+            transfers=(
+                TransferSlot("B1", MemRef("DM", 0), RegRef("RF2", 0)),
+            )
+        )
+        with pytest.raises(SimulationError):
+            execute_instruction(instruction, local_state)
+
+    def test_control_jmp(self, machine, state):
+        next_pc = execute_instruction(
+            Instruction(control=ControlSlot(ControlKind.JMP, target="loop")),
+            state,
+            labels={"loop": 7},
+        )
+        assert next_pc == 7
+
+    def test_control_bnz_taken_and_not(self, machine, state):
+        instruction = Instruction(
+            control=ControlSlot(
+                ControlKind.BNZ, target="x", condition=RegRef("RF1", 0)
+            )
+        )
+        state.write_register("RF1", 0, 0)
+        assert execute_instruction(instruction, state, {"x": 9}) == state.pc + 1
+        state.write_register("RF1", 0, 5)
+        assert execute_instruction(instruction, state, {"x": 9}) == 9
+
+    def test_control_bez(self, machine, state):
+        instruction = Instruction(
+            control=ControlSlot(
+                ControlKind.BEZ, target="x", condition=RegRef("RF1", 0)
+            )
+        )
+        assert execute_instruction(instruction, state, {"x": 3}) == 3
+
+    def test_undefined_label_raises(self, machine, state):
+        instruction = Instruction(
+            control=ControlSlot(ControlKind.JMP, target="ghost")
+        )
+        with pytest.raises(SimulationError):
+            execute_instruction(instruction, state, {})
+
+    def test_halt_sets_flag(self, machine, state):
+        execute_instruction(
+            Instruction(control=ControlSlot(ControlKind.HALT)), state
+        )
+        assert state.halted
+
+
+class TestRunProgram:
+    def test_machine_mismatch_rejected(self, machine):
+        program = Program(machine_name="other")
+        with pytest.raises(SimulationError):
+            run_program(program, machine)
+
+    def test_fall_off_end_halts(self, machine):
+        program = Program(machine_name=machine.name)
+        program.instructions.append(Instruction())
+        result = run_program(program, machine)
+        assert result.cycles == 1
+
+    def test_livelock_guard(self, machine):
+        program = Program(machine_name=machine.name)
+        program.labels["loop"] = 0
+        program.instructions.append(
+            Instruction(control=ControlSlot(ControlKind.JMP, target="loop"))
+        )
+        with pytest.raises(SimulationError):
+            run_program(program, machine, max_cycles=100)
+
+    def test_initial_env_and_symbols(self, machine):
+        program = Program(machine_name=machine.name)
+        program.symbols = {"x": 0, "y": 1}
+        program.instructions.append(
+            Instruction(
+                transfers=(
+                    TransferSlot("B1", MemRef("DM", 0), RegRef("RF1", 0)),
+                )
+            )
+        )
+        program.instructions.append(
+            Instruction(
+                transfers=(
+                    TransferSlot("B1", RegRef("RF1", 0), MemRef("DM", 1)),
+                )
+            )
+        )
+        result = run_program(program, machine, {"x": 13, "unused": 5})
+        assert result.variables["y"] == 13
+
+    def test_trace_collects_lines(self, machine):
+        program = Program(machine_name=machine.name)
+        program.instructions.append(Instruction())
+        result = run_program(program, machine, trace=True)
+        assert len(result.trace) == 1

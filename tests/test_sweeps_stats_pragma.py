@@ -1,0 +1,185 @@
+"""Tests for design-space sweeps, execution statistics, and
+``#pragma unroll``."""
+
+import pytest
+
+from repro.asmgen import compile_dag, compile_function
+from repro.errors import ParseError, SemanticError
+from repro.eval import register_file_sweep, sweep, workload
+from repro.frontend import compile_source, parse_program
+from repro.frontend import ast
+from repro.ir import interpret_function
+from repro.isdl import (
+    architecture_two,
+    control_flow_architecture,
+    example_architecture,
+)
+from repro.simulator import profile_run, run_program
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def loads(self):
+        return [
+            (w.name, w.build())
+            for w in (workload("Ex1"), workload("Ex3"))
+        ]
+
+    def test_sweep_collects_every_point(self, loads):
+        machines = [example_architecture(4), architecture_two(4)]
+        result = sweep(loads, machines)
+        assert len(result.points) == 4
+        assert all(p.failed is None for p in result.points)
+
+    def test_register_sweep_monotone(self, loads):
+        result = register_file_sweep(
+            loads, example_architecture, (2, 4, 8)
+        )
+        by_machine = {
+            name: result.total_instructions(name)
+            for name in result.machines()
+        }
+        # More registers never cost instructions.
+        assert by_machine["arch1_r2"] >= by_machine["arch1_r4"]
+        assert by_machine["arch1_r4"] >= by_machine["arch1_r8"]
+
+    def test_ranking_cheapest_first(self, loads):
+        result = register_file_sweep(loads, example_architecture, (2, 4))
+        ranking = result.ranking()
+        assert ranking[0][1] <= ranking[1][1]
+
+    def test_failed_candidate_marked_unusable(self, loads):
+        # One register per file cannot issue binary operations.
+        result = register_file_sweep(loads, example_architecture, (1, 4))
+        assert result.total_instructions("arch1_r1") == -1
+        ranking = result.ranking()
+        assert ranking[-1][0] == "arch1_r1"
+
+    def test_table_renders(self, loads):
+        result = register_file_sweep(loads, example_architecture, (2, 4))
+        table = result.table()
+        assert "ranking" in table
+        assert "Ex1" in table and "arch1_r2" in table
+
+    def test_utilization_recorded(self, loads):
+        result = sweep(loads, [example_architecture(4)])
+        for point in result.points:
+            assert 0.0 <= point.utilization["B1"] <= 1.0
+
+
+class TestExecutionStats:
+    def _stats(self, machine=None):
+        machine = machine or example_architecture(4)
+        load = workload("Ex2")
+        compiled = compile_dag(load.build(), machine)
+        return (
+            profile_run(compiled.program, machine, load.inputs),
+            compiled,
+            machine,
+        )
+
+    def test_counts_match_program(self):
+        stats, compiled, machine = self._stats()
+        # Straight-line: every instruction executes exactly once.
+        assert stats.instructions_executed == len(
+            compiled.program.instructions
+        )
+        ops_in_program = sum(
+            len(i.ops) for i in compiled.program.instructions
+        )
+        assert sum(stats.unit_ops.values()) == ops_in_program
+
+    def test_memory_traffic_counted(self):
+        stats, *_ = self._stats()
+        assert stats.memory_reads.get("DM", 0) > 0
+        assert stats.memory_writes.get("DM", 0) > 0
+
+    def test_halt_recorded(self):
+        stats, *_ = self._stats()
+        assert stats.control_events.get("HALT") == 1
+
+    def test_loop_multiplies_counts(self):
+        machine = control_flow_architecture(4)
+        function = compile_source(
+            "s = 0; i = 0; while (i < 4) { s = s + i; i = i + 1; }"
+        )
+        compiled = compile_function(function, machine)
+        stats = profile_run(compiled.program, machine, {})
+        # Dynamic instruction count exceeds static size (loop runs 4x).
+        assert stats.instructions_executed > len(
+            compiled.program.instructions
+        )
+        assert stats.control_events.get("BNZ", 0) >= 4
+
+    def test_slot_utilization_bounds(self):
+        stats, _compiled, machine = self._stats()
+        for fraction in stats.slot_utilization(machine).values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_describe_mentions_bottleneck(self):
+        stats, _compiled, machine = self._stats()
+        assert "bottleneck" in stats.describe(machine)
+
+
+class TestPragmaUnroll:
+    def test_pragma_parsed_onto_loop(self):
+        program = parse_program(
+            "#pragma unroll 2\nfor (i = 0; i < 8; i = i + 1) { s = s + s; }"
+        )
+        (loop,) = program.statements
+        assert isinstance(loop, ast.For)
+        assert loop.unroll == 2
+
+    def test_plain_comment_still_ignored(self):
+        program = parse_program("# just a note\nx = 1;")
+        assert len(program.statements) == 1
+
+    def test_pragma_without_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("#pragma unroll 2\nx = 1;")
+
+    def test_unknown_pragma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("#pragma vectorize\nfor (i=0;i<2;i=i+1){s=s+1;}")
+
+    def test_partial_unroll_keeps_loop(self):
+        function = compile_source(
+            "s = 1;\n#pragma unroll 2\n"
+            "for (i = 0; i < 8; i = i + 1) { s = s + s; }"
+        )
+        assert len(function) > 1  # still a loop, not straight-line
+        assert interpret_function(function, {})["s"] == 256
+
+    def test_indivisible_factor_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_source(
+                "#pragma unroll 3\n"
+                "for (i = 0; i < 8; i = i + 1) { s = s + s; }"
+            )
+
+    def test_pragma_unroll_end_to_end(self):
+        machine = control_flow_architecture(4)
+        source = (
+            "s = 0;\n#pragma unroll 2\n"
+            "for (i = 0; i < 6; i = i + 1) { s = s + i * i; }"
+        )
+        function = compile_source(source)
+        compiled = compile_function(function, machine)
+        result = run_program(compiled.program, machine, {})
+        assert result.variables["s"] == sum(i * i for i in range(6))
+
+    def test_unrolled_body_is_bigger_block(self):
+        plain = compile_source(
+            "s = 0; for (i = 0; i < n; i = i + 1) { s = s + s; }"
+        )
+        doubled = compile_source(
+            "s = 0;\n#pragma unroll 2\n"
+            "for (i = 0; i < 8; i = i + 1) { s = s + s; }"
+        )
+
+        def body_ops(function):
+            return max(
+                len(b.dag.operation_nodes()) for b in function
+            )
+
+        assert body_ops(doubled) > body_ops(plain)

@@ -1,0 +1,213 @@
+"""Unit tests for repro.utils."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.utils import (
+    IdAllocator,
+    OrderedSet,
+    Stopwatch,
+    longest_path_lengths,
+    reachable_from,
+    topological_order,
+    transitive_closure,
+)
+
+
+class TestOrderedSet:
+    def test_empty(self):
+        s = OrderedSet()
+        assert len(s) == 0
+        assert not s
+        assert list(s) == []
+
+    def test_insertion_order_preserved(self):
+        s = OrderedSet([3, 1, 2])
+        s.add(0)
+        assert list(s) == [3, 1, 2, 0]
+
+    def test_reinsertion_keeps_position(self):
+        s = OrderedSet([1, 2, 3])
+        s.add(1)
+        assert list(s) == [1, 2, 3]
+
+    def test_contains(self):
+        s = OrderedSet("abc")
+        assert "a" in s
+        assert "z" not in s
+
+    def test_discard_absent_is_noop(self):
+        s = OrderedSet([1])
+        s.discard(99)
+        assert list(s) == [1]
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            OrderedSet().remove(1)
+
+    def test_pop_first(self):
+        s = OrderedSet([5, 6, 7])
+        assert s.pop_first() == 5
+        assert list(s) == [6, 7]
+
+    def test_update_and_difference_update(self):
+        s = OrderedSet([1, 2])
+        s.update([3, 2])
+        assert list(s) == [1, 2, 3]
+        s.difference_update([2, 9])
+        assert list(s) == [1, 3]
+
+    def test_union_intersection_difference(self):
+        s = OrderedSet([1, 2, 3])
+        assert list(s.union([4])) == [1, 2, 3, 4]
+        assert list(s.intersection([2, 3, 9])) == [2, 3]
+        assert list(s.difference([2])) == [1, 3]
+
+    def test_original_unmodified_by_set_ops(self):
+        s = OrderedSet([1, 2])
+        s.union([3])
+        s.intersection([1])
+        s.difference([1])
+        assert list(s) == [1, 2]
+
+    def test_issubset(self):
+        assert OrderedSet([1, 2]).issubset({1, 2, 3})
+        assert not OrderedSet([1, 4]).issubset({1, 2, 3})
+
+    def test_equality_with_set(self):
+        assert OrderedSet([1, 2]) == {2, 1}
+        assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+        assert OrderedSet([1]) != OrderedSet([2])
+
+    def test_copy_is_independent(self):
+        s = OrderedSet([1])
+        t = s.copy()
+        t.add(2)
+        assert 2 not in s
+
+    @given(st.lists(st.integers()))
+    def test_matches_dict_fromkeys_order(self, items):
+        assert list(OrderedSet(items)) == list(dict.fromkeys(items))
+
+
+class TestIdAllocator:
+    def test_sequential(self):
+        ids = IdAllocator()
+        assert [ids.allocate() for _ in range(3)] == [0, 1, 2]
+
+    def test_start_offset(self):
+        ids = IdAllocator(10)
+        assert ids.allocate() == 10
+
+    def test_reserve(self):
+        ids = IdAllocator()
+        block = ids.reserve(3)
+        assert list(block) == [0, 1, 2]
+        assert ids.allocate() == 3
+
+    def test_reserve_negative_raises(self):
+        with pytest.raises(ValueError):
+            IdAllocator().reserve(-1)
+
+    def test_next_id_property(self):
+        ids = IdAllocator()
+        ids.allocate()
+        assert ids.next_id == 1
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            sum(range(1000))
+        first = watch.elapsed
+        with watch:
+            sum(range(1000))
+        assert watch.elapsed >= first
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+
+class TestGraphAlgorithms:
+    DIAMOND = {1: [2, 3], 2: [4], 3: [4], 4: []}
+
+    def test_reachable_from(self):
+        assert reachable_from(self.DIAMOND, [1]) == {1, 2, 3, 4}
+        assert reachable_from(self.DIAMOND, [2]) == {2, 4}
+        assert reachable_from(self.DIAMOND, []) == set()
+
+    def test_topological_order_places_predecessors_first(self):
+        order = topological_order(self.DIAMOND)
+        position = {node: i for i, node in enumerate(order)}
+        for node, successors in self.DIAMOND.items():
+            for successor in successors:
+                assert position[node] < position[successor]
+
+    def test_topological_order_cycle_raises(self):
+        with pytest.raises(IRError):
+            topological_order({1: [2], 2: [1]})
+
+    def test_topological_order_self_loop_raises(self):
+        with pytest.raises(IRError):
+            topological_order({1: [1]})
+
+    def test_topological_includes_isolated_nodes(self):
+        order = topological_order({1: [], 2: []})
+        assert sorted(order) == [1, 2]
+
+    def test_transitive_closure(self):
+        closure = transitive_closure(self.DIAMOND)
+        assert closure[1] == {2, 3, 4}
+        assert closure[2] == {4}
+        assert closure[4] == set()
+
+    def test_longest_path_lengths(self):
+        lengths = longest_path_lengths(self.DIAMOND)
+        assert lengths == {1: 2, 2: 1, 3: 1, 4: 0}
+
+    def test_longest_path_chain(self):
+        chain = {1: [2], 2: [3], 3: []}
+        assert longest_path_lengths(chain) == {1: 2, 2: 1, 3: 0}
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 20),
+            st.lists(st.integers(0, 20), max_size=3),
+            max_size=15,
+        )
+    )
+    def test_closure_is_transitive(self, raw):
+        # Force acyclicity: only keep edges to strictly larger nodes.
+        adjacency = {
+            node: [s for s in successors if s > node]
+            for node, successors in raw.items()
+        }
+        closure = transitive_closure(adjacency)
+        for node, descendants in closure.items():
+            for descendant in descendants:
+                assert closure.get(descendant, set()) <= descendants
