@@ -41,10 +41,10 @@ def _memory_address(
         return layout.spill_slot(block_name, read.producer)
     if producer.store_symbol is not None:
         return layout.variable(producer.store_symbol)
-    raise AssemblerError(
-        f"task t{read.producer} delivered into memory but is neither a "
-        f"spill nor a store"
-    )
+    # A memory-staging hop: the transfer chain routes the value through
+    # data memory because no register-to-register path exists.  Address
+    # it like a spill of the staging task itself.
+    return layout.spill_slot(block_name, read.producer)
 
 
 def _source_location(
@@ -82,8 +82,11 @@ def _destination_location(
             return MemRef(
                 machine.data_memory, layout.spill_slot(block_name, task.task_id)
             )
-        raise AssemblerError(
-            f"{task.describe()} writes memory but is neither store nor spill"
+        # A memory-staging hop of a multi-hop transfer chain (the only
+        # path between two register files runs through data memory):
+        # stage the value in a block-local slot, like a spill.
+        return MemRef(
+            machine.data_memory, layout.spill_slot(block_name, task.task_id)
         )
     return RegRef(task.dest_storage, registers.register_of[task.task_id])
 

@@ -19,6 +19,12 @@ Commands
     Execute an object file on the simulator.
 ``tables [--table {1,2,both}] [--heuristics-off] [--no-optimal]``
     Regenerate the paper's Table I / Table II.
+``fuzz [--seed N] [--iterations N] [--time-budget S] [--artifacts DIR]``
+    Differential fuzzing: random (program, machine, config) triples
+    compiled end to end, the simulator checked against the IR
+    interpreter, failures minimized and written as reproducer files.
+``fuzz --replay FILE``
+    Re-run one reproducer JSON file and report the outcome.
 
 Machines are named either by a built-in key (``arch1``, ``arch2``,
 ``fig6``, ``dualbus``, ``mac``, ``single``, ``cf``, ``pipe``) with an
@@ -225,6 +231,41 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import replay_file, run_campaign
+
+    if args.replay:
+        try:
+            replay = replay_file(args.replay)
+        except (OSError, ValueError) as error:
+            raise ReproError(
+                f"cannot replay {args.replay}: {error}"
+            ) from error
+        print(replay.result.describe())
+        for problem in replay.problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1 if replay.problems else 0
+
+    def progress(iteration: int, result) -> None:
+        if args.verbose:
+            print(
+                f"[{iteration:4d}] {result.outcome.value}",
+                file=sys.stderr,
+            )
+
+    stats = run_campaign(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        artifacts_dir=args.artifacts,
+        shrink=not args.no_shrink,
+        max_shrink_evaluations=args.shrink_budget,
+        progress=progress,
+    )
+    print(stats.summary())
+    return 1 if stats.failure_count else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -287,6 +328,52 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--no-optimal", action="store_true")
     tables.add_argument("--optimal-budget", type=int, default=20_000)
 
+    fuzz = commands.add_parser(
+        "fuzz", help="differential fuzzing of the whole pipeline"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--iterations",
+        "-n",
+        type=int,
+        default=100,
+        help="triples to try (default 100)",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop cleanly after this much wall-clock time",
+    )
+    fuzz.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        help="write minimized reproducer JSON files here",
+    )
+    fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run one reproducer file instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimizing them",
+    )
+    fuzz.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=200,
+        metavar="N",
+        help="max oracle probes per shrink (default 200)",
+    )
+    fuzz.add_argument(
+        "--verbose", "-v", action="store_true", help="per-iteration log"
+    )
+
     return parser
 
 
@@ -298,6 +385,7 @@ _HANDLERS = {
     "disasm": _cmd_disasm,
     "simulate": _cmd_simulate,
     "tables": _cmd_tables,
+    "fuzz": _cmd_fuzz,
 }
 
 

@@ -1,0 +1,218 @@
+"""Seeded random ISDL machine generation.
+
+Every generated :class:`~repro.isdl.model.Machine` is structurally valid
+(it passes :meth:`Machine.validate` by construction) and *usable*: the
+bus topology always connects data memory with every register file —
+possibly through multi-hop transfer chains — so any value can reach any
+functional unit, and a guaranteed core of operations (ADD, SUB, LT)
+keeps the program generator's loops and conditions compilable.  Beyond
+that core the generator varies everything the covering engine is
+sensitive to: unit count, op distribution, register-file sizes, shared
+register files, complex instructions (MAC, operand-permuting SUBR),
+multi-cycle latencies, bus topology, and ISDL "never" constraints.
+
+Machines are intended to round-trip through
+:func:`repro.isdl.writer.machine_to_isdl` and
+:func:`repro.isdl.parser.parse_machine`; the campaign asserts this on
+every generated machine, so the writer and parser are fuzzed for free.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Set, Tuple
+
+from repro.ir.ops import Opcode
+from repro.isdl.model import (
+    ArgRef,
+    Bus,
+    Constraint,
+    ConstraintTerm,
+    FunctionalUnit,
+    Machine,
+    MachineOp,
+    Memory,
+    OpExpr,
+    RegisterFile,
+    basic_semantics,
+)
+
+#: Operations every generated machine supports somewhere (loop counters
+#: need ADD, canonical loop conditions need LT, and SUB keeps general
+#: arithmetic interesting without special cases).
+CORE_OPCODES: Tuple[Opcode, ...] = (Opcode.ADD, Opcode.SUB, Opcode.LT)
+
+#: Optional operations sampled into the machine's vocabulary.
+EXTRA_OPCODES: Tuple[Opcode, ...] = (
+    Opcode.MUL,
+    Opcode.DIV,
+    Opcode.MOD,
+    Opcode.AND,
+    Opcode.OR,
+    Opcode.XOR,
+    Opcode.SHL,
+    Opcode.SHR,
+    Opcode.MIN,
+    Opcode.MAX,
+    Opcode.EQ,
+    Opcode.NE,
+    Opcode.LE,
+    Opcode.GT,
+    Opcode.GE,
+    Opcode.NEG,
+    Opcode.NOT,
+    Opcode.ABS,
+)
+
+
+def _mac_op() -> MachineOp:
+    """The classic DSP multiply-accumulate: ``MAC = ADD(MUL($0,$1),$2)``."""
+    return MachineOp(
+        "MAC",
+        OpExpr(
+            Opcode.ADD,
+            (OpExpr(Opcode.MUL, (ArgRef(0), ArgRef(1))), ArgRef(2)),
+        ),
+    )
+
+
+def _subr_op() -> MachineOp:
+    """Reverse subtract: single-operation but operand-permuting, so it
+    exercises the explicit-slot-binding path of the pattern matcher."""
+    return MachineOp("SUBR", OpExpr(Opcode.SUB, (ArgRef(1), ArgRef(0))))
+
+
+def _random_buses(
+    rng: random.Random, rf_names: List[str], data_memory: str
+) -> Tuple[Bus, ...]:
+    """A random but always-connected bus topology over DM + regfiles.
+
+    Storages are joined group by group: the first bus contains data
+    memory, and each later bus shares at least one pivot storage with an
+    earlier bus, so the reachability graph is connected and every
+    register file can be reached from memory (the dual-bus builtin's
+    multi-hop pattern falls out naturally).
+    """
+    storages = list(rf_names)
+    rng.shuffle(storages)
+    groups: List[List[str]] = []
+    remaining = list(storages)
+    while remaining:
+        # Favour few, wide buses: single-bus machines are the common case.
+        if len(groups) >= 2 or len(remaining) == 1 or rng.random() < 0.6:
+            take = len(remaining)
+        else:
+            take = rng.randint(1, len(remaining) - 1)
+        groups.append(remaining[:take])
+        remaining = remaining[take:]
+    buses: List[Bus] = []
+    connected: List[str] = [data_memory]
+    for index, group in enumerate(groups):
+        pivot = rng.choice(connected)
+        members = [pivot] + group
+        buses.append(Bus(f"B{index + 1}", tuple(members)))
+        connected.extend(group)
+    # Occasionally add a redundant shortcut bus (path diversity).
+    if len(connected) > 2 and rng.random() < 0.25:
+        extra = rng.sample(connected, rng.randint(2, min(3, len(connected))))
+        buses.append(Bus(f"B{len(buses) + 1}", tuple(extra)))
+    return tuple(buses)
+
+
+def _random_constraints(
+    rng: random.Random, units: Tuple[FunctionalUnit, ...]
+) -> Tuple[Constraint, ...]:
+    """Up to two valid two-term "never" rules across distinct units."""
+    if len(units) < 2 or rng.random() < 0.6:
+        return ()
+    constraints: List[Constraint] = []
+    for _ in range(rng.randint(1, 2)):
+        first, second = rng.sample(list(units), 2)
+
+        def term(unit: FunctionalUnit) -> ConstraintTerm:
+            if rng.random() < 0.5:
+                return ConstraintTerm(unit.name, "*")
+            return ConstraintTerm(unit.name, rng.choice(unit.operations).name)
+
+        constraints.append(Constraint((term(first), term(second))))
+    return tuple(constraints)
+
+
+def random_machine(rng: random.Random, index: int = 0) -> Machine:
+    """Generate one valid random machine.
+
+    Args:
+        rng: the seeded source of randomness (determinism contract: one
+            machine consumes a bounded, input-independent portion of the
+            stream only via this object).
+        index: tag mixed into the machine name so reports stay readable.
+    """
+    unit_count = rng.choice((1, 2, 2, 3, 3, 4))
+    # Mostly private register files; occasionally two units share one.
+    rf_names: List[str] = []
+    unit_rfs: List[str] = []
+    for unit_index in range(unit_count):
+        if rf_names and rng.random() < 0.15:
+            unit_rfs.append(rng.choice(rf_names))
+        else:
+            name = f"RF{len(rf_names) + 1}"
+            rf_names.append(name)
+            unit_rfs.append(name)
+    register_files = tuple(
+        RegisterFile(name, rng.choice((2, 2, 3, 3, 4, 4, 6)))
+        for name in rf_names
+    )
+
+    # Build the opcode vocabulary: core + a random sample of extras,
+    # then deal every vocabulary op to at least one unit.
+    extra_count = rng.randint(2, min(9, len(EXTRA_OPCODES)))
+    vocabulary: List[Opcode] = list(CORE_OPCODES) + rng.sample(
+        EXTRA_OPCODES, extra_count
+    )
+    ops_per_unit: List[Dict[str, MachineOp]] = [{} for _ in range(unit_count)]
+    for opcode in vocabulary:
+        homes: Set[int] = {rng.randrange(unit_count)}
+        for candidate in range(unit_count):
+            if candidate not in homes and rng.random() < 0.35:
+                homes.add(candidate)
+        for home in homes:
+            latency = 2 if rng.random() < 0.08 else 1
+            ops_per_unit[home][opcode.name] = MachineOp(
+                opcode.name, basic_semantics(opcode), latency=latency
+            )
+    # Complex instructions ride along on one unit.
+    if Opcode.MUL in vocabulary and rng.random() < 0.3:
+        ops_per_unit[rng.randrange(unit_count)]["MAC"] = _mac_op()
+    if rng.random() < 0.15:
+        ops_per_unit[rng.randrange(unit_count)]["SUBR"] = _subr_op()
+    for unit_index, ops in enumerate(ops_per_unit):
+        if not ops:  # every unit must do *something*
+            opcode = rng.choice(CORE_OPCODES)
+            ops[opcode.name] = MachineOp(opcode.name, basic_semantics(opcode))
+
+    units = tuple(
+        FunctionalUnit(
+            f"U{unit_index + 1}",
+            unit_rfs[unit_index],
+            tuple(ops_per_unit[unit_index][name] for name in sorted(ops_per_unit[unit_index])),
+        )
+        for unit_index in range(unit_count)
+    )
+    return Machine(
+        name=f"fuzz{index}",
+        units=units,
+        register_files=register_files,
+        memories=(Memory("DM", 1024),),
+        buses=_random_buses(rng, list(rf_names), "DM"),
+        constraints=_random_constraints(rng, units),
+    )
+
+
+def supported_opcodes(machine: Machine) -> Set[Opcode]:
+    """Opcodes implemented by a *basic* op on at least one unit."""
+    found: Set[Opcode] = set()
+    for unit in machine.units:
+        for op in unit.operations:
+            if not op.is_complex:
+                found.add(op.semantics.opcode)
+    return found

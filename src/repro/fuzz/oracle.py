@@ -1,0 +1,261 @@
+"""The differential oracle: compile, simulate, compare, classify.
+
+One :class:`FuzzCase` is a self-contained (program, machine, inputs,
+config) quadruple — everything needed to reproduce a run byte for byte.
+:func:`run_case` drives it end to end:
+
+1. parse the minic source and lower/optimize it to an IR function;
+2. run the reference interpreter (:func:`repro.ir.interp
+   .interpret_function`) — the executable semantics;
+3. compile with the full AVIV pipeline (assignment exploration, clique
+   covering, transfer insertion, spilling, register allocation,
+   peephole, emission);
+4. run the VLIW simulator on the emitted program;
+5. compare the simulator's final data memory against the interpreter's
+   final environment, variable by variable.
+
+Every exit from that pipeline is classified into an :class:`Outcome` so
+campaign reports separate true findings (miscompiles, crashes, simulator
+faults) from expected rejections (a machine whose register files are
+genuinely too small raises ``CoverageError``; that is the documented
+contract, not a bug).
+"""
+
+from __future__ import annotations
+
+import enum
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.asmgen.program import CompiledFunction, compile_function
+from repro.covering.config import HeuristicConfig
+from repro.errors import CoverageError, IRError, ReproError
+from repro.frontend import compile_source
+from repro.ir.arith import wrap
+from repro.ir.interp import interpret_function
+from repro.isdl.model import Machine
+from repro.isdl.parser import parse_machine
+from repro.simulator.executor import run_program
+
+
+class Outcome(enum.Enum):
+    """Classification of one differential run."""
+
+    #: Simulator and interpreter agree on every variable.
+    OK = "ok"
+    #: The covering engine rejected the pair (register files too small /
+    #: no transfer path / unmappable op).  Expected for hostile machines.
+    COVERAGE = "coverage"
+    #: The source program exceeded the interpreter's step bound.  Only
+    #: reachable through shrinking (generated programs terminate).
+    NONTERMINATING = "nonterminating"
+    #: The compiler raised something other than ``CoverageError`` —
+    #: always a bug.
+    COMPILE_CRASH = "compile-crash"
+    #: The emitted program faulted or livelocked on the simulator —
+    #: always a bug.
+    SIM_FAULT = "sim-fault"
+    #: The emitted program computed different values — a miscompile.
+    MISMATCH = "mismatch"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for outcomes that indicate a bug in the code generator."""
+        return self in (
+            Outcome.COMPILE_CRASH,
+            Outcome.SIM_FAULT,
+            Outcome.MISMATCH,
+        )
+
+
+#: A hook run on the compiled function before simulation.  Used by the
+#: fuzzer's own tests to inject miscompiles and prove the oracle catches
+#: and shrinks them; ``None`` in production.
+PostCompileHook = Callable[[CompiledFunction], None]
+
+
+@dataclass
+class FuzzCase:
+    """One reproducible differential-testing input."""
+
+    source: str
+    machine_isdl: str
+    inputs: Dict[str, int] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    iteration: Optional[int] = None
+
+    _machine: Optional[Machine] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def machine(self) -> Machine:
+        """The parsed machine (cached)."""
+        if self._machine is None:
+            self._machine = parse_machine(self.machine_isdl)
+        return self._machine
+
+    def heuristic_config(self) -> HeuristicConfig:
+        """The covering configuration this case runs under."""
+        return HeuristicConfig.default().with_(**self.config)
+
+    def replace(self, **changes: Any) -> "FuzzCase":
+        """A copy with fields replaced (machine cache invalidated)."""
+        merged = dict(
+            source=self.source,
+            machine_isdl=self.machine_isdl,
+            inputs=self.inputs,
+            config=self.config,
+            seed=self.seed,
+            iteration=self.iteration,
+        )
+        merged.update(changes)
+        return FuzzCase(**merged)
+
+
+@dataclass
+class CaseResult:
+    """Outcome plus evidence for one oracle run."""
+
+    outcome: Outcome
+    detail: str = ""
+    #: (variable, simulator value, interpreter value) for mismatches.
+    mismatches: List[Tuple[str, int, int]] = field(default_factory=list)
+    instructions: int = 0
+    spills: int = 0
+    cycles: int = 0
+    reference: Dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [f"outcome: {self.outcome.value}"]
+        if self.detail:
+            lines.append(self.detail)
+        for name, simulated, expected in self.mismatches[:8]:
+            lines.append(
+                f"  {name}: simulator {simulated}, interpreter {expected}"
+            )
+        return "\n".join(lines)
+
+
+def _crash_detail(error: BaseException) -> str:
+    frames = traceback.extract_tb(error.__traceback__)
+    location = ""
+    if frames:
+        last = frames[-1]
+        location = f" at {last.filename.rsplit('/', 1)[-1]}:{last.lineno}"
+    return f"{type(error).__name__}{location}: {error}"
+
+
+def run_case(
+    case: FuzzCase,
+    post_compile_hook: Optional[PostCompileHook] = None,
+    max_steps: int = 20_000,
+    max_cycles: int = 200_000,
+) -> CaseResult:
+    """Run one case through the full differential pipeline."""
+    # 1-2: front end + reference semantics.  Frontend errors on fuzzer
+    # output are compiler bugs (the generator emits only valid minic).
+    try:
+        function = compile_source(case.source)
+        reference = interpret_function(
+            function, case.inputs, max_steps=max_steps
+        )
+    except IRError as error:
+        if "non-termination" in str(error):
+            return CaseResult(Outcome.NONTERMINATING, detail=str(error))
+        return CaseResult(Outcome.COMPILE_CRASH, detail=_crash_detail(error))
+    except Exception as error:  # noqa: BLE001 - classified, not swallowed
+        return CaseResult(Outcome.COMPILE_CRASH, detail=_crash_detail(error))
+
+    # 3: the AVIV pipeline.
+    try:
+        compiled = compile_function(
+            function, case.machine, case.heuristic_config()
+        )
+    except CoverageError as error:
+        return CaseResult(Outcome.COVERAGE, detail=str(error))
+    except Exception as error:  # noqa: BLE001
+        return CaseResult(Outcome.COMPILE_CRASH, detail=_crash_detail(error))
+
+    if post_compile_hook is not None:
+        post_compile_hook(compiled)
+
+    # 4: execute on the VLIW simulator.
+    try:
+        result = run_program(
+            compiled.program,
+            case.machine,
+            dict(case.inputs),
+            max_cycles=max_cycles,
+        )
+    except ReproError as error:
+        return CaseResult(
+            Outcome.SIM_FAULT,
+            detail=_crash_detail(error),
+            instructions=compiled.total_instructions,
+            spills=compiled.total_spills,
+        )
+
+    # 5: compare final states.  A variable missing from the reference
+    # environment was never written: its expected value is its initial
+    # one (zero-initialised data memory unless the case set it).
+    mismatches: List[Tuple[str, int, int]] = []
+    for name in sorted(result.variables):
+        expected = reference.get(name, wrap(case.inputs.get(name, 0)))
+        if result.variables[name] != expected:
+            mismatches.append((name, result.variables[name], expected))
+    if mismatches:
+        return CaseResult(
+            Outcome.MISMATCH,
+            detail=f"{len(mismatches)} variable(s) differ",
+            mismatches=mismatches,
+            instructions=compiled.total_instructions,
+            spills=compiled.total_spills,
+            cycles=result.cycles,
+            reference=reference,
+        )
+    return CaseResult(
+        Outcome.OK,
+        instructions=compiled.total_instructions,
+        spills=compiled.total_spills,
+        cycles=result.cycles,
+        reference=reference,
+    )
+
+
+def break_first_transfer(compiled: CompiledFunction) -> None:
+    """Deliberately miscompile: redirect the first register-bound data
+    transfer to a different register, as a broken transfer-insertion pass
+    would.  Used by the self-tests to prove the oracle catches and
+    shrinks real miscompiles; never called in production fuzzing.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.asmgen.instruction import RegRef
+
+    machine = compiled.machine
+    program = compiled.program
+    for position, instruction in enumerate(program.instructions):
+        for t_index, transfer in enumerate(instruction.transfers):
+            destination = transfer.destination
+            if not isinstance(destination, RegRef):
+                continue
+            size = machine.register_file(destination.register_file).size
+            if size < 2:
+                continue
+            broken = dc_replace(
+                transfer,
+                destination=RegRef(
+                    destination.register_file,
+                    (destination.index + 1) % size,
+                ),
+            )
+            transfers = list(instruction.transfers)
+            transfers[t_index] = broken
+            program.instructions[position] = dc_replace(
+                instruction, transfers=tuple(transfers)
+            )
+            return

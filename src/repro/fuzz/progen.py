@@ -1,0 +1,348 @@
+"""Seeded random minic program generation.
+
+Programs are generated directly as :mod:`repro.frontend.ast` trees and
+rendered to source with :mod:`repro.fuzz.render`.  Three properties are
+maintained by construction:
+
+- **well-typed**: minic has a single type (the 32-bit word), so the only
+  trap is undefined behaviour — division/modulo right operands are
+  forced non-zero (a ``| 1`` mask when the machine has OR, a non-zero
+  literal otherwise), and shift amounts are small literals;
+- **terminating**: every ``while`` loop is a canonical counter loop
+  (``i = c; while (i < bound) { ...; i = i + step; }``) whose counter is
+  reserved — no generated statement assigns it — and every ``for`` loop
+  has a constant trip count (the optimizer fully unrolls it, which is
+  also what makes array indices constant);
+- **machine-aware**: an operator is only emitted when some functional
+  unit of the target implements the opcodes it lowers to, including the
+  hidden ones (``!`` lowers to EQ; ``&&``/``||`` lower to NE plus
+  AND/OR), so a compile failure is always a finding, never noise.
+
+The shape parameters deliberately bias toward what stresses the covering
+engine: multi-block CFGs (nested ifs and loops) and register pressure
+(wide sum/product chains whose liveness exceeds small register files).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.frontend import ast
+from repro.ir.ops import Opcode
+from repro.isdl.model import Machine
+from repro.fuzz.machgen import supported_opcodes
+
+#: minic binary operator -> opcodes its lowering requires.
+_BINARY_REQUIRES = {
+    "+": {Opcode.ADD},
+    "-": {Opcode.SUB},
+    "*": {Opcode.MUL},
+    "/": {Opcode.DIV},
+    "%": {Opcode.MOD},
+    "&": {Opcode.AND},
+    "|": {Opcode.OR},
+    "^": {Opcode.XOR},
+    "<<": {Opcode.SHL},
+    ">>": {Opcode.SHR},
+    "min": {Opcode.MIN},
+    "max": {Opcode.MAX},
+    "&&": {Opcode.AND, Opcode.NE},
+    "||": {Opcode.OR, Opcode.NE},
+}
+
+_COMPARE_REQUIRES = {
+    "==": {Opcode.EQ},
+    "!=": {Opcode.NE},
+    "<": {Opcode.LT},
+    "<=": {Opcode.LE},
+    ">": {Opcode.GT},
+    ">=": {Opcode.GE},
+}
+
+_UNARY_REQUIRES = {
+    "-": {Opcode.NEG},
+    "~": {Opcode.NOT},
+    "!": {Opcode.EQ},
+    "abs": {Opcode.ABS},
+}
+
+#: Relative weight of each binary operator when available (plain
+#: arithmetic dominates, as in real kernels).
+_BINARY_WEIGHTS = {
+    "+": 6,
+    "-": 5,
+    "*": 4,
+    "/": 1,
+    "%": 1,
+    "&": 2,
+    "|": 2,
+    "^": 2,
+    "<<": 1,
+    ">>": 1,
+    "min": 1,
+    "max": 1,
+    "&&": 1,
+    "||": 1,
+}
+
+#: Safe operators for decorating expressions (no undefined operands).
+_SAFE_COMBINERS = ("+", "-", "*", "^", "|", "&")
+
+#: Variables that may be read before any write — the program's inputs.
+INPUT_NAMES = ("a", "b", "c", "d")
+
+ARRAY_NAME = "arr"
+ARRAY_SIZE = 4
+
+
+class _Generator:
+    def __init__(
+        self,
+        rng: random.Random,
+        machine: Machine,
+        max_statements: int,
+        max_depth: int,
+    ):
+        self.rng = rng
+        self.supported = supported_opcodes(machine)
+        self.max_depth = max_depth
+        self.budget = max_statements
+        self.binary_ops = [
+            op
+            for op, needs in _BINARY_REQUIRES.items()
+            if needs <= self.supported
+        ]
+        self.binary_weights = [_BINARY_WEIGHTS[op] for op in self.binary_ops]
+        self.compare_ops = [
+            op
+            for op, needs in _COMPARE_REQUIRES.items()
+            if needs <= self.supported
+        ]
+        self.unary_ops = [
+            op
+            for op, needs in _UNARY_REQUIRES.items()
+            if needs <= self.supported
+        ]
+        self.safe_combiners = [
+            op for op in _SAFE_COMBINERS if op in self.binary_ops
+        ]
+        self.can_loop = (
+            Opcode.LT in self.supported and Opcode.ADD in self.supported
+        )
+        #: loop counters currently in scope: never assigned by bodies.
+        self.reserved: Set[str] = set()
+        self.locals: List[str] = []
+        self.loop_counter = 0
+
+    # -- expressions ----------------------------------------------------
+
+    def _variable(self) -> str:
+        pool = list(INPUT_NAMES) + self.locals
+        return self.rng.choice(pool)
+
+    def _leaf(self) -> ast.Expr:
+        roll = self.rng.random()
+        if roll < 0.3:
+            if self.rng.random() < 0.1:
+                return ast.Num(self.rng.randint(0, 1 << 20))
+            return ast.Num(self.rng.randint(0, 9))
+        if roll < 0.38:
+            return ast.Index(
+                ARRAY_NAME, ast.Num(self.rng.randrange(ARRAY_SIZE))
+            )
+        return ast.Name(self._variable())
+
+    def _nonzero(self) -> ast.Expr:
+        """An expression guaranteed non-zero (division/modulo divisor)."""
+        if "|" in self.binary_ops and self.rng.random() < 0.5:
+            return ast.Binary("|", self.expr(1), ast.Num(1))
+        return ast.Num(self.rng.randint(1, 7))
+
+    def expr(self, depth: Optional[int] = None) -> ast.Expr:
+        """One random expression of bounded depth."""
+        if depth is None:
+            depth = self.max_depth
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self._leaf()
+        if self.unary_ops and rng.random() < 0.12:
+            return ast.Unary(rng.choice(self.unary_ops), self.expr(depth - 1))
+        if self.compare_ops and rng.random() < 0.08:
+            return ast.Binary(
+                rng.choice(self.compare_ops),
+                self.expr(depth - 1),
+                self.expr(depth - 1),
+            )
+        if not self.binary_ops:
+            return self._leaf()
+        op = rng.choices(self.binary_ops, weights=self.binary_weights)[0]
+        left = self.expr(depth - 1)
+        if op in ("/", "%"):
+            return ast.Binary(op, left, self._nonzero())
+        if op in ("<<", ">>"):
+            return ast.Binary(op, left, ast.Num(rng.randint(0, 5)))
+        return ast.Binary(op, left, self.expr(depth - 1))
+
+    def wide_expr(self, width: int) -> ast.Expr:
+        """A flat reduction chain — the register-pressure stressor."""
+        if not self.safe_combiners:
+            return self.expr()
+        total = self.expr(1)
+        for _ in range(width - 1):
+            total = ast.Binary(
+                self.rng.choice(self.safe_combiners), total, self.expr(1)
+            )
+        return total
+
+    def condition(self) -> ast.Expr:
+        """A branch condition (a comparison when available)."""
+        if self.compare_ops and self.rng.random() < 0.85:
+            return ast.Binary(
+                self.rng.choice(self.compare_ops), self.expr(1), self.expr(1)
+            )
+        return ast.Name(self._variable())
+
+    # -- statements -----------------------------------------------------
+
+    def _target(self) -> str:
+        candidates = [
+            n
+            for n in list(INPUT_NAMES) + self.locals
+            if n not in self.reserved
+        ]
+        if self.rng.random() < 0.3 or not candidates:
+            name = f"t{len(self.locals)}"
+            self.locals.append(name)
+            return name
+        return self.rng.choice(candidates)
+
+    def assign(self) -> ast.Assign:
+        self.budget -= 1
+        if self.rng.random() < 0.12:
+            target: ast.Target = ast.Index(
+                ARRAY_NAME, ast.Num(self.rng.randrange(ARRAY_SIZE))
+            )
+        else:
+            target = ast.Name(self._target())
+        if self.rng.random() < 0.18:
+            return ast.Assign(target, self.wide_expr(self.rng.randint(3, 6)))
+        return ast.Assign(target, self.expr())
+
+    def _block(self, depth: int, max_len: int) -> List[ast.Stmt]:
+        statements: List[ast.Stmt] = []
+        length = self.rng.randint(1, max_len)
+        while len(statements) < length and self.budget > 0:
+            statements.extend(self.statements(depth))
+        if not statements:
+            statements.append(self.assign())
+        return statements
+
+    def while_loop(self, depth: int) -> List[ast.Stmt]:
+        """Init + a canonical, provably terminating counter loop."""
+        self.budget -= 2
+        counter = f"i{self.loop_counter}"
+        self.loop_counter += 1
+        start = self.rng.randint(0, 2)
+        trips = self.rng.randint(1, 4)
+        step = self.rng.choice((1, 1, 2))
+        self.reserved.add(counter)
+        body = self._block(depth - 1, 3)
+        self.reserved.discard(counter)
+        body.append(
+            ast.Assign(
+                ast.Name(counter),
+                ast.Binary("+", ast.Name(counter), ast.Num(step)),
+            )
+        )
+        condition = ast.Binary(
+            "<", ast.Name(counter), ast.Num(start + trips * step)
+        )
+        init = ast.Assign(ast.Name(counter), ast.Num(start))
+        return [init, ast.While(condition, tuple(body))]
+
+    def for_loop(self, depth: int) -> ast.For:
+        """A constant-trip loop the optimizer fully unrolls.
+
+        The body is straight-line (assignments only): that is what makes
+        the loop fully unrollable, which in turn is what legalises array
+        indexing by the induction variable.
+        """
+        self.budget -= 2
+        counter = f"i{self.loop_counter}"
+        self.loop_counter += 1
+        trips = self.rng.randint(2, 4)
+        self.reserved.add(counter)
+        body: List[ast.Stmt] = [
+            self.assign() for _ in range(self.rng.randint(1, 2))
+        ]
+        if self.rng.random() < 0.5 and self.safe_combiners:
+            # Index the array by the induction variable: only legal
+            # because full unrolling makes the index constant.
+            body.append(
+                ast.Assign(
+                    ast.Index(ARRAY_NAME, ast.Name(counter)),
+                    ast.Binary(
+                        self.rng.choice(self.safe_combiners),
+                        ast.Name(counter),
+                        self.expr(1),
+                    ),
+                )
+            )
+        self.reserved.discard(counter)
+        return ast.For(
+            init=ast.Assign(ast.Name(counter), ast.Num(0)),
+            cond=ast.Binary("<", ast.Name(counter), ast.Num(trips)),
+            step=ast.Assign(
+                ast.Name(counter),
+                ast.Binary("+", ast.Name(counter), ast.Num(1)),
+            ),
+            body=tuple(body),
+        )
+
+    def if_statement(self, depth: int) -> ast.If:
+        self.budget -= 1
+        then = self._block(depth - 1, 3)
+        orelse: List[ast.Stmt] = []
+        if self.rng.random() < 0.5:
+            orelse = self._block(depth - 1, 2)
+        return ast.If(self.condition(), tuple(then), tuple(orelse))
+
+    def statements(self, depth: int) -> List[ast.Stmt]:
+        """One generation step: usually one statement, two for whiles
+        (the counter init travels with its loop)."""
+        roll = self.rng.random()
+        if depth > 0 and self.budget >= 3:
+            if roll < 0.15:
+                return [self.if_statement(depth)]
+            if self.can_loop and roll < 0.25:
+                return self.while_loop(depth)
+            if self.can_loop and roll < 0.32:
+                return [self.for_loop(depth)]
+        return [self.assign()]
+
+    def program(self, nesting: int = 2) -> ast.Program:
+        result: List[ast.Stmt] = []
+        while self.budget > 0:
+            result.extend(self.statements(nesting))
+        # Always produce at least one definite output.
+        result.append(ast.Assign(ast.Name("out"), self.wide_expr(3)))
+        return ast.Program(tuple(result))
+
+
+def random_program(
+    rng: random.Random,
+    machine: Machine,
+    max_statements: int = 12,
+    max_depth: int = 3,
+) -> ast.Program:
+    """Generate one random, terminating, machine-compilable program."""
+    return _Generator(rng, machine, max_statements, max_depth).program()
+
+
+def random_inputs(rng: random.Random) -> Dict[str, int]:
+    """Random initial values for the program's input variables."""
+    inputs = {name: rng.randint(-50, 50) for name in INPUT_NAMES}
+    for index in range(ARRAY_SIZE):
+        inputs[f"{ARRAY_NAME}[{index}]"] = rng.randint(-10, 10)
+    return inputs

@@ -1,0 +1,92 @@
+"""Render a minic AST back to parseable source text.
+
+The fuzzer generates and shrinks programs as
+:mod:`repro.frontend.ast` trees, but reproducer files, reports, and the
+front end all speak source text, so rendering must round-trip:
+``parse_program(render_program(tree))`` reproduces an equal tree.  To
+keep that property simple the renderer fully parenthesises every
+compound expression (precedence never matters) and renders negative
+literals as ``(0 - n)`` (the parser would otherwise return a unary
+minus node).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.frontend import ast
+
+_INDENT = "  "
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """One expression as minic source."""
+    if isinstance(expr, ast.Num):
+        if expr.value < 0:
+            return f"(0 - {-expr.value})"
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Index):
+        return f"{expr.ident}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.Unary):
+        if expr.op == "abs":
+            return f"abs({render_expr(expr.operand)})"
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        if expr.op in ("min", "max"):
+            return (
+                f"{expr.op}({render_expr(expr.left)}, "
+                f"{render_expr(expr.right)})"
+            )
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _render_assign(statement: ast.Assign) -> str:
+    """An assignment without the trailing semicolon (for ``for`` headers)."""
+    return f"{render_expr(statement.target)} = {render_expr(statement.expr)}"
+
+
+def _render_block(statements, depth: int, lines: List[str]) -> None:
+    for statement in statements:
+        _render_statement(statement, depth, lines)
+
+
+def _render_statement(statement: ast.Stmt, depth: int, lines: List[str]) -> None:
+    pad = _INDENT * depth
+    if isinstance(statement, ast.Assign):
+        lines.append(f"{pad}{_render_assign(statement)};")
+        return
+    if isinstance(statement, ast.If):
+        lines.append(f"{pad}if ({render_expr(statement.cond)}) {{")
+        _render_block(statement.then, depth + 1, lines)
+        if statement.orelse:
+            lines.append(f"{pad}}} else {{")
+            _render_block(statement.orelse, depth + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(statement, ast.While):
+        lines.append(f"{pad}while ({render_expr(statement.cond)}) {{")
+        _render_block(statement.body, depth + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(statement, ast.For):
+        if statement.unroll is not None:
+            lines.append(f"{pad}#pragma unroll {statement.unroll}")
+        lines.append(
+            f"{pad}for ({_render_assign(statement.init)}; "
+            f"{render_expr(statement.cond)}; "
+            f"{_render_assign(statement.step)}) {{"
+        )
+        _render_block(statement.body, depth + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+    raise TypeError(f"not a statement: {statement!r}")
+
+
+def render_program(program: ast.Program) -> str:
+    """A whole program as minic source (trailing newline included)."""
+    lines: List[str] = []
+    _render_block(program.statements, 0, lines)
+    return "\n".join(lines) + "\n"

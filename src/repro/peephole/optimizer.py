@@ -236,9 +236,17 @@ def compact_schedule(solution: BlockSolution) -> bool:
                 cycle += 1
     # Interior empty cycles are genuine stalls (multi-cycle latencies);
     # greedy earliest placement never creates them otherwise.  Trailing
-    # empties are meaningless.
-    while cycles and not cycles[-1]:
+    # empties are meaningless — except the stall that lets a pinned
+    # (branch-condition) producer's multi-cycle result commit before the
+    # control slot after the block reads it.
+    floor = 0
+    for delivery in graph.pinned:
+        if delivery in cycle_of:
+            floor = max(floor, cycle_of[delivery] + graph.latency(delivery))
+    while len(cycles) > floor and cycles and not cycles[-1]:
         cycles.pop()
+    while len(cycles) < floor:
+        cycles.append(set())
     new_schedule = [sorted(members) for members in cycles]
     if len(new_schedule) >= len(solution.schedule):
         return False

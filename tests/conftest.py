@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.ir import BasicBlock, BlockDAG, Function, Opcode
@@ -14,6 +17,20 @@ from repro.isdl import (
     mac_dsp_architecture,
     single_unit_architecture,
 )
+
+
+@pytest.fixture(autouse=True)
+def _seeded_rngs():
+    """Pin the global RNGs before every test.
+
+    Nothing in the library is supposed to touch global randomness (the
+    fuzzer threads explicit ``random.Random`` objects), but tests that
+    build examples with ``random``/``numpy.random`` directly stay
+    order-independent and reproducible this way.
+    """
+    random.seed(0x5EED)
+    np.random.seed(0x5EED)
+    yield
 
 
 @pytest.fixture

@@ -258,3 +258,61 @@ class TestEngine:
             if t.op_name is not None
         }
         assert "MAC" in op_names  # the complex instruction won
+
+
+class TestSpillPaths:
+    """Register starvation must produce explicit spill/reload tasks —
+    under both focus strategies — and still cover every task."""
+
+    def _starved_result(self, strategy):
+        from repro.isdl import example_architecture
+
+        dag = build_wide_dag(5)  # 10 leaves, far beyond 2 registers
+        machine = example_architecture(2)
+        graph = _graph_for(dag, machine)
+        result = cover_assignment(graph, stuck_strategy=strategy)
+        return graph, result
+
+    @pytest.mark.parametrize("strategy", ["consumer", "arrival"])
+    def test_spill_and_reload_tasks_appear(self, strategy):
+        graph, result = self._starved_result(strategy)
+        spills = [
+            t for t in graph.task_ids() if graph.tasks[t].is_spill
+        ]
+        reloads = [
+            t for t in graph.task_ids() if graph.tasks[t].is_reload
+        ]
+        assert spills, f"{strategy}: expected spill tasks"
+        assert reloads, f"{strategy}: expected reload tasks"
+        assert result.spill_count == len(spills)
+        assert result.reload_count == len(reloads)
+
+    @pytest.mark.parametrize("strategy", ["consumer", "arrival"])
+    def test_starved_schedule_still_complete(self, strategy):
+        graph, result = self._starved_result(strategy)
+        scheduled = [t for cycle in result.schedule for t in cycle]
+        assert sorted(scheduled) == graph.task_ids()
+        for bank, estimate in result.register_estimate.items():
+            capacity = graph.machine.register_file(bank).size
+            assert estimate <= capacity
+
+    @pytest.mark.parametrize("strategy", ["consumer", "arrival"])
+    def test_spills_write_memory_reloads_read_it(self, strategy):
+        graph, _ = self._starved_result(strategy)
+        dm = graph.machine.data_memory
+        for task_id in graph.task_ids():
+            task = graph.tasks[task_id]
+            if task.is_spill:
+                assert task.dest_storage == dm
+            if task.is_reload:
+                assert task.reads[0].storage == dm
+
+    def test_max_spills_cap_raises(self):
+        from repro.isdl import example_architecture
+
+        dag = build_wide_dag(5)
+        machine = example_architecture(2)
+        graph = _graph_for(dag, machine)
+        config = HeuristicConfig.default().with_(max_spills=1)
+        with pytest.raises(CoverageError):
+            cover_assignment(graph, config)

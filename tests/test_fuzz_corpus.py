@@ -1,0 +1,38 @@
+"""Replay every reproducer in ``tests/corpus/`` — no randomness.
+
+Each corpus file is a frozen (program, machine, inputs, config) case
+with its recorded outcome and reference environment.  Replaying runs the
+full pipeline (front end, interpreter, covering engine, emitter,
+simulator) and checks both that the outcome classification is unchanged
+and that the interpreter still computes the recorded values.  The
+``bugpin-*`` files are minimized cases that once triggered real code
+generator bugs (memory-staging transfer emission, peephole dropping the
+latency stall before a branch); they pin those fixes forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import replay_file
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_present():
+    assert len(CORPUS_FILES) >= 20, (
+        f"expected at least 20 reproducers in {CORPUS_DIR}, "
+        f"found {len(CORPUS_FILES)}"
+    )
+
+
+@pytest.mark.corpus
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=lambda path: path.stem
+)
+def test_corpus_replays(path):
+    replay = replay_file(path)
+    assert replay.ok, "\n".join(replay.problems)

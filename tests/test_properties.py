@@ -248,3 +248,47 @@ def test_binary_round_trip_random_programs(pair):
             assert recovered.control is None
         else:
             assert recovered.control.kind == original.control.kind
+
+
+# ----------------------------------------------------------------------
+# Clique budget: singleton top-up keeps every node covered
+# ----------------------------------------------------------------------
+
+
+def _is_clique(matrix: np.ndarray, clique) -> bool:
+    return all(
+        matrix[i, j] == 0 for i, j in itertools.combinations(clique, 2)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(conflict_matrices(), st.integers(1, 4))
+def test_clique_budget_still_covers_every_node(matrix, budget):
+    cliques = generate_maximal_cliques(matrix, max_cliques=budget)
+    covered = set().union(*cliques)
+    assert covered == set(range(matrix.shape[0]))
+    reference = _brute_force_maximal_cliques(matrix)
+    for clique in cliques:
+        # Every returned group is a genuine clique, and is either one of
+        # the true maximal cliques or a singleton top-up.
+        assert _is_clique(matrix, clique)
+        assert clique in reference or len(clique) == 1
+
+
+def test_tiny_budget_tops_up_with_singletons():
+    # A 6-node path graph (i parallel with i+1 only) has 5 maximal
+    # 2-cliques; budget 1 keeps one of them and must cover the other
+    # four nodes with singletons.
+    size = 6
+    matrix = np.ones((size, size), dtype=np.uint8)
+    for i in range(size - 1):
+        matrix[i, i + 1] = 0
+        matrix[i + 1, i] = 0
+    cliques = generate_maximal_cliques(matrix, max_cliques=1)
+    assert set().union(*cliques) == set(range(size))
+    pairs = [c for c in cliques if len(c) == 2]
+    singletons = [c for c in cliques if len(c) == 1]
+    assert len(pairs) == 1
+    assert len(singletons) == size - 2
+    unbudgeted = set(generate_maximal_cliques(matrix))
+    assert unbudgeted == _brute_force_maximal_cliques(matrix)
