@@ -37,6 +37,7 @@ Subsystem map (see DESIGN.md for the full inventory):
 ``repro.simulator`` cycle-level VLIW simulator
 ``repro.baselines`` phase-ordered baseline + optimal search
 ``repro.eval``      Tables I/II workloads and experiment harness
+``repro.telemetry`` phase spans, search counters, Chrome-trace export
 =================  ====================================================
 """
 
@@ -99,6 +100,14 @@ from repro.eval import (
     register_file_sweep,
 )
 from repro.opt import eliminate_dead_stores
+from repro.telemetry import (
+    TelemetrySession,
+    TelemetryReport,
+    use_session,
+    current_session,
+    chrome_trace,
+    Stopwatch,
+)
 
 __version__ = "1.0.0"
 
@@ -157,5 +166,11 @@ __all__ = [
     "sweep",
     "register_file_sweep",
     "eliminate_dead_stores",
+    "TelemetrySession",
+    "TelemetryReport",
+    "use_session",
+    "current_session",
+    "chrome_trace",
+    "Stopwatch",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from repro.asmgen.layout import DataLayout
 from repro.covering.solution import BlockSolution
 from repro.covering.taskgraph import ReadRef, Task, TaskKind
 from repro.regalloc.allocator import RegisterAssignment
+from repro.telemetry.session import current as _telemetry
 
 
 def _memory_address(
@@ -98,8 +99,11 @@ def emit_block(
     block_name: str = "block",
 ) -> List[Instruction]:
     """Emit one VLIW instruction per scheduled cycle of the block body."""
+    tm = _telemetry()
     instructions: List[Instruction] = []
     graph = solution.graph
+    op_slots = 0
+    transfer_slots = 0
     for members in solution.schedule:
         ops: List[OpSlot] = []
         transfers: List[TransferSlot] = []
@@ -137,9 +141,14 @@ def emit_block(
                         ),
                     )
                 )
+        op_slots += len(ops)
+        transfer_slots += len(transfers)
         instructions.append(
             Instruction(ops=tuple(ops), transfers=tuple(transfers))
         )
+    tm.count("asmgen.instructions", len(instructions))
+    tm.count("asmgen.op_slots", op_slots)
+    tm.count("asmgen.transfer_slots", transfer_slots)
     return instructions
 
 

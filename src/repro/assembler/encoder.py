@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AssemblerError
 from repro.isdl.model import Machine
+from repro.telemetry.session import current as _telemetry
 from repro.asmgen.instruction import (
     ControlKind,
     ControlSlot,
@@ -292,11 +293,15 @@ def encode_program(program: Program, machine: Machine) -> BinaryImage:
             f"program targets {program.machine_name!r}, "
             f"machine is {machine.name!r}"
         )
-    layout = EncodingLayout(machine)
-    words = [
-        layout.encode_instruction(i, program.labels)
-        for i in program.instructions
-    ]
+    tm = _telemetry()
+    with tm.span("assembler.encode", category="assembler"):
+        layout = EncodingLayout(machine)
+        words = [
+            layout.encode_instruction(i, program.labels)
+            for i in program.instructions
+        ]
+        tm.count("assembler.words", len(words))
+        tm.count("assembler.word_bits", layout.word_bits)
     return BinaryImage(
         machine_name=machine.name,
         word_bits=layout.word_bits,

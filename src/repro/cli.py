@@ -5,14 +5,25 @@ Commands
 
 ``machines``
     List the built-in target architectures.
-``describe --machine NAME``
-    Print a machine summary and its ISDL-lite source.
-``compile FILE --machine NAME [--asm OUT] [--bin OUT] [--no-peephole]``
+``describe --machine NAME [--json]``
+    Print a machine summary and its ISDL-lite source, or a
+    machine-readable JSON summary.
+``compile FILE --machine NAME [--asm OUT] [--bin OUT] [--no-peephole]
+[--profile] [--trace-out FILE]``
     Compile a minic source file and print the assembly listing; write
-    text assembly and/or the binary image on request.
-``run FILE --machine NAME [--set VAR=VAL ...] [--trace] [--stats]``
+    text assembly and/or the binary image on request.  ``--profile``
+    prints a per-phase telemetry report (times + search counters);
+    ``--trace-out`` writes a Chrome trace-event JSON file (load it at
+    ``chrome://tracing`` or https://ui.perfetto.dev).
+``run FILE --machine NAME [--set VAR=VAL ...] [--trace] [--stats]
+[--profile] [--trace-out FILE]``
     Compile and execute a minic program on the simulator, printing the
     final variables (cross-checked against the IR interpreter).
+``profile FILE --machine NAME [--set VAR=VAL ...] [--json]
+[--trace-out FILE]``
+    Compile (and simulate) a minic program under a telemetry session and
+    print the full profiling report; ``--json`` emits the report as
+    machine-readable JSON.
 ``disasm OBJECT --machine NAME``
     Disassemble an object file written by ``compile --bin``.
 ``simulate OBJECT --machine NAME [--set VAR=VAL ...] [--trace]``
@@ -89,27 +100,80 @@ def _cmd_machines(_args) -> int:
 
 def _cmd_describe(args) -> int:
     machine = resolve_machine(args.machine)
+    if args.json:
+        import json
+
+        print(json.dumps(machine.summary(), indent=2))
+        return 0
     print(machine.describe())
     print()
     print(machine_to_isdl(machine))
     return 0
 
 
+def _open_session(machine: Machine, source_path: str):
+    """A telemetry session annotated with what is being compiled."""
+    from repro.telemetry import TelemetrySession
+
+    session = TelemetrySession()
+    session.annotate(source=source_path, machine=machine.name)
+    return session
+
+
+def _emit_profile(
+    session,
+    args,
+    as_json: bool = False,
+    stream=None,
+    show_report: bool = True,
+) -> None:
+    """Print the session's report and honor ``--trace-out``."""
+    import json
+
+    from repro.telemetry import TelemetryReport, chrome_trace, validate_trace
+
+    if show_report:
+        report = TelemetryReport.from_session(session)
+        if as_json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.describe(), file=stream or sys.stderr)
+    if getattr(args, "trace_out", None):
+        trace = chrome_trace(session)
+        validate_trace(trace)
+        with open(args.trace_out, "w") as handle:
+            json.dump(trace, handle, indent=1)
+        print(f"; wrote trace {args.trace_out}", file=sys.stderr)
+
+
 def _cmd_compile(args) -> int:
+    import contextlib
+
     from repro.asmgen.program import compile_function
     from repro.assembler.encoder import encode_program
     from repro.assembler.text import program_to_text
     from repro.covering.config import HeuristicConfig
+    from repro.telemetry import use_session
 
     machine = resolve_machine(args.machine)
     with open(args.source) as handle:
-        function = compile_source(handle.read())
+        source = handle.read()
     config = HeuristicConfig.default()
     if args.heuristics_off:
         config = HeuristicConfig.heuristics_off()
-    compiled = compile_function(
-        function, machine, config, peephole=not args.no_peephole
-    )
+    profiling = args.profile or args.trace_out
+    session = _open_session(machine, args.source) if profiling else None
+    scope = use_session(session) if session else contextlib.nullcontext()
+    with scope:
+        function = compile_source(source)
+        compiled = compile_function(
+            function, machine, config, peephole=not args.no_peephole
+        )
+        image = (
+            encode_program(compiled.program, machine) if args.bin else None
+        )
+    if session is not None:
+        session.annotate(function=function.name)
     print(compiled.program.listing())
     print(
         f"; {compiled.total_instructions} instructions, "
@@ -123,7 +187,6 @@ def _cmd_compile(args) -> int:
     if args.bin:
         from repro.assembler.objfile import save_object
 
-        image = encode_program(compiled.program, machine)
         blob = save_object(image)
         with open(args.bin, "wb") as handle:
             handle.write(blob)
@@ -133,6 +196,8 @@ def _cmd_compile(args) -> int:
             f"+ symbols)",
             file=sys.stderr,
         )
+    if session is not None:
+        _emit_profile(session, args, show_report=args.profile)
     return 0
 
 
@@ -169,24 +234,35 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import contextlib
+
     from repro.asmgen.program import compile_function
     from repro.simulator.executor import run_program
+    from repro.telemetry import use_session
 
     machine = resolve_machine(args.machine)
     with open(args.source) as handle:
-        function = compile_source(handle.read())
+        source = handle.read()
     environment = _parse_bindings(args.set or [])
-    compiled = compile_function(function, machine)
-    result = run_program(
-        compiled.program, machine, environment, trace=args.trace
-    )
+    profiling = args.profile or args.trace_out
+    session = _open_session(machine, args.source) if profiling else None
+    scope = use_session(session) if session else contextlib.nullcontext()
+    with scope:
+        function = compile_source(source)
+        compiled = compile_function(function, machine)
+        result = run_program(
+            compiled.program, machine, environment, trace=args.trace
+        )
+        if args.stats or profiling:
+            from repro.simulator.stats import profile_run
+
+            stats = profile_run(compiled.program, machine, environment)
+    if session is not None:
+        session.annotate(function=function.name)
     if args.trace:
         for line in result.trace:
             print(line)
     if args.stats:
-        from repro.simulator.stats import profile_run
-
-        stats = profile_run(compiled.program, machine, environment)
         print(stats.describe(machine), file=sys.stderr)
     reference = interpret_function(function, environment)
     mismatches = []
@@ -197,7 +273,47 @@ def _cmd_run(args) -> int:
             mismatches.append(name)
         print(f"{name} = {result.variables[name]}{check}")
     print(f"; {result.cycles} cycles", file=sys.stderr)
+    if session is not None:
+        _emit_profile(session, args, show_report=args.profile)
     return 1 if mismatches else 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.asmgen.program import compile_function
+    from repro.simulator.stats import profile_run
+    from repro.telemetry import use_session
+
+    machine = resolve_machine(args.machine)
+    with open(args.source) as handle:
+        source = handle.read()
+    environment = _parse_bindings(args.set or [])
+    session = _open_session(machine, args.source)
+    with use_session(session):
+        function = compile_source(source)
+        compiled = compile_function(function, machine)
+        if not args.no_run:
+            profile_run(compiled.program, machine, environment)
+    session.annotate(
+        function=function.name,
+        instructions=compiled.total_instructions,
+        spills=compiled.total_spills,
+    )
+    _emit_profile(session, args, as_json=args.json, stream=sys.stdout)
+    if args.bench_out:
+        from repro.telemetry import bench_entry, write_bench_report
+
+        entry = bench_entry(
+            args.source,
+            machine.name,
+            session.report().to_dict(),
+            metrics={
+                "instructions": compiled.total_instructions,
+                "spills": compiled.total_spills,
+            },
+        )
+        write_bench_report(args.bench_out, [entry])
+        print(f"; wrote bench {args.bench_out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_tables(args) -> int:
@@ -278,6 +394,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     describe = commands.add_parser("describe", help="show a machine")
     describe.add_argument("--machine", "-m", required=True)
+    describe.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable JSON summary",
+    )
+
+    def add_profile_arguments(sub) -> None:
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="print a per-phase telemetry report",
+        )
+        sub.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write a Chrome trace-event JSON file",
+        )
 
     compile_parser = commands.add_parser("compile", help="compile minic")
     compile_parser.add_argument("source")
@@ -292,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exhaustive assignment exploration",
     )
+    add_profile_arguments(compile_parser)
 
     run_parser = commands.add_parser("run", help="compile and simulate")
     run_parser.add_argument("source")
@@ -304,6 +438,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print resource-activity statistics",
+    )
+    add_profile_arguments(run_parser)
+
+    profile_parser = commands.add_parser(
+        "profile", help="compile + simulate under telemetry, print report"
+    )
+    profile_parser.add_argument("source")
+    profile_parser.add_argument("--machine", "-m", required=True)
+    profile_parser.add_argument(
+        "--set", action="append", metavar="VAR=VAL", help="initial variable"
+    )
+    profile_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    profile_parser.add_argument(
+        "--no-run",
+        action="store_true",
+        help="profile compilation only, skip the simulator",
+    )
+    profile_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file",
+    )
+    profile_parser.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        help="write a repro/bench-codegen/v1 JSON report",
     )
 
     disasm = commands.add_parser(
@@ -382,6 +544,7 @@ _HANDLERS = {
     "describe": _cmd_describe,
     "compile": _cmd_compile,
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "disasm": _cmd_disasm,
     "simulate": _cmd_simulate,
     "tables": _cmd_tables,

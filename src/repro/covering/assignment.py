@@ -24,6 +24,7 @@ from repro.isdl.model import Machine
 from repro.covering.config import HeuristicConfig
 from repro.sndag.build import SplitNodeDAG
 from repro.sndag.nodes import Alternative
+from repro.telemetry.session import current as _telemetry
 from repro.utils.graph import transitive_closure
 
 
@@ -209,58 +210,77 @@ def explore_assignments(
     to ``config.num_assignments``.
     """
     config = config or HeuristicConfig.default()
-    model = _CostModel(sn, config)
-    dag = sn.dag
-    # Level from the top: process shallow (root-side) nodes first.
-    depth = dag.depth_from_roots()
-    op_ids = sorted(
-        sn.alternatives_of,
-        key=lambda op_id: (depth[op_id], op_id),
-    )
-    frontier: List[_Partial] = [_Partial(choice={}, cost=0)]
-    for op_id in op_ids:
-        next_frontier: List[_Partial] = []
-        for partial in frontier:
-            if op_id in partial.absorbed:
-                next_frontier.append(partial)
-                continue
-            scored: List[Tuple[int, Alternative]] = []
-            for alternative in sn.alternatives(op_id):
-                if any(c in partial.absorbed for c in alternative.covers):
+    tm = _telemetry()
+    with tm.span("covering.assignments", category="covering"):
+        model = _CostModel(sn, config)
+        dag = sn.dag
+        # Level from the top: process shallow (root-side) nodes first.
+        depth = dag.depth_from_roots()
+        op_ids = sorted(
+            sn.alternatives_of,
+            key=lambda op_id: (depth[op_id], op_id),
+        )
+        # Search statistics accumulate in locals (one counter flush at
+        # the end) so the hot loop stays probe-free.
+        alternatives_scored = 0
+        pruned_min_cost = 0
+        beam_truncated = 0
+        frontier: List[_Partial] = [_Partial(choice={}, cost=0)]
+        for op_id in op_ids:
+            next_frontier: List[_Partial] = []
+            for partial in frontier:
+                if op_id in partial.absorbed:
+                    next_frontier.append(partial)
                     continue
-                increment = model.incremental_cost(partial, op_id, alternative)
-                scored.append((increment, alternative))
-            if not scored:
-                continue  # no usable alternative under this partial
-            if config.assignment_pruning:
-                best = min(increment for increment, _ in scored)
-                scored = [item for item in scored if item[0] == best]
-            for increment, alternative in scored:
-                choice = dict(partial.choice)
-                for covered_id in alternative.covers:
-                    choice[covered_id] = alternative
-                absorbed = set(partial.absorbed)
-                absorbed.update(alternative.covers[1:])
-                next_frontier.append(
-                    _Partial(choice, partial.cost + increment, absorbed)
-                )
-        if config.frontier_limit is not None and len(next_frontier) > config.frontier_limit:
-            next_frontier.sort(key=lambda p: p.cost)
-            next_frontier = next_frontier[: config.frontier_limit]
-        frontier = next_frontier
-    complete = [
-        Assignment(choice=partial.choice, cost=partial.cost)
-        for partial in frontier
-        if len(partial.choice) == len(sn.alternatives_of)
-    ]
-    complete.sort(key=lambda a: (a.cost, a.signature()))
-    deduped: List[Assignment] = []
-    seen: Set[Tuple] = set()
-    for assignment in complete:
-        signature = assignment.signature()
-        if signature not in seen:
-            seen.add(signature)
-            deduped.append(assignment)
-    if config.num_assignments is not None:
-        deduped = deduped[: config.num_assignments]
+                scored: List[Tuple[int, Alternative]] = []
+                for alternative in sn.alternatives(op_id):
+                    if any(c in partial.absorbed for c in alternative.covers):
+                        continue
+                    increment = model.incremental_cost(partial, op_id, alternative)
+                    scored.append((increment, alternative))
+                alternatives_scored += len(scored)
+                if not scored:
+                    continue  # no usable alternative under this partial
+                if config.assignment_pruning:
+                    best = min(increment for increment, _ in scored)
+                    kept = [item for item in scored if item[0] == best]
+                    pruned_min_cost += len(scored) - len(kept)
+                    scored = kept
+                for increment, alternative in scored:
+                    choice = dict(partial.choice)
+                    for covered_id in alternative.covers:
+                        choice[covered_id] = alternative
+                    absorbed = set(partial.absorbed)
+                    absorbed.update(alternative.covers[1:])
+                    next_frontier.append(
+                        _Partial(choice, partial.cost + increment, absorbed)
+                    )
+            if config.frontier_limit is not None and len(next_frontier) > config.frontier_limit:
+                next_frontier.sort(key=lambda p: p.cost)
+                beam_truncated += len(next_frontier) - config.frontier_limit
+                next_frontier = next_frontier[: config.frontier_limit]
+            frontier = next_frontier
+            if tm.enabled:
+                tm.record("assign.beam_occupancy", len(frontier))
+        complete = [
+            Assignment(choice=partial.choice, cost=partial.cost)
+            for partial in frontier
+            if len(partial.choice) == len(sn.alternatives_of)
+        ]
+        complete.sort(key=lambda a: (a.cost, a.signature()))
+        deduped: List[Assignment] = []
+        seen: Set[Tuple] = set()
+        for assignment in complete:
+            signature = assignment.signature()
+            if signature not in seen:
+                seen.add(signature)
+                deduped.append(assignment)
+        if config.num_assignments is not None:
+            deduped = deduped[: config.num_assignments]
+    tm.count("assign.split_nodes_bound", len(op_ids))
+    tm.count("assign.alternatives_scored", alternatives_scored)
+    tm.count("assign.pruned_min_cost", pruned_min_cost)
+    tm.count("assign.beam_truncated", beam_truncated)
+    tm.count("assign.complete", len(complete))
+    tm.count("assign.selected", len(deduped))
     return deduped

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.covering.taskgraph import Task, TaskGraph, TaskKind
 from repro.isdl.model import Constraint, Machine
+from repro.telemetry.session import current as _telemetry
 
 
 class _CliqueBudgetExceeded(Exception):
@@ -54,11 +55,19 @@ def generate_maximal_cliques(
     #: through different insertion orders, and a smaller index explores a
     #: superset of branches, so only strictly-smaller revisits re-expand.
     visited: Dict[FrozenSet[int], int] = {}
+    # Search statistics accumulate in locals; one counter flush at the
+    # end keeps the recursion probe-free.
+    index_prunes = 0
+    revisit_skips = 0
+    budget_trips = 0
+    singleton_topups = 0
 
     def gen_max_clique(members: List[int], index: int) -> None:
+        nonlocal index_prunes, revisit_skips
         state = frozenset(members)
         seen_index = visited.get(state)
         if seen_index is not None and seen_index <= index:
+            revisit_skips += 1
             return
         visited[state] = index
         while True:
@@ -79,6 +88,7 @@ def generate_maximal_cliques(
             if non_precluding.size:
                 node = int(candidates[non_precluding[0]])
                 if node < index:
+                    index_prunes += 1
                     return  # pruning condition (Fig. 8)
                 members = members + [node]
                 continue
@@ -91,10 +101,21 @@ def generate_maximal_cliques(
         for seed in range(size):
             gen_max_clique([seed], seed)
     except _CliqueBudgetExceeded:
+        budget_trips = 1
         covered = set().union(*found) if found else set()
         for node in range(size):
             if node not in covered:
                 found.add(frozenset({node}))
+                singleton_topups += 1
+    tm = _telemetry()
+    if tm.enabled:
+        tm.count("cliques.generation_calls", 1)
+        tm.count("cliques.enumerated", len(found))
+        tm.count("cliques.index_prunes", index_prunes)
+        tm.count("cliques.revisit_skips", revisit_skips)
+        tm.count("cliques.budget_trips", budget_trips)
+        tm.count("cliques.singleton_topups", singleton_topups)
+        tm.record("cliques.matrix_size", size)
     return sorted(found, key=lambda c: (-len(c), sorted(c)))
 
 
@@ -144,6 +165,7 @@ def legalize_cliques(
     legal: Set[FrozenSet[int]] = set()
     work = list(cliques)
     seen: Set[FrozenSet[int]] = set()
+    splits = 0
     while work:
         clique = work.pop()
         if clique in seen or not clique:
@@ -161,6 +183,7 @@ def legalize_cliques(
         # Break the violation: removing any node matching any term yields
         # a smaller clique; branch on each possibility.
         breakers = sorted({t for matched in violated for t in matched})
+        splits += 1
         for task_id in breakers:
             work.append(clique - {task_id})
     # Drop cliques strictly contained in another legal clique.
@@ -169,4 +192,8 @@ def legalize_cliques(
         for c in legal
         if not any(c < other for other in legal)
     ]
+    tm = _telemetry()
+    if tm.enabled:
+        tm.count("cliques.illegal_split", splits)
+        tm.count("cliques.subsumed_discarded", len(legal) - len(result))
     return sorted(result, key=lambda c: (-len(c), sorted(c)))

@@ -22,6 +22,7 @@ from repro.covering.config import HeuristicConfig
 from repro.covering.parallelism import parallelism_matrix
 from repro.covering.pressure import PressureTracker
 from repro.covering.taskgraph import TaskGraph
+from repro.telemetry.session import current as _telemetry
 
 
 @dataclass
@@ -240,6 +241,39 @@ def cover_assignment(
         A :class:`CoverResult`, or ``None`` when pruned by ``bound``.
     """
     config = config or HeuristicConfig.default()
+    tm = _telemetry()
+    with tm.span("covering.cover", detail=stuck_strategy, category="covering"):
+        # Search statistics accumulate in ``_LOOP_STATS`` and are flushed
+        # once in the ``finally`` below — the loop has several exit paths
+        # (done, bound prune, starvation) and all of them must report.
+        try:
+            result = _cover_loop(graph, config, bound, stuck_strategy)
+        finally:
+            tm.count("cover.calls", 1)
+            tm.count("cover.iterations", _LOOP_STATS[0])
+            tm.count("cover.stall_nops", _LOOP_STATS[1])
+            tm.count("cover.subset_fallbacks", _LOOP_STATS[2])
+            tm.count("cover.lookahead_ties", _LOOP_STATS[3])
+            tm.count("cover.spill_rounds", _LOOP_STATS[4])
+        if result is None:
+            tm.count("cover.bound_prunes", 1)
+        return result
+
+
+#: Statistics of the most recent :func:`_cover_loop` call, in order:
+#: iterations, stall NOPs, feasible-subset fallbacks, lookahead
+#: tie-breaks, spill rounds.  Module-level (not returned) so the flush
+#: can run in a ``finally`` even when the loop raises ``CoverageError``.
+_LOOP_STATS = [0, 0, 0, 0, 0]
+
+
+def _cover_loop(
+    graph: TaskGraph,
+    config: HeuristicConfig,
+    bound: Optional[int],
+    stuck_strategy: str,
+) -> Optional[CoverResult]:
+    _LOOP_STATS[:] = [0, 0, 0, 0, 0]
     tracker = PressureTracker(graph)
     covered: Set[int] = set()
     schedule: List[List[int]] = []
@@ -252,6 +286,7 @@ def cover_assignment(
     focus_bank: str = ""
 
     while uncovered:
+        _LOOP_STATS[0] += 1
         if bound is not None and len(schedule) >= bound:
             return None
         now = len(schedule)
@@ -273,6 +308,7 @@ def cover_assignment(
                 if d in covered
             )
             if pending_latency:
+                _LOOP_STATS[1] += 1
                 schedule.append([])  # an explicit NOP word
                 continue
             raise CoverageError("no ready task but tasks remain (cycle?)")
@@ -308,10 +344,13 @@ def cover_assignment(
                 _feasible_subset(tracker, c) for c in candidates
             }
             feasible = [s for s in subsets if s]
+            if feasible:
+                _LOOP_STATS[2] += 1
         if feasible:
             best_size = max(len(c) for c in feasible)
             top = [c for c in feasible if len(c) == best_size]
             if len(top) > 1 and config.lookahead:
+                _LOOP_STATS[3] += 1
                 chosen = min(
                     top,
                     key=lambda c: (
@@ -330,6 +369,7 @@ def cover_assignment(
             continue
         # Spill path (paper Fig. 9).
         spills_done += 1
+        _LOOP_STATS[4] += 1
         if spills_done > config.max_spills:
             raise CoverageError(
                 f"more than {config.max_spills} spills required; "

@@ -27,7 +27,8 @@ from repro.covering.cover import cover_assignment
 from repro.covering.solution import BlockSolution
 from repro.covering.taskgraph import TaskGraph
 from repro.sndag.build import SplitNodeDAG, build_split_node_dag
-from repro.utils.timing import Stopwatch
+from repro.telemetry.clock import Stopwatch
+from repro.telemetry.session import current as _telemetry
 
 
 def generate_block_solution(
@@ -52,8 +53,9 @@ def generate_block_solution(
             files too small for any implementation).
     """
     config = config or HeuristicConfig.default()
+    tm = _telemetry()
     watch = Stopwatch()
-    with watch:
+    with watch, tm.span("covering.block", category="covering"):
         if sn is None:
             sn = build_split_node_dag(dag, machine)
         assignments = explore_assignments(sn, config)
@@ -81,11 +83,14 @@ def generate_block_solution(
                     )
                 except CoverageError as error:
                     failures.append(error)
+                    tm.count("covering.strategy_failures", 1)
                     continue
                 break
             if result is None:
                 continue  # pruned by the bound or uncoverable
             if best is None or result.instruction_count < best.instruction_count:
+                if best is not None:
+                    tm.count("covering.best_improved", 1)
                 best = BlockSolution(
                     machine_name=machine.name,
                     sn=sn,
@@ -97,6 +102,11 @@ def generate_block_solution(
                     reload_count=result.reload_count,
                     assignments_explored=len(assignments),
                 )
+        if best is not None:
+            tm.count("covering.blocks", 1)
+            tm.count("covering.spills", best.spill_count)
+            tm.count("covering.reloads", best.reload_count)
+            tm.count("covering.instructions", best.instruction_count)
     if best is None:
         detail = f"; last error: {failures[-1]}" if failures else ""
         raise CoverageError(

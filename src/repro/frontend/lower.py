@@ -253,11 +253,17 @@ def compile_source(
     from repro.frontend.parser import parse_program
     from repro.opt.pipeline import optimize_function
     from repro.opt.unroll import unroll_constant_loops
+    from repro.telemetry.session import current as _telemetry
 
-    tree = parse_program(source)
-    if optimize:
-        tree = unroll_constant_loops(tree)
-    function = lower_program(tree, name)
-    if optimize:
-        optimize_function(function)
+    tm = _telemetry()
+    with tm.span("frontend", name, category="frontend"):
+        with tm.span("frontend.parse", category="frontend"):
+            tree = parse_program(source)
+        if optimize:
+            with tm.span("frontend.unroll", category="frontend"):
+                tree = unroll_constant_loops(tree)
+        with tm.span("frontend.lower", category="frontend"):
+            function = lower_program(tree, name)
+        if optimize:
+            optimize_function(function)
     return function

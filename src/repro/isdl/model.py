@@ -420,6 +420,48 @@ class Machine:
                             f"{term.resource!r} has no op {term.op_name!r}"
                         )
 
+    def summary(self) -> Dict[str, object]:
+        """A JSON-serializable summary of the machine.
+
+        Element order follows declaration order (which the encoder and
+        the covering engine also use); ``repro describe --json`` prints
+        this verbatim.
+        """
+        return {
+            "name": self.name,
+            "word_size": self.word_size,
+            "data_memory": self.data_memory,
+            "units": [
+                {
+                    "name": unit.name,
+                    "register_file": unit.register_file,
+                    "operations": [
+                        {
+                            "name": op.name,
+                            "arity": op.arity,
+                            "latency": op.latency,
+                            "complex": op.is_complex,
+                            "semantics": str(op.semantics),
+                        }
+                        for op in unit.operations
+                    ],
+                }
+                for unit in self.units
+            ],
+            "register_files": [
+                {"name": rf.name, "size": rf.size}
+                for rf in self.register_files
+            ],
+            "memories": [
+                {"name": m.name, "size": m.size} for m in self.memories
+            ],
+            "buses": [
+                {"name": b.name, "connects": list(b.connects)}
+                for b in self.buses
+            ],
+            "constraints": [str(c) for c in self.constraints],
+        }
+
     def describe(self) -> str:
         """A multi-line human-readable summary (used by Fig. 3 bench)."""
         lines = [f"machine {self.name} (word {self.word_size} bits)"]

@@ -12,6 +12,7 @@ from repro.opt.passes import (
     constant_fold,
     dead_code_elimination,
 )
+from repro.telemetry.session import current as _telemetry
 
 #: The default pass order, iterated to a fixpoint per block.
 DEFAULT_PASSES = (
@@ -39,6 +40,8 @@ def optimize_block(
     through each rewrite's id map).  Returns the number of rounds run.
     """
     passes = tuple(passes) if passes is not None else DEFAULT_PASSES
+    tm = _telemetry()
+    nodes_before = len(block.dag)
     rounds = 0
     for rounds in range(1, max_rounds + 1):
         before = _dag_signature(block.dag)
@@ -55,6 +58,9 @@ def optimize_block(
                 )
         if _dag_signature(block.dag) == before:
             break
+    tm.count("opt.rounds", rounds)
+    tm.count("opt.passes_run", rounds * len(passes))
+    tm.count("opt.nodes_removed", nodes_before - len(block.dag))
     return rounds
 
 
@@ -64,7 +70,10 @@ def optimize_function(
 ) -> Dict[str, int]:
     """Optimize every block; returns block name → rounds run."""
     rounds = {}
-    for block in function:
-        rounds[block.name] = optimize_block(block, passes)
-    function.validate()
+    tm = _telemetry()
+    with tm.span("opt", function.name, category="opt"):
+        for block in function:
+            rounds[block.name] = optimize_block(block, passes)
+        function.validate()
+    tm.count("opt.blocks", len(rounds))
     return rounds

@@ -19,6 +19,7 @@ from repro.covering.cliques import is_legal_instruction
 from repro.covering.solution import BlockSolution
 from repro.covering.taskgraph import TaskKind
 from repro.regalloc.liveness import compute_live_ranges, pressure_profile
+from repro.telemetry.session import current as _telemetry
 
 
 @dataclass
@@ -270,19 +271,30 @@ def peephole_optimize(
     may not, reduce the final number of required instructions."
     """
     report = PeepholeReport()
-    before = solution.instruction_count
-    for _ in range(max_iterations):
-        changed = False
-        for group in _collect_spill_groups(solution):
-            if _group_removable(solution, group):
-                report.spills_removed += 1
-                report.reloads_removed += len(group.reload_chains)
-                _remove_group(solution, group)
+    tm = _telemetry()
+    rejected = 0
+    compactions = 0
+    with tm.span("peephole", category="peephole"):
+        before = solution.instruction_count
+        for _ in range(max_iterations):
+            changed = False
+            for group in _collect_spill_groups(solution):
+                if _group_removable(solution, group):
+                    report.spills_removed += 1
+                    report.reloads_removed += len(group.reload_chains)
+                    _remove_group(solution, group)
+                    changed = True
+                    break  # ranges changed; recompute groups
+                rejected += 1
+            if compact_schedule(solution):
+                compactions += 1
                 changed = True
-                break  # ranges changed; recompute groups
-        if compact_schedule(solution):
-            changed = True
-        if not changed:
-            break
-    report.cycles_saved = before - solution.instruction_count
+            if not changed:
+                break
+        report.cycles_saved = before - solution.instruction_count
+    tm.count("peephole.spills_removed", report.spills_removed)
+    tm.count("peephole.reloads_removed", report.reloads_removed)
+    tm.count("peephole.groups_rejected", rejected)
+    tm.count("peephole.compactions", compactions)
+    tm.count("peephole.cycles_saved", report.cycles_saved)
     return report

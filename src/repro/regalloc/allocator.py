@@ -8,6 +8,7 @@ from typing import Dict
 from repro.covering.solution import BlockSolution
 from repro.regalloc.coloring import color_graph
 from repro.regalloc.interference import build_interference_graphs
+from repro.telemetry.session import current as _telemetry
 
 
 @dataclass
@@ -33,10 +34,18 @@ def allocate_registers(solution: BlockSolution) -> RegisterAssignment:
     (the per-bank liveness upper bound was enforced during covering).
     """
     assignment = RegisterAssignment()
-    for bank, graph in build_interference_graphs(solution).items():
-        colors = color_graph(graph)
-        assignment.register_of.update(colors)
-        assignment.used_per_bank[bank] = (
-            max(colors.values()) + 1 if colors else 0
+    tm = _telemetry()
+    with tm.span("regalloc", category="regalloc"):
+        for bank, graph in build_interference_graphs(solution).items():
+            colors = color_graph(graph)
+            assignment.register_of.update(colors)
+            assignment.used_per_bank[bank] = (
+                max(colors.values()) + 1 if colors else 0
+            )
+            tm.count("regalloc.coloring_attempts", 1)
+        tm.count("regalloc.banks", len(assignment.used_per_bank))
+        tm.count(
+            "regalloc.registers_used",
+            sum(assignment.used_per_bank.values()),
         )
     return assignment

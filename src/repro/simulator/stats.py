@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.isdl.model import Machine
+from repro.telemetry.session import current as _telemetry
 from repro.asmgen.instruction import Instruction, MemRef, Program, RegRef
 
 
@@ -64,14 +65,45 @@ class ExecutionStats:
             )
 
     def slot_utilization(self, machine: Machine) -> Dict[str, float]:
-        """Busy fraction per unit and bus over the executed cycles."""
+        """Busy fraction per unit and bus over the executed cycles.
+
+        Keys are inserted in sorted order (units, then buses) so renders
+        of this dict are stable regardless of declaration order.
+        """
         cycles = max(1, self.instructions_executed)
         utilization: Dict[str, float] = {}
-        for unit in machine.unit_names():
+        for unit in sorted(machine.unit_names()):
             utilization[unit] = self.unit_ops.get(unit, 0) / cycles
-        for bus in machine.bus_names():
+        for bus in sorted(machine.bus_names()):
             utilization[bus] = self.bus_transfers.get(bus, 0) / cycles
         return utilization
+
+    def to_counters(self) -> Dict[str, int]:
+        """Flatten the run's activity into sorted telemetry counters.
+
+        The bridge used by ``--profile`` runs: every key is a flat
+        ``sim.*`` counter name suitable for
+        :meth:`repro.telemetry.TelemetrySession.merge_counters`.
+        """
+        counters: Dict[str, int] = {
+            "sim.cycles": self.cycles,
+            "sim.instructions": self.instructions_executed,
+            "sim.nops": self.nops,
+        }
+        for unit, count in sorted(self.unit_ops.items()):
+            counters[f"sim.unit.{unit}"] = count
+        for bus, count in sorted(self.bus_transfers.items()):
+            counters[f"sim.bus.{bus}"] = count
+        for memory in sorted(set(self.memory_reads) | set(self.memory_writes)):
+            counters[f"sim.mem.{memory}.reads"] = self.memory_reads.get(
+                memory, 0
+            )
+            counters[f"sim.mem.{memory}.writes"] = self.memory_writes.get(
+                memory, 0
+            )
+        for kind, count in sorted(self.control_events.items()):
+            counters[f"sim.control.{kind}"] = count
+        return counters
 
     def describe(self, machine: Optional[Machine] = None) -> str:
         """Readable multi-line activity report."""
@@ -93,6 +125,9 @@ class ExecutionStats:
         for kind, count in sorted(self.control_events.items()):
             lines.append(f"  control {kind}: {count}")
         if machine is not None:
+            # max() keeps the first maximal entry, and slot_utilization
+            # inserts sorted keys, so ties break alphabetically — stable
+            # across hash seeds and machine declaration order.
             busiest = max(
                 self.slot_utilization(machine).items(),
                 key=lambda kv: kv[1],
@@ -120,16 +155,20 @@ def profile_run(
     """
     from repro.simulator.executor import run_program
 
+    tm = _telemetry()
     stats = ExecutionStats()
-    result = run_program(
-        program, machine, initial, max_cycles=max_cycles, trace=True
-    )
-    stats.cycles = result.cycles
-    # Replay the trace's pc values against the program to recount the
-    # actually executed instructions (the trace format is
-    # "cycle @pc: text"; we re-read the pc field).
-    for line in result.trace:
-        at = line.index("@")
-        pc = int(line[at + 1 : line.index(":", at)])
-        stats.record(program.instructions[pc])
+    with tm.span("simulate", category="simulator"):
+        result = run_program(
+            program, machine, initial, max_cycles=max_cycles, trace=True
+        )
+        stats.cycles = result.cycles
+        # Replay the trace's pc values against the program to recount the
+        # actually executed instructions (the trace format is
+        # "cycle @pc: text"; we re-read the pc field).
+        for line in result.trace:
+            at = line.index("@")
+            pc = int(line[at + 1 : line.index(":", at)])
+            stats.record(program.instructions[pc])
+    if tm.enabled:
+        tm.merge_counters(stats.to_counters())
     return stats

@@ -31,6 +31,7 @@ from repro.isdl.databases import OperationDatabase, TransferDatabase, TransferPa
 from repro.isdl.model import Machine
 from repro.sndag.nodes import Alternative, SNKind, SNNode
 from repro.sndag.patterns import PatternMatch, find_pattern_matches
+from repro.telemetry.session import current as _telemetry
 from repro.utils.ids import IdAllocator
 
 
@@ -166,6 +167,21 @@ def build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
     executed by any functional unit (directly or inside a complex match).
     """
     dag.validate()
+    tm = _telemetry()
+    with tm.span("sndag.build", category="sndag"):
+        sn = _build_split_node_dag(dag, machine)
+    if tm.enabled:
+        stats = sn.stats()
+        tm.count("sndag.value_nodes", stats["value_nodes"])
+        tm.count("sndag.split_nodes", stats["split_nodes"])
+        tm.count("sndag.alternative_nodes", stats["alternative_nodes"])
+        tm.count("sndag.transfer_nodes", stats["transfer_nodes"])
+        tm.count("sndag.pattern_matches", len(sn.pattern_matches))
+        tm.record("sndag.assignment_space", sn.assignment_space_size())
+    return sn
+
+
+def _build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
     sn = SplitNodeDAG(dag, machine)
     sn.pattern_matches = find_pattern_matches(dag, machine)
     matches_by_root: Dict[int, List[PatternMatch]] = {}

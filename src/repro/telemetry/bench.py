@@ -1,0 +1,163 @@
+"""Machine-readable code-generator benchmark reports.
+
+``BENCH_codegen.json`` tracks the compiler's own performance trajectory:
+for each workload, the per-phase timings and search counters of one
+profiled compilation plus the headline result metrics (instructions,
+spills, cycles).  The file is written by
+``benchmarks/test_bench_codegen_profile.py`` and by
+``repro profile --bench-out``; CI validates it on every push, so any PR
+that regresses compile time or blows up the search shows up in the
+artifact diff.
+
+Schema (``repro/bench-codegen/v1``)::
+
+    {
+      "schema": "repro/bench-codegen/v1",
+      "entries": [
+        {
+          "workload": "Ex1",
+          "machine": "arch1_r4",
+          "metrics": {"instructions": 7, "spills": 0, ...},
+          "report": { ... TelemetryReport.to_dict() ... }
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+BENCH_SCHEMA = "repro/bench-codegen/v1"
+
+#: Search counters every bench entry is expected to carry (the paper's
+#: interesting internals); validation only checks presence when the
+#: compile actually exercised the covering engine.
+CORE_COUNTERS = (
+    "assign.alternatives_scored",
+    "cliques.enumerated",
+    "cover.iterations",
+)
+
+
+def bench_entry(
+    workload: str,
+    machine: str,
+    report: Dict[str, Any],
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One ``BENCH_codegen.json`` entry from a report dict."""
+    return {
+        "workload": workload,
+        "machine": machine,
+        "metrics": dict(metrics or {}),
+        "report": report,
+    }
+
+
+def make_bench_report(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap entries in the versioned envelope."""
+    return {"schema": BENCH_SCHEMA, "entries": list(entries)}
+
+
+def write_bench_report(path: str, entries: List[Dict[str, Any]]) -> None:
+    """Write a schema-valid ``BENCH_codegen.json`` (validated first)."""
+    payload = make_bench_report(entries)
+    validate_bench_report(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_bench_report(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro/bench-codegen/v1`` schema."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench report must be a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench report schema must be {BENCH_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("bench report needs a non-empty 'entries' list")
+    for position, entry in enumerate(entries):
+        where = f"entry #{position}"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where} is not an object")
+        for key in ("workload", "machine"):
+            if not isinstance(entry.get(key), str) or not entry[key]:
+                raise ValueError(f"{where}: missing string {key!r}")
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError(f"{where}: missing 'metrics' object")
+        report = entry.get("report")
+        if not isinstance(report, dict):
+            raise ValueError(f"{where}: missing 'report' object")
+        phases = report.get("phases")
+        counters = report.get("counters")
+        if not isinstance(phases, list) or not phases:
+            raise ValueError(f"{where}: report needs a non-empty phase list")
+        for phase in phases:
+            if not isinstance(phase, dict):
+                raise ValueError(f"{where}: phase entries must be objects")
+            for key, kind in (
+                ("path", str), ("calls", int), ("wall_s", (int, float)),
+                ("cpu_s", (int, float)),
+            ):
+                if not isinstance(phase.get(key), kind):
+                    raise ValueError(
+                        f"{where}: phase {phase.get('path')!r} "
+                        f"missing {key!r}"
+                    )
+        if not isinstance(counters, dict):
+            raise ValueError(f"{where}: report needs a 'counters' object")
+        for name, value in counters.items():
+            if not isinstance(name, str) or not isinstance(value, int):
+                raise ValueError(f"{where}: counter {name!r} must map to int")
+        for name in CORE_COUNTERS:
+            if name not in counters:
+                raise ValueError(f"{where}: core counter {name!r} missing")
+
+
+def collect_codegen_bench(
+    workload_names: Optional[List[str]] = None,
+) -> List[Dict[str, Any]]:
+    """Profile the Table-I workloads on the example architecture.
+
+    Compiles each workload under a fresh :class:`TelemetrySession` and
+    returns one bench entry per workload — the payload of
+    ``BENCH_codegen.json``.
+    """
+    from repro.asmgen.program import compile_dag
+    from repro.eval.workloads import WORKLOADS
+    from repro.isdl.builtin_machines import example_architecture
+    from repro.telemetry.session import TelemetrySession, use_session
+
+    machine = example_architecture(4)
+    entries: List[Dict[str, Any]] = []
+    for load in WORKLOADS:
+        if workload_names is not None and load.name not in workload_names:
+            continue
+        dag = load.build()
+        session = TelemetrySession(
+            meta={"source": load.name, "machine": machine.name}
+        )
+        with use_session(session):
+            compiled = compile_dag(dag, machine)
+        entries.append(
+            bench_entry(
+                load.name,
+                machine.name,
+                session.report().to_dict(),
+                metrics={
+                    "instructions": compiled.total_instructions,
+                    "body_instructions": compiled.body_instructions,
+                    "spills": compiled.total_spills,
+                    "original_nodes": dag.stats()["paper_nodes"],
+                },
+            )
+        )
+    return entries

@@ -1,0 +1,296 @@
+"""Telemetry sessions: hierarchical spans, counters, and histograms.
+
+A :class:`TelemetrySession` observes one compilation (or any other unit
+of work): nested *spans* time each phase with both wall and CPU clocks,
+named *counters* accumulate search statistics (assignments pruned,
+cliques enumerated, spill rounds, ...), and *histograms* record value
+distributions (beam occupancy per level).
+
+The default session is a :class:`NullSession` whose methods are no-ops
+and whose ``span()`` returns one preallocated object, so uninstrumented
+callers pay a single attribute lookup and method call per probe and no
+allocations at all — compilation with telemetry disabled is
+bit-identical to, and as fast as, an uninstrumented build.
+
+Usage::
+
+    from repro.telemetry import TelemetrySession, use_session
+
+    session = TelemetrySession(meta={"source": "fir.minic"})
+    with use_session(session):
+        compiled = compile_function(function, machine)
+    print(session.report().describe())
+
+Instrumented library code never touches a session directly; it calls
+:func:`current` and probes whatever session is active.  Sessions are
+process-global (not thread-local): one compilation is profiled at a
+time, which matches the CLI and benchmark harness.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.telemetry.clock import cpu_clock, wall_clock
+
+
+class SpanRecord:
+    """One closed (or still-open) phase timing.
+
+    ``start`` is seconds since the session began (wall clock); ``wall``
+    and ``cpu`` are durations in seconds.  ``parent`` is the index of
+    the enclosing span in ``session.spans``, or ``-1`` at top level.
+    """
+
+    __slots__ = (
+        "name", "detail", "category", "start", "wall", "cpu",
+        "parent", "index", "_session", "_cpu0",
+    )
+
+    def __init__(
+        self,
+        session: "TelemetrySession",
+        name: str,
+        detail: Optional[str],
+        category: Optional[str],
+    ) -> None:
+        self.name = name
+        self.detail = detail
+        self.category = category
+        self.parent = -1
+        self.index = -1
+        self.start = 0.0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self._session = session
+        self._cpu0 = 0.0
+
+    @property
+    def label(self) -> str:
+        """Display name: ``name`` or ``name:detail``."""
+        return self.name if self.detail is None else f"{self.name}:{self.detail}"
+
+    def path(self) -> List[str]:
+        """Span names from the session root down to this span."""
+        names: List[str] = []
+        record: Optional[SpanRecord] = self
+        while record is not None:
+            names.append(record.name)
+            record = (
+                self._session.spans[record.parent]
+                if record.parent >= 0
+                else None
+            )
+        return names[::-1]
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "SpanRecord":
+        session = self._session
+        self.parent = session._stack[-1] if session._stack else -1
+        self.index = len(session.spans)
+        session.spans.append(self)
+        session._stack.append(self.index)
+        self._cpu0 = cpu_clock()
+        self.start = wall_clock() - session.t0
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        session = self._session
+        self.wall = wall_clock() - session.t0 - self.start
+        self.cpu = cpu_clock() - self._cpu0
+        popped = session._stack.pop()
+        if popped != self.index:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span {self.label!r} closed out of order "
+                f"(expected index {popped}, got {self.index})"
+            )
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord({self.label!r}, start={self.start:.6f}, "
+            f"wall={self.wall:.6f}, cpu={self.cpu:.6f}, parent={self.parent})"
+        )
+
+
+class Histogram:
+    """Summary statistics for a stream of observations."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def add(self, value: Union[int, float]) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-safe summary."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        d = self.to_dict()
+        return (
+            f"Histogram(count={d['count']}, min={d['min']}, "
+            f"mean={d['mean']:.2f}, max={d['max']})"
+        )
+
+
+class TelemetrySession:
+    """An active telemetry collection: spans + counters + histograms."""
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.t0 = wall_clock()
+        self.spans: List[SpanRecord] = []
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self._stack: List[int] = []
+
+    # -- probes (the instrumented code's API) ----------------------------
+
+    def span(
+        self,
+        name: str,
+        detail: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> SpanRecord:
+        """A context manager timing one phase, nested under the span
+        currently open (if any)."""
+        return SpanRecord(self, name, detail, category)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + n
+
+    def record(self, name: str, value: Union[int, float]) -> None:
+        """Add one observation to the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.add(value)
+
+    def annotate(self, **meta: Any) -> None:
+        """Attach free-form metadata to the session (machine name, ...)."""
+        self.meta.update(meta)
+
+    # -- results ---------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def merge_counters(self, counters: Dict[str, int]) -> None:
+        """Fold a flat counter dict (e.g. simulator activity) in."""
+        for name in sorted(counters):
+            self.count(name, counters[name])
+
+    def report(self) -> "TelemetryReport":
+        """Snapshot this session as a :class:`TelemetryReport`."""
+        from repro.telemetry.report import TelemetryReport
+
+        return TelemetryReport.from_session(self)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The session as a Chrome trace-event JSON object."""
+        from repro.telemetry.trace import chrome_trace
+
+        return chrome_trace(self)
+
+
+class _NullSpan:
+    """The shared no-op span: enters and exits without doing anything."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullSession:
+    """The do-nothing session active by default.
+
+    Every method is a no-op and ``span()`` hands back one preallocated
+    object, so instrumentation on the null path performs no allocation.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name, detail=None, category=None):
+        """No-op span (a shared preallocated context manager)."""
+        return _NULL_SPAN
+
+    def count(self, name, n=1):
+        """Ignore a counter increment."""
+
+    def record(self, name, value):
+        """Ignore a histogram observation."""
+
+    def annotate(self, **meta):
+        """Ignore metadata."""
+
+    def counter(self, name):
+        """Counters never accumulate on the null session."""
+        return 0
+
+    def merge_counters(self, counters):
+        """Ignore merged counters."""
+
+
+NULL_SESSION = NullSession()
+
+_current: Union[TelemetrySession, NullSession] = NULL_SESSION
+
+
+def current() -> Union[TelemetrySession, NullSession]:
+    """The session instrumented code should probe right now."""
+    return _current
+
+
+@contextmanager
+def use_session(
+    session: Union[TelemetrySession, NullSession]
+) -> Iterator[Union[TelemetrySession, NullSession]]:
+    """Make ``session`` current within the ``with`` block (re-entrant)."""
+    global _current
+    previous = _current
+    _current = session
+    try:
+        yield session
+    finally:
+        _current = previous

@@ -1,0 +1,132 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+:func:`chrome_trace` converts a session's spans into the Trace Event
+Format's JSON-object form: complete (``"ph": "X"``) events with
+microsecond ``ts``/``dur``, metadata (``"ph": "M"``) naming the process
+and thread, and the session's counters under ``otherData``.  The object
+loads directly in Chrome's ``chrome://tracing`` viewer and in Perfetto.
+
+:func:`validate_trace` checks the invariants the viewer (and our golden
+tests) rely on — well-formed ``ph``/``ts``/``dur``, events sorted by
+timestamp, balanced nesting — raising :class:`ValueError` on violation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.session import TelemetrySession
+
+#: Process/thread ids used for every event (one profiled compilation).
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def chrome_trace(session: "TelemetrySession") -> Dict[str, Any]:
+    """The session as a Chrome trace-event JSON object."""
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "ts": 0,
+            "args": {"name": "repro codegen"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "ts": 0,
+            "args": {"name": "pipeline"},
+        },
+    ]
+    spans = sorted(session.spans, key=lambda r: (r.start, -r.wall, r.index))
+    for record in spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": record.label,
+                "cat": record.category or "phase",
+                "ts": round(1e6 * record.start, 3),
+                "dur": round(1e6 * record.wall, 3),
+                "pid": TRACE_PID,
+                "tid": TRACE_TID,
+                "args": {"cpu_ms": round(1e3 * record.cpu, 6)},
+            }
+        )
+    other: Dict[str, Any] = {
+        "counters": {k: session.counters[k] for k in sorted(session.counters)},
+        "histograms": {
+            k: session.histograms[k].to_dict()
+            for k in sorted(session.histograms)
+        },
+    }
+    other.update({k: session.meta[k] for k in sorted(session.meta)})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def validate_trace(trace: Any) -> None:
+    """Raise :class:`ValueError` unless ``trace`` is a well-formed
+    Chrome trace-event object.
+
+    Checks: the JSON-object form with a ``traceEvents`` list; every
+    event has a valid ``ph`` and integer/float ``ts >= 0``; complete
+    events carry ``dur >= 0``, ``pid``, ``tid``, and a string ``name``;
+    events are sorted by ``ts`` (metadata first); and ``X`` events nest
+    properly (a child span never outlives its parent).
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object with 'traceEvents'")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace['traceEvents'] must be a list")
+    last_ts = None
+    open_stack: List[Dict[str, Any]] = []
+    for position, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event #{position} is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "B", "E", "C", "I"):
+            raise ValueError(f"event #{position}: unsupported ph {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event #{position}: bad ts {ts!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"event #{position}: missing name")
+        if ph == "M":
+            continue
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(
+                f"event #{position}: ts {ts} precedes previous {last_ts} "
+                f"(events must be sorted)"
+            )
+        last_ts = ts
+        if ph != "X":
+            continue
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ValueError(f"event #{position}: bad dur {dur!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"event #{position}: missing {key}")
+        # Nesting: pop finished spans, then check containment.  A small
+        # tolerance absorbs float rounding of ts/dur microseconds.
+        while open_stack and _end_of(open_stack[-1]) <= ts + 1e-6:
+            open_stack.pop()
+        if open_stack and _end_of(event) > _end_of(open_stack[-1]) + 1e-3:
+            raise ValueError(
+                f"event #{position} ({event['name']!r}) outlives its "
+                f"enclosing span {open_stack[-1]['name']!r}"
+            )
+        open_stack.append(event)
+
+
+def _end_of(event: Dict[str, Any]) -> float:
+    return float(event["ts"]) + float(event.get("dur", 0.0))

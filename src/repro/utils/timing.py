@@ -1,66 +1,10 @@
-"""CPU-time measurement for experiment reporting.
-
-The paper reports CPU seconds on a Sun Ultra-30/300; we report CPU seconds
-on the host.  :class:`Stopwatch` uses ``time.process_time`` so results are
-insensitive to wall-clock noise.
-"""
+"""Backward-compatible shim: :class:`Stopwatch` now lives in the
+telemetry package (:mod:`repro.telemetry.clock`), where spans build on
+the same clocks.  Import from here keeps working for existing callers
+(e.g. ``repro.eval.experiments``)."""
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from repro.telemetry.clock import Stopwatch, cpu_clock, wall_clock
 
-
-class Stopwatch:
-    """Accumulating process-CPU-time stopwatch.
-
-    Usage::
-
-        watch = Stopwatch()
-        with watch:
-            expensive_call()
-        print(watch.elapsed)
-    """
-
-    def __init__(self) -> None:
-        self._accumulated = 0.0
-        self._started_at: Optional[float] = None
-
-    def start(self) -> None:
-        """Start timing (error if already running)."""
-        if self._started_at is not None:
-            raise RuntimeError("stopwatch already running")
-        self._started_at = time.process_time()
-
-    def stop(self) -> float:
-        """Stop and return the total accumulated CPU seconds."""
-        if self._started_at is None:
-            raise RuntimeError("stopwatch is not running")
-        self._accumulated += time.process_time() - self._started_at
-        self._started_at = None
-        return self._accumulated
-
-    def reset(self) -> None:
-        """Zero the accumulator and stop timing."""
-        self._accumulated = 0.0
-        self._started_at = None
-
-    @property
-    def running(self) -> bool:
-        """True while the stopwatch is started."""
-        return self._started_at is not None
-
-    @property
-    def elapsed(self) -> float:
-        """Accumulated CPU seconds (including the running span, if any)."""
-        total = self._accumulated
-        if self._started_at is not None:
-            total += time.process_time() - self._started_at
-        return total
-
-    def __enter__(self) -> "Stopwatch":
-        self.start()
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.stop()
+__all__ = ["Stopwatch", "cpu_clock", "wall_clock"]

@@ -183,3 +183,115 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestProfiling:
+    def test_describe_json(self, capsys):
+        import json
+
+        assert main(["describe", "-m", "arch1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "arch1_r4"
+        assert {u["name"] for u in payload["units"]} >= {"U1"}
+        assert all("size" in rf for rf in payload["register_files"])
+
+    def test_compile_profile_prints_report(self, program_file, capsys):
+        assert (
+            main(["compile", program_file, "-m", "arch1", "--profile"]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "HALT" in captured.out  # listing still on stdout
+        assert "telemetry report" in captured.err
+        assert "covering.cover" in captured.err
+        assert "cover.iterations" in captured.err
+        assert "assign.pruned_min_cost" in captured.err
+        assert "cliques.enumerated" in captured.err
+        assert "cover.spill_rounds" in captured.err
+
+    def test_compile_trace_out_writes_valid_trace(
+        self, program_file, tmp_path, capsys
+    ):
+        import json
+
+        from repro.telemetry import validate_trace
+
+        trace_path = tmp_path / "t.json"
+        code = main(
+            [
+                "compile",
+                program_file,
+                "-m",
+                "arch1",
+                "--profile",
+                "--trace-out",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        validate_trace(trace)
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_run_profile(self, program_file, capsys):
+        code = main(
+            [
+                "run",
+                program_file,
+                "-m",
+                "arch1",
+                "--set",
+                "a=5",
+                "--set",
+                "b=3",
+                "--set",
+                "c=1",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "y = 32" in captured.out
+        assert "telemetry report" in captured.err
+        assert "sim.cycles" in captured.err
+
+    def test_profile_command(self, program_file, capsys):
+        assert main(["profile", program_file, "-m", "arch1"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "simulate" in out
+        assert "cover.iterations" in out
+
+    def test_profile_command_json(self, program_file, capsys):
+        import json
+
+        assert (
+            main(["profile", program_file, "-m", "arch1", "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["cover.iterations"] > 0
+        assert any(
+            p["path"] == "compile" for p in payload["phases"]
+        )
+        assert payload["meta"]["machine"] == "arch1_r4"
+
+    def test_profile_command_bench_out(
+        self, program_file, tmp_path, capsys
+    ):
+        import json
+
+        from repro.telemetry import validate_bench_report
+
+        bench_path = tmp_path / "BENCH_codegen.json"
+        code = main(
+            [
+                "profile",
+                program_file,
+                "-m",
+                "arch1",
+                "--no-run",
+                "--bench-out",
+                str(bench_path),
+            ]
+        )
+        assert code == 0
+        validate_bench_report(json.loads(bench_path.read_text()))
