@@ -1,0 +1,95 @@
+"""Covering hot-path kernel comparison — ``BENCH_cover.json``.
+
+Compiles the clique-heavy workloads (sum-of-products and wide
+reductions with the level window off, where clique enumeration and
+covering dominate exactly as the paper predicts) under both covering
+kernels and writes ``benchmarks/results/BENCH_cover.json`` (schema
+``repro/bench-cover/v1``): per-workload wall clock for the bitmask and
+reference kernels, the speedup, and the schedule-identity verdict.
+
+Gate: the two kernels must produce bit-identical schedules everywhere,
+every heavy (clique-bound) workload must show a real speedup, and the
+headline clique-heavy workload must clear 2x.  CI regenerates and
+schema-validates the file on every push, so a regression in the bitmask
+kernel's speed or fidelity shows up in the artifact diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    collect_cover_bench,
+    make_cover_report,
+    validate_cover_report,
+    write_cover_report,
+)
+
+from conftest import full_mode, write_result
+
+
+def test_bench_cover_hotpath(benchmark, results_dir):
+    repeats = 5 if full_mode() else 3
+    entries = benchmark.pedantic(
+        lambda: collect_cover_bench(repeats=repeats), rounds=1, iterations=1
+    )
+    path = results_dir / "BENCH_cover.json"
+    write_cover_report(str(path), entries)
+    payload = json.loads(path.read_text())
+    validate_cover_report(payload)  # round-trips schema-valid
+
+    lines = [
+        "workload       heavy  bitmask ms  reference ms  speedup  identical"
+    ]
+    for entry in entries:
+        lines.append(
+            f"{entry['workload']:13s}  {str(entry['heavy']):5s}"
+            f"  {1000 * entry['bitmask_s']:10.1f}"
+            f"  {1000 * entry['reference_s']:12.1f}"
+            f"  {entry['speedup']:6.2f}x"
+            f"  {entry['identical']}"
+        )
+    write_result("cover_hotpath.txt", "\n".join(lines))
+
+    # Fidelity: bit-identical schedules on every workload, both kernels
+    # actually exercised their hot paths.
+    for entry in entries:
+        assert entry["identical"], entry["workload"]
+        assert entry["counters"]["cliques.mask_kernel_calls"] > 0, (
+            entry["workload"]
+        )
+        assert entry["counters"]["cover.iterations"] > 0, entry["workload"]
+
+    # Speed: every clique-bound workload wins clearly, and the headline
+    # clique-heavy result clears the 2x bar.
+    heavy = [entry for entry in entries if entry["heavy"]]
+    assert heavy, "no clique-bound workloads in the bench table"
+    for entry in heavy:
+        assert entry["speedup"] >= 1.5, (
+            f"{entry['workload']}: bitmask kernel only "
+            f"{entry['speedup']:.2f}x over reference"
+        )
+    best = max(entry["speedup"] for entry in heavy)
+    assert best >= 2.0, (
+        f"best clique-heavy speedup {best:.2f}x is below the 2x bar"
+    )
+
+    # The spill workload must actually spill — that is what exercises
+    # the incremental clique rebuild path.
+    spilled = next(e for e in entries if e["workload"] == "sop8-spill")
+    assert spilled["metrics"]["spills"] > 0
+    assert spilled["counters"].get("cover.incremental_rebuilds", 0) > 0
+
+
+def test_bench_cover_report_shape(benchmark):
+    """A single-workload collection round-trips the schema and records
+    both kernels' timings."""
+    entries = benchmark.pedantic(
+        lambda: collect_cover_bench(["sop8-nowin"]), rounds=1, iterations=1
+    )
+    assert len(entries) == 1
+    payload = make_cover_report(entries)
+    validate_cover_report(payload)
+    entry = entries[0]
+    assert entry["bitmask_s"] > 0 and entry["reference_s"] > 0
+    assert entry["identical"] is True

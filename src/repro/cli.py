@@ -30,10 +30,13 @@ Commands
     Execute an object file on the simulator.
 ``tables [--table {1,2,both}] [--heuristics-off] [--no-optimal]``
     Regenerate the paper's Table I / Table II.
-``fuzz [--seed N] [--iterations N] [--time-budget S] [--artifacts DIR]``
+``fuzz [--seed N] [--iterations N] [--time-budget S] [--artifacts DIR]
+[--clique-kernel {bitmask,reference}]``
     Differential fuzzing: random (program, machine, config) triples
     compiled end to end, the simulator checked against the IR
     interpreter, failures minimized and written as reproducer files.
+    ``--clique-kernel`` forces every case's covering kernel (the
+    bitmask-vs-reference equivalence guard).
 ``fuzz --replay FILE``
     Re-run one reproducer JSON file and report the outcome.
 
@@ -369,6 +372,9 @@ def _cmd_fuzz(args) -> int:
                 file=sys.stderr,
             )
 
+    config_override = None
+    if args.clique_kernel:
+        config_override = {"clique_kernel": args.clique_kernel}
     stats = run_campaign(
         seed=args.seed,
         iterations=args.iterations,
@@ -377,6 +383,7 @@ def _cmd_fuzz(args) -> int:
         shrink=not args.no_shrink,
         max_shrink_evaluations=args.shrink_budget,
         progress=progress,
+        config_override=config_override,
     )
     print(stats.summary())
     return 1 if stats.failure_count else 0
@@ -534,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--verbose", "-v", action="store_true", help="per-iteration log"
+    )
+    fuzz.add_argument(
+        "--clique-kernel",
+        choices=("bitmask", "reference"),
+        default=None,
+        help="force every case's covering kernel (equivalence guard)",
     )
 
     return parser

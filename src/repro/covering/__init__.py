@@ -28,8 +28,13 @@ register-bank allocation, and scheduling *concurrently*:
 from repro.covering.config import HeuristicConfig
 from repro.covering.assignment import Assignment, explore_assignments
 from repro.covering.taskgraph import Task, TaskGraph, TaskKind, ReadRef
-from repro.covering.parallelism import parallelism_matrix
-from repro.covering.cliques import generate_maximal_cliques, legalize_cliques
+from repro.covering.parallelism import parallelism_masks, parallelism_matrix
+from repro.covering.cliques import (
+    generate_maximal_clique_masks,
+    generate_maximal_cliques,
+    legalize_clique_masks,
+    legalize_cliques,
+)
 from repro.covering.pressure import PressureTracker
 from repro.covering.cover import cover_assignment
 from repro.covering.solution import BlockSolution
@@ -44,8 +49,11 @@ __all__ = [
     "TaskKind",
     "ReadRef",
     "parallelism_matrix",
+    "parallelism_masks",
     "generate_maximal_cliques",
+    "generate_maximal_clique_masks",
     "legalize_cliques",
+    "legalize_clique_masks",
     "PressureTracker",
     "cover_assignment",
     "BlockSolution",

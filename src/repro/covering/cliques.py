@@ -14,17 +14,30 @@ smaller cliques until every constraint is met.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.covering.taskgraph import Task, TaskGraph, TaskKind
+from repro.errors import CoverageError
 from repro.isdl.model import Constraint, Machine
 from repro.telemetry.session import current as _telemetry
+from repro.utils.bitset import bits, iter_bits, popcount
 
 
 class _CliqueBudgetExceeded(Exception):
     """Internal: unwinds the recursion when ``max_cliques`` is hit."""
+
+
+#: Cap on the ``visited`` memo of the Fig. 8 recursion.  The memo is
+#: purely a time-saving prune (skipping re-expansion of a member set
+#: already explored under a smaller-or-equal index), so on dense
+#: matrices — where distinct member sets grow combinatorially — we stop
+#: *inserting* new states past this many entries rather than let the
+#: dict blow up memory.  Existing entries keep being consulted and
+#: updated, and both kernels apply the cap identically, so results are
+#: unchanged.
+_VISITED_LIMIT = 1 << 18
 
 
 def generate_maximal_cliques(
@@ -69,7 +82,8 @@ def generate_maximal_cliques(
         if seen_index is not None and seen_index <= index:
             revisit_skips += 1
             return
-        visited[state] = index
+        if len(visited) < _VISITED_LIMIT or state in visited:
+            visited[state] = index
         while True:
             compatible = parallel[members].all(axis=0)
             candidates = np.flatnonzero(compatible)
@@ -119,6 +133,120 @@ def generate_maximal_cliques(
     return sorted(found, key=lambda c: (-len(c), sorted(c)))
 
 
+def _enumerate_clique_masks(
+    rows: Dict[int, int],
+    budget: Optional[int],
+    restrict: int = 0,
+) -> Tuple[Set[int], bool, List[int]]:
+    """The Fig. 8 recursion over integer bitmask rows.
+
+    ``rows`` maps each node to the mask of nodes it is parallel with
+    (self bit clear).  Returns ``(found_masks, budget_tripped, [index_prunes,
+    revisit_skips])``.  The traversal — seed order, the greedy absorb of
+    the lowest non-precluding candidate, the ``i < index`` prune, the
+    visited memo, and the budget check — mirrors the numpy reference
+    step for step, so the two kernels stay bit-identical even in the
+    traversal-order-dependent budget-trip regime.
+
+    A non-zero ``restrict`` prunes any branch that can no longer reach a
+    clique intersecting it: every clique produced below a state is a
+    subset of ``members | compatible``, and on any reference path that
+    produces a clique C, ``members ⊆ C ⊆ members | compatible`` holds at
+    every step — so the prune loses exactly the cliques disjoint from
+    ``restrict`` and nothing else.  This is what makes the post-spill
+    incremental rebuild exact.
+    """
+    found: Set[int] = set()
+    visited: Dict[int, int] = {}
+    stats = [0, 0]  # index_prunes, revisit_skips
+
+    def gen(members: int, compatible: int, index: int) -> None:
+        if restrict and not ((members | compatible) & restrict):
+            return
+        seen_index = visited.get(members)
+        if seen_index is not None and seen_index <= index:
+            stats[1] += 1
+            return
+        if len(visited) < _VISITED_LIMIT or members in visited:
+            visited[members] = index
+        while True:
+            if not compatible:
+                if budget is not None and len(found) >= budget:
+                    raise _CliqueBudgetExceeded
+                found.add(members)
+                return
+            # First loop: absorb the lowest-numbered candidate that does
+            # not preclude any other candidate.  ``compatible & ~rows[c]``
+            # is the candidates *not* parallel with c (always including c
+            # itself); equal to c's own bit means c precludes nothing.
+            node = -1
+            rest = compatible
+            while rest:
+                low = rest & -rest
+                if compatible & ~rows[low.bit_length() - 1] == low:
+                    node = low.bit_length() - 1
+                    break
+                rest ^= low
+            if node < 0:
+                break
+            if node < index:
+                stats[0] += 1
+                return  # pruning condition (Fig. 8)
+            members |= 1 << node
+            compatible &= rows[node]
+        # Second loop: branch on each remaining compatible node.
+        rest = compatible
+        while rest:
+            low = rest & -rest
+            node = low.bit_length() - 1
+            gen(members | low, compatible & rows[node], max(node, index))
+            rest ^= low
+
+    tripped = False
+    try:
+        for seed in sorted(rows):
+            gen(1 << seed, rows[seed], seed)
+    except _CliqueBudgetExceeded:
+        tripped = True
+    return found, tripped, stats
+
+
+def generate_maximal_clique_masks(
+    rows: Dict[int, int], max_cliques: Optional[int] = None
+) -> List[int]:
+    """All maximal cliques over bitmask parallelism rows (Fig. 8).
+
+    The bitmask counterpart of :func:`generate_maximal_cliques`: input
+    rows come from :func:`repro.covering.parallelism.parallelism_masks`
+    (task-id bit space), output cliques are ints with one bit per member
+    task, ordered by size descending then lexicographically — the same
+    cliques, in the same order, as the reference kernel produces on the
+    equivalent matrix (including the budget-trip + singleton-top-up
+    behavior).
+    """
+    found, tripped, stats = _enumerate_clique_masks(rows, max_cliques)
+    singleton_topups = 0
+    if tripped:
+        covered = 0
+        for mask in found:
+            covered |= mask
+        for node in sorted(rows):
+            if not (covered >> node) & 1:
+                found.add(1 << node)
+                singleton_topups += 1
+    tm = _telemetry()
+    if tm.enabled:
+        tm.count("cliques.mask_kernel_calls", 1)
+        tm.count("cliques.generation_calls", 1)
+        tm.count("cliques.enumerated", len(found))
+        tm.count("cliques.index_prunes", stats[0])
+        tm.count("cliques.revisit_skips", stats[1])
+        tm.count("cliques.budget_trips", 1 if tripped else 0)
+        tm.count("cliques.singleton_topups", singleton_topups)
+        tm.record("cliques.matrix_size", len(rows))
+    return sorted(found, key=lambda m: (-popcount(m), bits(m)))
+
+
 def _matches_term(task: Task, resource: str, op_name: str) -> bool:
     if task.resource != resource:
         return False
@@ -155,11 +283,42 @@ def is_legal_instruction(
     )
 
 
+def _raise_uncoverable(
+    graph: TaskGraph, machine: Machine, missing: Set[int]
+) -> None:
+    """A task fell out of *every* legal clique: its singleton instruction
+    violates a constraint, so no covering exists.  Raising here turns
+    what would otherwise be an endless spill spiral ending in a
+    misleading "register files too small" error into a precise one."""
+    details = []
+    for task_id in sorted(missing):
+        task = graph.tasks[task_id]
+        culprits = [
+            str(constraint)
+            for constraint in machine.constraints
+            if _violates(graph.tasks, frozenset({task_id}), constraint)
+        ]
+        details.append(
+            f"{task.describe()} (violates: {'; '.join(culprits) or '?'})"
+        )
+    raise CoverageError(
+        f"no legal implementation on the assigned unit for "
+        f"{len(missing)} task(s) — even as a single-operation "
+        f"instruction each violates an ISDL constraint of machine "
+        f"{machine.name!r}: " + "; ".join(details)
+    )
+
+
 def legalize_cliques(
     graph: TaskGraph, cliques: Sequence[FrozenSet[int]], machine: Machine
 ) -> List[FrozenSet[int]]:
     """Split illegal cliques until every instruction meets the
-    constraints (IV-C.3), dropping results subsumed by larger cliques."""
+    constraints (IV-C.3), dropping results subsumed by larger cliques.
+
+    Raises :class:`CoverageError` when a task present in the input falls
+    out of every legal clique (its singleton grouping already violates a
+    constraint) — covering could never schedule it.
+    """
     if not machine.constraints:
         return list(cliques)
     legal: Set[FrozenSet[int]] = set()
@@ -196,4 +355,83 @@ def legalize_cliques(
     if tm.enabled:
         tm.count("cliques.illegal_split", splits)
         tm.count("cliques.subsumed_discarded", len(legal) - len(result))
+    requested: Set[int] = set().union(*cliques) if cliques else set()
+    covered: Set[int] = set().union(*result) if result else set()
+    if requested - covered:
+        _raise_uncoverable(graph, machine, requested - covered)
     return sorted(result, key=lambda c: (-len(c), sorted(c)))
+
+
+def legalize_clique_masks(
+    graph: TaskGraph, cliques: Sequence[int], machine: Machine
+) -> List[int]:
+    """Bitmask counterpart of :func:`legalize_cliques`: cliques are ints
+    in task-id bit space; same splits, same subsumption filter, same
+    order, same uncoverable-task diagnostic."""
+    if not machine.constraints:
+        return list(cliques)
+    # One mask per constraint term: the tasks matching it.  A clique
+    # violates a constraint when it intersects every term's mask.
+    term_masks: List[List[int]] = []
+    for constraint in machine.constraints:
+        masks = []
+        for term in constraint.terms:
+            mask = 0
+            for task_id, task in graph.tasks.items():
+                if _matches_term(task, term.resource, term.op_name):
+                    mask |= 1 << task_id
+            masks.append(mask)
+        term_masks.append(masks)
+    legal: Set[int] = set()
+    work = list(cliques)
+    seen: Set[int] = set()
+    splits = 0
+    while work:
+        clique = work.pop()
+        if clique in seen or not clique:
+            continue
+        seen.add(clique)
+        violated: Optional[int] = None
+        for masks in term_masks:
+            if all(clique & mask for mask in masks):
+                breakers = 0
+                for mask in masks:
+                    breakers |= clique & mask
+                violated = breakers
+                break
+        if violated is None:
+            legal.add(clique)
+            continue
+        splits += 1
+        for low in _low_bits(violated):
+            work.append(clique & ~low)
+    result = [
+        c
+        for c in legal
+        if not any(c != other and c & ~other == 0 for other in legal)
+    ]
+    tm = _telemetry()
+    if tm.enabled:
+        tm.count("cliques.illegal_split", splits)
+        tm.count("cliques.subsumed_discarded", len(legal) - len(result))
+    requested = 0
+    for clique in cliques:
+        requested |= clique
+    covered = 0
+    for clique in result:
+        covered |= clique
+    if requested & ~covered:
+        _raise_uncoverable(
+            graph, machine, set(iter_bits(requested & ~covered))
+        )
+    return sorted(result, key=lambda m: (-popcount(m), bits(m)))
+
+
+def _low_bits(mask: int) -> List[int]:
+    """The isolated set bits of ``mask``, ascending (as one-bit masks)."""
+    result = []
+    while mask:
+        low = mask & -mask
+        result.append(low)
+        mask ^= low
+    return result

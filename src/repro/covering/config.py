@@ -51,6 +51,13 @@ class HeuristicConfig:
         spill_penalty: cost units charged per value expected to exceed a
             register bank's capacity (only with
             ``register_aware_assignment``).
+        clique_kernel: which clique/covering hot-path implementation to
+            use.  ``"bitmask"`` (default) runs the integer-bitset kernel
+            with incremental ready-set maintenance and incremental
+            post-spill clique rebuilds; ``"reference"`` runs the original
+            numpy/set implementation.  Both produce bit-identical
+            schedules (enforced differentially by the ``hotpath`` tests
+            and a fuzz-oracle pass).
     """
 
     assignment_pruning: bool = True
@@ -63,6 +70,14 @@ class HeuristicConfig:
     max_cliques: Optional[int] = 20_000
     register_aware_assignment: bool = False
     spill_penalty: int = 2
+    clique_kernel: str = "bitmask"
+
+    def __post_init__(self) -> None:
+        if self.clique_kernel not in ("bitmask", "reference"):
+            raise ValueError(
+                f"unknown clique_kernel {self.clique_kernel!r}; "
+                f"expected 'bitmask' or 'reference'"
+            )
 
     @classmethod
     def default(cls) -> "HeuristicConfig":

@@ -9,20 +9,42 @@ needed.  When no clique is register-feasible, a covered value is chosen
 for spilling — based on the most-needed bank and the number of reloads
 the spill will cause — the task graph is augmented with load/spill
 transfers (Fig. 9), and the maximal cliques are regenerated.
+
+Two implementations of the loop exist, selected by
+``HeuristicConfig.clique_kernel``:
+
+- ``"bitmask"`` (default): cliques, ready/admissible sets, and
+  parallelism rows are integer bitmasks; the ready set is maintained
+  incrementally; after a spill only the cliques whose members touch the
+  rewired subgraph are re-enumerated (:class:`_MaskCliqueCache`).
+- ``"reference"``: the original set/numpy implementation, recomputing
+  the ready set per iteration and rebuilding all cliques after a spill.
+
+Both make identical decisions at every step and produce bit-identical
+schedules; the ``hotpath`` test suite and a fuzz-oracle pass enforce it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import CoverageError
-from repro.covering.cliques import generate_maximal_cliques, legalize_cliques
+from repro.covering.cliques import (
+    _enumerate_clique_masks,
+    generate_maximal_clique_masks,
+    generate_maximal_cliques,
+    legalize_clique_masks,
+    legalize_cliques,
+)
 from repro.covering.config import HeuristicConfig
-from repro.covering.parallelism import parallelism_matrix
+from repro.covering.parallelism import parallelism_masks, parallelism_matrix
 from repro.covering.pressure import PressureTracker
 from repro.covering.taskgraph import TaskGraph
 from repro.telemetry.session import current as _telemetry
+from repro.utils.bitset import bits, iter_bits, mask_of, popcount
+from repro.utils.graph import topological_order
 
 
 @dataclass
@@ -56,10 +78,29 @@ def _build_cliques(
     return legalize_cliques(graph, as_tasks, graph.machine)
 
 
-def _lookahead_estimate(graph: TaskGraph, remaining: Set[int]) -> int:
+def _uncovered_order(graph: TaskGraph, uncovered: Set[int]) -> List[int]:
+    """A topological order of the uncovered tasks (consumers first).
+
+    Computed once per lookahead tie-break and shared by every candidate:
+    the restriction of a valid topological order to any subset is a
+    valid topological order of the induced subgraph, so
+    :func:`_lookahead_estimate` can filter instead of re-sorting."""
+    adjacency = {
+        t: [d for d in graph.tasks[t].dependencies() if d in uncovered]
+        for t in sorted(uncovered)
+    }
+    return topological_order(adjacency)
+
+
+def _lookahead_estimate(
+    graph: TaskGraph,
+    remaining: Set[int],
+    order: Optional[List[int]] = None,
+) -> int:
     """Lower-bound style estimate of cliques needed for ``remaining``:
     the busiest resource's task count, or the longest dependence chain,
-    whichever is larger."""
+    whichever is larger.  ``order`` is an optional precomputed
+    topological order of a superset of ``remaining``."""
     if not remaining:
         return 0
     per_resource: Dict[str, int] = {}
@@ -70,17 +111,15 @@ def _lookahead_estimate(graph: TaskGraph, remaining: Set[int]) -> int:
     # Longest dependence chain within the remaining tasks.  Spill/reload
     # rewiring can make ascending task ids non-topological, so order
     # properly.
-    from repro.utils.graph import topological_order
-
-    adjacency = {
-        t: [d for d in graph.tasks[t].dependencies() if d in remaining]
-        for t in sorted(remaining)
-    }
+    if order is None:
+        order = _uncovered_order(graph, remaining)
+    ordered = [t for t in order if t in remaining]
     depth: Dict[int, int] = {}
-    for task_id in reversed(topological_order(adjacency)):
+    for task_id in reversed(ordered):
         best = 0
-        for dependency in adjacency[task_id]:
-            best = max(best, depth[dependency])
+        for dependency in graph.tasks[task_id].dependencies():
+            if dependency in remaining:
+                best = max(best, depth[dependency])
         depth[task_id] = best + 1
     return max(resource_bound, max(depth.values()))
 
@@ -216,6 +255,79 @@ def _pick_focus(
     )
 
 
+def _pick_spill(
+    graph: TaskGraph,
+    tracker: PressureTracker,
+    candidates: List[FrozenSet[int]],
+    covered: Set[int],
+    ready: Set[int],
+    stuck_strategy: str,
+) -> Tuple[int, Optional[int], str]:
+    """One register-starvation decision (paper Fig. 9): pick the focus
+    consumer, the bank to relieve, and the delivery to spill.
+
+    Shared verbatim by both covering kernels so the spill policy cannot
+    drift between them.  Returns ``(victim, focus, focus_bank)``.
+    """
+    blocked = sorted(
+        {b for c in candidates for b in tracker.blocked_banks(c)}
+    )
+    # Re-pick the focus at every stuck event: as the covering makes
+    # partial progress, the nearest-to-ready blocked consumer changes
+    # (it climbs the dependency subtree bottom-up), and protecting an
+    # outdated focus's operands is what causes reload ping-pong.
+    #
+    # The sharpest signal is a READY task that is individually
+    # infeasible: the bank refusing its arrival is exactly the one to
+    # relieve, so drive that task and spill there.  Only when no such
+    # task exists fall back to the nearest blocked consumer of the
+    # most-contended bank.
+    ready_infeasible = sorted(
+        t for t in ready if not tracker.feasible({t})
+    ) if stuck_strategy == "arrival" else []
+    if ready_infeasible:
+
+        def enables_soonest(task_id: int) -> tuple:
+            # Prefer the blocked task whose own consumers are
+            # nearest to executable — its delivery directly enables
+            # the next operation rather than parking a value.
+            consumer_distance = min(
+                (
+                    len(_uncovered_ancestors(graph, c, covered))
+                    for c in graph.consumers_of(task_id)
+                    if c in graph.tasks
+                ),
+                default=len(graph.tasks),
+            )
+            return (consumer_distance, task_id)
+
+        focus = min(ready_infeasible, key=enables_soonest)
+        focus_blocked = tracker.blocked_banks({focus})
+        focus_bank = (
+            focus_blocked[0]
+            if focus_blocked
+            else graph.tasks[focus].dest_storage
+        )
+    else:
+        focus_bank = blocked[0] if blocked else max(
+            tracker.banks(), key=lambda b: tracker.occupancy(b)
+        )
+        focus = _pick_focus(graph, tracker, focus_bank, covered)
+    protected: Set[int] = set()
+    if focus is not None:
+        for member in _uncovered_ancestors(graph, focus, covered):
+            for read in graph.tasks[member].reads:
+                if read.producer is not None:
+                    protected.add(read.producer)
+    relieve = None
+    if focus is not None and (not blocked or focus_bank in blocked):
+        relieve = focus_bank
+    victim = _choose_spill_victim(
+        graph, tracker, candidates, covered, ready, protected, relieve
+    )
+    return victim, focus, focus_bank
+
+
 def cover_assignment(
     graph: TaskGraph,
     config: Optional[HeuristicConfig] = None,
@@ -243,28 +355,31 @@ def cover_assignment(
     config = config or HeuristicConfig.default()
     tm = _telemetry()
     with tm.span("covering.cover", detail=stuck_strategy, category="covering"):
-        # Search statistics accumulate in ``_LOOP_STATS`` and are flushed
-        # once in the ``finally`` below — the loop has several exit paths
-        # (done, bound prune, starvation) and all of them must report.
+        # Search statistics live in a per-call list — in order:
+        # iterations, stall NOPs, feasible-subset fallbacks, lookahead
+        # tie-breaks, spill rounds — and are flushed from the local in
+        # the ``finally`` below: the loop has several exit paths (done,
+        # bound prune, starvation) and all of them must report, while a
+        # module-level global would be clobbered by nested or retried
+        # coverings.
+        stats = [0, 0, 0, 0, 0]
         try:
-            result = _cover_loop(graph, config, bound, stuck_strategy)
+            if config.clique_kernel == "reference":
+                result = _cover_loop(graph, config, bound, stuck_strategy, stats)
+            else:
+                result = _cover_loop_masks(
+                    graph, config, bound, stuck_strategy, stats
+                )
         finally:
             tm.count("cover.calls", 1)
-            tm.count("cover.iterations", _LOOP_STATS[0])
-            tm.count("cover.stall_nops", _LOOP_STATS[1])
-            tm.count("cover.subset_fallbacks", _LOOP_STATS[2])
-            tm.count("cover.lookahead_ties", _LOOP_STATS[3])
-            tm.count("cover.spill_rounds", _LOOP_STATS[4])
+            tm.count("cover.iterations", stats[0])
+            tm.count("cover.stall_nops", stats[1])
+            tm.count("cover.subset_fallbacks", stats[2])
+            tm.count("cover.lookahead_ties", stats[3])
+            tm.count("cover.spill_rounds", stats[4])
         if result is None:
             tm.count("cover.bound_prunes", 1)
         return result
-
-
-#: Statistics of the most recent :func:`_cover_loop` call, in order:
-#: iterations, stall NOPs, feasible-subset fallbacks, lookahead
-#: tie-breaks, spill rounds.  Module-level (not returned) so the flush
-#: can run in a ``finally`` even when the loop raises ``CoverageError``.
-_LOOP_STATS = [0, 0, 0, 0, 0]
 
 
 def _cover_loop(
@@ -272,8 +387,10 @@ def _cover_loop(
     config: HeuristicConfig,
     bound: Optional[int],
     stuck_strategy: str,
+    stats: List[int],
 ) -> Optional[CoverResult]:
-    _LOOP_STATS[:] = [0, 0, 0, 0, 0]
+    """The reference covering loop: per-iteration ready recomputation,
+    frozenset cliques, full clique rebuild after every spill."""
     tracker = PressureTracker(graph)
     covered: Set[int] = set()
     schedule: List[List[int]] = []
@@ -286,7 +403,7 @@ def _cover_loop(
     focus_bank: str = ""
 
     while uncovered:
-        _LOOP_STATS[0] += 1
+        stats[0] += 1
         if bound is not None and len(schedule) >= bound:
             return None
         now = len(schedule)
@@ -308,7 +425,7 @@ def _cover_loop(
                 if d in covered
             )
             if pending_latency:
-                _LOOP_STATS[1] += 1
+                stats[1] += 1
                 schedule.append([])  # an explicit NOP word
                 continue
             raise CoverageError("no ready task but tasks remain (cycle?)")
@@ -345,16 +462,17 @@ def _cover_loop(
             }
             feasible = [s for s in subsets if s]
             if feasible:
-                _LOOP_STATS[2] += 1
+                stats[2] += 1
         if feasible:
             best_size = max(len(c) for c in feasible)
             top = [c for c in feasible if len(c) == best_size]
             if len(top) > 1 and config.lookahead:
-                _LOOP_STATS[3] += 1
+                stats[3] += 1
+                order = _uncovered_order(graph, uncovered)
                 chosen = min(
                     top,
                     key=lambda c: (
-                        _lookahead_estimate(graph, uncovered - c),
+                        _lookahead_estimate(graph, uncovered - c, order),
                         sorted(c),
                     ),
                 )
@@ -369,67 +487,14 @@ def _cover_loop(
             continue
         # Spill path (paper Fig. 9).
         spills_done += 1
-        _LOOP_STATS[4] += 1
+        stats[4] += 1
         if spills_done > config.max_spills:
             raise CoverageError(
                 f"more than {config.max_spills} spills required; "
                 f"register files are too small for this block"
             )
-        blocked = sorted(
-            {b for c in candidates for b in tracker.blocked_banks(c)}
-        )
-        # Re-pick the focus at every stuck event: as the covering makes
-        # partial progress, the nearest-to-ready blocked consumer changes
-        # (it climbs the dependency subtree bottom-up), and protecting an
-        # outdated focus's operands is what causes reload ping-pong.
-        #
-        # The sharpest signal is a READY task that is individually
-        # infeasible: the bank refusing its arrival is exactly the one to
-        # relieve, so drive that task and spill there.  Only when no such
-        # task exists fall back to the nearest blocked consumer of the
-        # most-contended bank.
-        ready_infeasible = sorted(
-            t for t in ready if not tracker.feasible({t})
-        ) if stuck_strategy == "arrival" else []
-        if ready_infeasible:
-
-            def enables_soonest(task_id: int) -> tuple:
-                # Prefer the blocked task whose own consumers are
-                # nearest to executable — its delivery directly enables
-                # the next operation rather than parking a value.
-                consumer_distance = min(
-                    (
-                        len(_uncovered_ancestors(graph, c, covered))
-                        for c in graph.consumers_of(task_id)
-                        if c in graph.tasks
-                    ),
-                    default=len(graph.tasks),
-                )
-                return (consumer_distance, task_id)
-
-            focus = min(ready_infeasible, key=enables_soonest)
-            focus_blocked = tracker.blocked_banks({focus})
-            focus_bank = (
-                focus_blocked[0]
-                if focus_blocked
-                else graph.tasks[focus].dest_storage
-            )
-        else:
-            focus_bank = blocked[0] if blocked else max(
-                tracker.banks(), key=lambda b: tracker.occupancy(b)
-            )
-            focus = _pick_focus(graph, tracker, focus_bank, covered)
-        protected: Set[int] = set()
-        if focus is not None:
-            for member in _uncovered_ancestors(graph, focus, covered):
-                for read in graph.tasks[member].reads:
-                    if read.producer is not None:
-                        protected.add(read.producer)
-        relieve = None
-        if focus is not None and (not blocked or focus_bank in blocked):
-            relieve = focus_bank
-        victim = _choose_spill_victim(
-            graph, tracker, candidates, covered, ready, protected, relieve
+        victim, focus, focus_bank = _pick_spill(
+            graph, tracker, candidates, covered, ready, stuck_strategy
         )
         graph.spill_delivery(victim, covered, ready=ready)
         uncovered = set(graph.task_ids()) - covered
@@ -451,3 +516,338 @@ def _cover_loop(
         spill_count=graph.spill_count,
         reload_count=graph.reload_count,
     )
+
+
+class _MaskCliqueCache:
+    """Legal clique masks over the current uncovered set, rebuilt
+    incrementally after spills.
+
+    After :meth:`rebuild`, only cliques whose members *touch* the
+    rewired subgraph are re-enumerated.  Touched means the task's
+    parallelism row changed (or the task is new/gone): an old maximal
+    clique all of whose members kept their exact row is still maximal
+    (its candidate mask — the AND of its members' rows — is unchanged,
+    hence still empty), and conversely any maximal clique of the new
+    graph lying entirely in untouched tasks has an identical
+    clique/candidate structure in the old graph, so it is already in the
+    cached list.  Cliques intersecting the touched set are re-found by
+    the restricted Fig. 8 run (see ``_enumerate_clique_masks``).
+
+    Budget semantics stay exact by construction: the incremental path is
+    only trusted when the *total* clique count stays strictly below
+    ``max_cliques`` (where the reference enumeration can never trip); in
+    any other case — previous build tripped, restricted run tripped, or
+    the merged total reaches the budget — it falls back to a full
+    enumeration with the reference trip/top-up behavior.
+    """
+
+    def __init__(self) -> None:
+        self.rows: Dict[int, int] = {}
+        self.raw: List[int] = []
+        self.tripped = False
+        self.legal: List[int] = []
+
+    def build(
+        self, graph: TaskGraph, task_ids: List[int], config: HeuristicConfig
+    ) -> None:
+        """Full enumeration (initial build, or incremental fallback)."""
+        self.rows = parallelism_masks(
+            graph, task_ids, level_window=config.level_window
+        )
+        self.raw = generate_maximal_clique_masks(
+            self.rows, config.max_cliques
+        )
+        self.tripped = (
+            config.max_cliques is not None
+            and len(self.raw) >= config.max_cliques
+        )
+        self.legal = legalize_clique_masks(graph, self.raw, graph.machine)
+
+    def rebuild(
+        self, graph: TaskGraph, task_ids: List[int], config: HeuristicConfig
+    ) -> None:
+        """Post-spill rebuild, incremental where provably exact."""
+        if self.tripped:
+            self.build(graph, task_ids, config)
+            return
+        new_rows = parallelism_masks(
+            graph, task_ids, level_window=config.level_window
+        )
+        old_rows = self.rows
+        untouched = 0
+        touched = 0
+        for task_id in task_ids:
+            if old_rows.get(task_id) == new_rows[task_id]:
+                untouched |= 1 << task_id
+            else:
+                touched |= 1 << task_id
+        kept = [c for c in self.raw if not c & ~untouched]
+        if touched:
+            budget = None
+            if config.max_cliques is not None:
+                budget = config.max_cliques - len(kept)
+            if budget is not None and budget <= 0:
+                self.build(graph, task_ids, config)
+                return
+            fresh, tripped, _ = _enumerate_clique_masks(
+                new_rows, budget, restrict=touched
+            )
+            if tripped or (
+                config.max_cliques is not None
+                and len(kept) + len(fresh) >= config.max_cliques
+            ):
+                self.build(graph, task_ids, config)
+                return
+        else:
+            fresh = set()
+        merged = kept + list(fresh)
+        merged.sort(key=lambda m: (-popcount(m), bits(m)))
+        self.rows = new_rows
+        self.raw = merged
+        self.tripped = False
+        self.legal = legalize_clique_masks(graph, merged, graph.machine)
+        tm = _telemetry()
+        if tm.enabled:
+            tm.count("cover.incremental_rebuilds", 1)
+            tm.count("cliques.mask_kernel_calls", 1)
+            tm.count("cliques.enumerated", len(fresh))
+            tm.record("cliques.incremental_kept", len(kept))
+
+
+class _ReadyState:
+    """Incremental ready-set bookkeeping (bitmask kernel).
+
+    ``ready_mask`` holds the tasks whose dependencies are all covered
+    *and* complete (multi-cycle latencies included).  Tasks whose last
+    dependency was just covered wait in an arrival heap until their
+    latest operand's completion cycle, instead of the reference loop's
+    full rescan per iteration.  After a spill rewires the graph the
+    whole state is rebuilt (spills are rare; rewiring invalidates
+    dependency counts wholesale).
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        covered: Set[int],
+        issue_cycle: Dict[int, int],
+        now: int,
+    ) -> None:
+        self.reset(graph, covered, issue_cycle, now)
+
+    def reset(
+        self,
+        graph: TaskGraph,
+        covered: Set[int],
+        issue_cycle: Dict[int, int],
+        now: int,
+    ) -> None:
+        self.ready_mask = 0
+        self.waiting: List[Tuple[int, int]] = []  # (ready_at, task) heap
+        #: consumers of each *uncovered* producer, for dep countdown.
+        self.consumers: Dict[int, List[int]] = {}
+        self.deps: Dict[int, Set[int]] = {}
+        self.unmet: Dict[int, int] = {}
+        for task_id, task in graph.tasks.items():
+            if task_id in covered:
+                continue
+            dep_set = set(task.dependencies())
+            self.deps[task_id] = dep_set
+            unmet = 0
+            for dependency in dep_set:
+                if dependency not in covered:
+                    unmet += 1
+                    self.consumers.setdefault(dependency, []).append(task_id)
+            self.unmet[task_id] = unmet
+            if unmet == 0:
+                self._arm(graph, task_id, issue_cycle, now)
+
+    def _arm(
+        self,
+        graph: TaskGraph,
+        task_id: int,
+        issue_cycle: Dict[int, int],
+        now: int,
+    ) -> None:
+        ready_at = 0
+        for dependency in self.deps[task_id]:
+            done = issue_cycle[dependency] + graph.latency(dependency)
+            if done > ready_at:
+                ready_at = done
+        if ready_at <= now:
+            self.ready_mask |= 1 << task_id
+        else:
+            heapq.heappush(self.waiting, (ready_at, task_id))
+
+    def advance(self, now: int) -> None:
+        """Promote arrivals whose latest operand completed by ``now``."""
+        while self.waiting and self.waiting[0][0] <= now:
+            _, task_id = heapq.heappop(self.waiting)
+            self.ready_mask |= 1 << task_id
+
+    def commit(
+        self,
+        graph: TaskGraph,
+        chosen: int,
+        issue_cycle: Dict[int, int],
+        now: int,
+    ) -> None:
+        """Mark the clique's members covered; arm freed consumers."""
+        self.ready_mask &= ~chosen
+        for member in iter_bits(chosen):
+            for consumer in self.consumers.get(member, ()):
+                self.unmet[consumer] -= 1
+                if self.unmet[consumer] == 0:
+                    self._arm(graph, consumer, issue_cycle, now)
+
+
+def _cover_loop_masks(
+    graph: TaskGraph,
+    config: HeuristicConfig,
+    bound: Optional[int],
+    stuck_strategy: str,
+    stats: List[int],
+) -> Optional[CoverResult]:
+    """The bitmask covering loop: decision-identical to
+    :func:`_cover_loop`, with cliques and ready/admissible sets as ints,
+    incremental ready maintenance, and incremental post-spill clique
+    rebuilds."""
+    tracker = PressureTracker(graph)
+    covered: Set[int] = set()
+    schedule: List[List[int]] = []
+    issue_cycle: Dict[int, int] = {}
+    uncovered = set(graph.task_ids())
+    uncovered_mask = mask_of(uncovered)
+    cache = _MaskCliqueCache()
+    cache.build(graph, sorted(uncovered), config)
+    state = _ReadyState(graph, covered, issue_cycle, 0)
+    dest_masks = _dest_masks(graph)
+    spills_done = 0
+    focus: Optional[int] = None
+    focus_bank: str = ""
+
+    while uncovered_mask:
+        stats[0] += 1
+        if bound is not None and len(schedule) >= bound:
+            return None
+        now = len(schedule)
+        state.advance(now)
+        ready_mask = state.ready_mask
+        if not ready_mask:
+            # Results still in flight (multi-cycle ops): stall one cycle.
+            # A non-empty arrival heap is exactly that; otherwise fall
+            # back to the reference loop's scan, which also stalls for
+            # in-flight operands of tasks with *other* unmet deps.
+            pending_latency = bool(state.waiting) or any(
+                issue_cycle[d] + graph.latency(d) > now
+                for t in iter_bits(uncovered_mask)
+                for d in graph.tasks[t].dependencies()
+                if d in covered
+            )
+            if pending_latency:
+                stats[1] += 1
+                schedule.append([])  # an explicit NOP word
+                continue
+            raise CoverageError("no ready task but tasks remain (cycle?)")
+        if focus is not None and (
+            focus in covered or focus not in graph.tasks
+        ):
+            focus = None  # the focused consumer executed (or was rewired)
+        admissible_mask = ready_mask
+        if focus is not None:
+            allowed = mask_of(_uncovered_ancestors(graph, focus, covered))
+            admissible_mask = ready_mask & (
+                ~dest_masks.get(focus_bank, 0) | allowed
+            )
+            if not admissible_mask:
+                admissible_mask = ready_mask  # nothing focusable; relax
+        candidates: List[int] = []
+        seen: Set[int] = set()
+        for clique in cache.legal:
+            shrunk = clique & admissible_mask
+            if shrunk and shrunk not in seen:
+                seen.add(shrunk)
+                candidates.append(shrunk)
+        as_set = {c: frozenset(iter_bits(c)) for c in candidates}
+        feasible = [c for c in candidates if tracker.feasible(as_set[c])]
+        if not feasible:
+            subsets = {
+                mask_of(_feasible_subset(tracker, as_set[c]))
+                for c in candidates
+            }
+            feasible = [s for s in subsets if s]
+            if feasible:
+                stats[2] += 1
+        if feasible:
+            best_size = max(popcount(c) for c in feasible)
+            top = [c for c in feasible if popcount(c) == best_size]
+            if len(top) > 1 and config.lookahead:
+                stats[3] += 1
+                order = _uncovered_order(graph, uncovered)
+                chosen = min(
+                    top,
+                    key=lambda c: (
+                        _lookahead_estimate(
+                            graph,
+                            set(iter_bits(uncovered_mask & ~c)),
+                            order,
+                        ),
+                        bits(c),
+                    ),
+                )
+            else:
+                chosen = min(top, key=bits)
+            chosen_ids = bits(chosen)
+            tracker.commit(chosen_ids)
+            covered.update(chosen_ids)
+            uncovered.difference_update(chosen_ids)
+            uncovered_mask &= ~chosen
+            for task_id in chosen_ids:
+                issue_cycle[task_id] = now
+            state.commit(graph, chosen, issue_cycle, now)
+            schedule.append(chosen_ids)
+            continue
+        # Spill path (paper Fig. 9).
+        spills_done += 1
+        stats[4] += 1
+        if spills_done > config.max_spills:
+            raise CoverageError(
+                f"more than {config.max_spills} spills required; "
+                f"register files are too small for this block"
+            )
+        ready = set(iter_bits(ready_mask))
+        candidate_sets = [as_set[c] for c in candidates]
+        victim, focus, focus_bank = _pick_spill(
+            graph, tracker, candidate_sets, covered, ready, stuck_strategy
+        )
+        graph.spill_delivery(victim, covered, ready=ready)
+        uncovered = set(graph.task_ids()) - covered
+        uncovered_mask = mask_of(uncovered)
+        tracker.rebuild(schedule)
+        cache.rebuild(graph, sorted(uncovered), config)
+        state.reset(graph, covered, issue_cycle, now)
+        dest_masks = _dest_masks(graph)
+
+    for delivery in sorted(graph.pinned):
+        available = issue_cycle[delivery] + graph.latency(delivery)
+        while len(schedule) < available:
+            schedule.append([])
+    if bound is not None and len(schedule) >= bound:
+        return None  # completed, but no better than the known solution
+    return CoverResult(
+        schedule=schedule,
+        register_estimate=tracker.register_estimate(),
+        spill_count=graph.spill_count,
+        reload_count=graph.reload_count,
+    )
+
+
+def _dest_masks(graph: TaskGraph) -> Dict[str, int]:
+    """Per-storage-bank mask of the tasks delivering into it."""
+    masks: Dict[str, int] = {}
+    for task_id, task in graph.tasks.items():
+        if task.dest_storage is not None:
+            masks[task.dest_storage] = (
+                masks.get(task.dest_storage, 0) | (1 << task_id)
+            )
+    return masks

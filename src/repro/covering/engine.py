@@ -15,7 +15,9 @@ DAG; :class:`CodeGenerator` adds convenience and caching around it.
 
 from __future__ import annotations
 
-from typing import Optional
+import copy
+import hashlib
+from typing import Dict, Optional, Tuple
 
 from repro.errors import CoverageError
 from repro.ir.cfg import BasicBlock, Branch
@@ -31,12 +33,57 @@ from repro.telemetry.clock import Stopwatch
 from repro.telemetry.session import current as _telemetry
 
 
+#: Memo key: (DAG fingerprint, machine fingerprint, config, pin_value).
+_MemoKey = Tuple[str, str, HeuristicConfig, Optional[int]]
+
+#: Entries kept per memo before the oldest are evicted (insertion order).
+_MEMO_CAPACITY = 256
+
+
+def machine_fingerprint(machine: Machine) -> str:
+    """Stable content hash of a machine description.
+
+    Hashes the canonical ISDL rendering, so two `Machine` objects that
+    describe the same processor — regardless of identity — share block
+    solutions.  Cached on the instance: machines are immutable in
+    practice once built.
+    """
+    cached = getattr(machine, "_isdl_fingerprint", None)
+    if cached is None:
+        from repro.isdl.writer import machine_to_isdl
+
+        cached = hashlib.sha256(machine_to_isdl(machine).encode()).hexdigest()
+        machine._isdl_fingerprint = cached
+    return cached
+
+
+def _clone_solution(solution: BlockSolution) -> BlockSolution:
+    """Deep copy of a memoized solution, sharing the immutable parts.
+
+    Downstream passes mutate solutions — peephole deletes tasks from
+    ``solution.graph.tasks`` and reassigns ``solution.schedule`` — so a
+    memo hit must hand out a private copy.  The Split-Node DAG, machine,
+    source DAG, and assignment are never mutated, so they are pre-seeded
+    into the deepcopy memo and stay shared.
+    """
+    shared = {
+        id(solution.sn): solution.sn,
+        id(solution.assignment): solution.assignment,
+        id(solution.graph.machine): solution.graph.machine,
+    }
+    dag = getattr(solution.sn, "dag", None)
+    if dag is not None:
+        shared[id(dag)] = dag
+    return copy.deepcopy(solution, shared)
+
+
 def generate_block_solution(
     dag: BlockDAG,
     machine: Machine,
     config: Optional[HeuristicConfig] = None,
     pin_value: Optional[int] = None,
     sn: Optional[SplitNodeDAG] = None,
+    memo: Optional[Dict[_MemoKey, BlockSolution]] = None,
 ) -> BlockSolution:
     """Produce the lowest-cost covering of one basic-block DAG.
 
@@ -47,6 +94,9 @@ def generate_block_solution(
         pin_value: original-DAG id of a value that must remain register-
             resident at block end (a branch condition).
         sn: a pre-built Split-Node DAG, if the caller already has one.
+        memo: optional block-solution cache keyed by (DAG fingerprint,
+            machine fingerprint, config, pin_value); repeated blocks
+            compile once and hits return a private deep copy.
 
     Raises:
         CoverageError: if no assignment can be covered (e.g. register
@@ -54,6 +104,19 @@ def generate_block_solution(
     """
     config = config or HeuristicConfig.default()
     tm = _telemetry()
+    key: Optional[_MemoKey] = None
+    if memo is not None:
+        key = (
+            dag.fingerprint(),
+            machine_fingerprint(machine),
+            config,
+            pin_value,
+        )
+        hit = memo.get(key)
+        if hit is not None:
+            tm.count("cover.memo_hits", 1)
+            return _clone_solution(hit)
+        tm.count("cover.memo_misses", 1)
     watch = Stopwatch()
     with watch, tm.span("covering.block", category="covering"):
         if sn is None:
@@ -114,24 +177,40 @@ def generate_block_solution(
             f"{machine.name!r}{detail}"
         )
     best.cpu_seconds = watch.elapsed
+    if memo is not None and key is not None:
+        if len(memo) >= _MEMO_CAPACITY:
+            memo.pop(next(iter(memo)))
+        # Store a pristine copy: the returned solution will be mutated
+        # downstream (peephole), the cached one must stay untouched.
+        memo[key] = _clone_solution(best)
     return best
 
 
 class CodeGenerator:
-    """Front door for block-level code generation on one machine."""
+    """Front door for block-level code generation on one machine.
+
+    Carries a block-solution memo: blocks with identical DAGs (same
+    fingerprint, same pin) compile once per generator — a win for
+    unrolled loops and repeated basic blocks within a function.
+    """
 
     def __init__(
         self, machine: Machine, config: Optional[HeuristicConfig] = None
     ):
         self.machine = machine
         self.config = config or HeuristicConfig.default()
+        self._memo: Dict[_MemoKey, BlockSolution] = {}
 
     def compile_dag(
         self, dag: BlockDAG, pin_value: Optional[int] = None
     ) -> BlockSolution:
         """Cover one expression DAG; see :func:`generate_block_solution`."""
         return generate_block_solution(
-            dag, self.machine, self.config, pin_value=pin_value
+            dag,
+            self.machine,
+            self.config,
+            pin_value=pin_value,
+            memo=self._memo,
         )
 
     def compile_block(self, block: BasicBlock) -> BlockSolution:

@@ -23,6 +23,7 @@ generator/engine balance is visible.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import time
 from dataclasses import dataclass, field
@@ -168,6 +169,7 @@ def run_campaign(
     progress: Optional[Callable[[int, CaseResult], None]] = None,
     max_steps: int = 20_000,
     max_cycles: int = 200_000,
+    config_override: Optional[Dict[str, Any]] = None,
 ) -> CampaignStats:
     """Run one fuzz campaign and return its statistics.
 
@@ -183,6 +185,11 @@ def run_campaign(
         post_compile_hook: test-only fault injection (see
             :func:`repro.fuzz.oracle.break_first_transfer`).
         progress: callback invoked after every iteration.
+        config_override: config fields merged over every generated
+            case's config *after* RNG-driven selection (the random
+            stream is unchanged, so iterations stay reproducible).
+            Used by CI to re-run the oracle with
+            ``{"clique_kernel": "reference"}``.
     """
     stats = CampaignStats(seed=seed, iterations_requested=iterations)
     start = time.monotonic()
@@ -195,6 +202,10 @@ def run_campaign(
             stats.roundtrip_failures.append(str(error))
             stats.iterations_run += 1
             continue
+        if config_override:
+            case = dataclasses.replace(
+                case, config={**case.config, **config_override}
+            )
         result = run_case(
             case,
             post_compile_hook=post_compile_hook,

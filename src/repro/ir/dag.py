@@ -13,6 +13,7 @@ that depend on them".
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
@@ -171,6 +172,25 @@ class BlockDAG:
     def stores(self) -> List[int]:
         """Ids of the STORE roots, in program order."""
         return list(self._stores)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the DAG (nodes + store order).
+
+        Equal fingerprints mean structurally identical DAGs — same node
+        ids, opcodes, operand wiring, symbols, values, and store order —
+        so the covering engine may reuse a cached block solution
+        (repeated blocks compile once).  The hash is independent of the
+        process hash seed.
+        """
+        parts = []
+        for node in self:
+            parts.append(
+                f"{node.node_id}:{node.opcode.name}:"
+                f"{','.join(map(str, node.operands))}:"
+                f"{node.symbol}:{node.value}"
+            )
+        parts.append("stores:" + ",".join(map(str, self._stores)))
+        return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
     def store_symbols(self) -> List[str]:
         """Names of variables written by this block, in program order."""

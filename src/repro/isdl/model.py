@@ -244,11 +244,14 @@ class Constraint:
     terms: Tuple[ConstraintTerm, ...]
 
     def __post_init__(self) -> None:
-        if len(self.terms) < 2:
+        if not self.terms:
             raise MachineValidationError(
-                "a constraint needs at least two terms (a single-term "
-                "constraint would ban the operation outright)"
+                "a constraint needs at least one term"
             )
+        # A single-term constraint is legal ISDL: it bans the matched
+        # operation outright (every instruction containing it — including
+        # the singleton — violates the constraint).  The covering layer
+        # reports such tasks as having no legal implementation.
 
     def __str__(self) -> str:
         return "never " + " & ".join(str(t) for t in self.terms)

@@ -14,7 +14,7 @@ Grammar (EBNF)::
     semexpr     := IDENT "(" semarg ("," semarg)* ")" | "$" NUMBER
     semarg      := semexpr
     bus         := "bus" IDENT "connects" IDENT ("," IDENT)* ";"
-    constraint  := "constraint" "never" term ("&" term)+ ";"
+    constraint  := "constraint" "never" term ("&" term)* ";"
     term        := IDENT "." (IDENT | "*")
 
 Example::

@@ -38,11 +38,16 @@ current_session = current
 from repro.telemetry.trace import chrome_trace, validate_trace
 from repro.telemetry.bench import (
     BENCH_SCHEMA,
+    COVER_BENCH_SCHEMA,
     bench_entry,
     collect_codegen_bench,
+    collect_cover_bench,
     make_bench_report,
+    make_cover_report,
     validate_bench_report,
+    validate_cover_report,
     write_bench_report,
+    write_cover_report,
 )
 
 __all__ = [
@@ -62,9 +67,14 @@ __all__ = [
     "chrome_trace",
     "validate_trace",
     "BENCH_SCHEMA",
+    "COVER_BENCH_SCHEMA",
     "bench_entry",
     "collect_codegen_bench",
+    "collect_cover_bench",
     "make_bench_report",
+    "make_cover_report",
     "validate_bench_report",
+    "validate_cover_report",
     "write_bench_report",
+    "write_cover_report",
 ]

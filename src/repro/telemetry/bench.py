@@ -22,14 +22,27 @@ Schema (``repro/bench-codegen/v1``)::
         }, ...
       ]
     }
+
+``BENCH_cover.json`` (schema ``repro/bench-cover/v1``) is the covering
+hot-path speed ledger: each entry compiles one clique-heavy workload
+under both covering kernels (``clique_kernel="bitmask"`` vs
+``"reference"``), records the wall-clock of each, the speedup, and
+whether the two schedules were bit-identical.  Entries flagged
+``"heavy": true`` are the designated clique-bound workloads the >=2x
+acceptance bar applies to.  Written by
+``benchmarks/test_bench_cover_hotpath.py``; CI regenerates and
+schema-validates it on every push.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, Dict, List, Optional
 
 BENCH_SCHEMA = "repro/bench-codegen/v1"
+
+COVER_BENCH_SCHEMA = "repro/bench-cover/v1"
 
 #: Search counters every bench entry is expected to carry (the paper's
 #: interesting internals); validation only checks presence when the
@@ -161,3 +174,241 @@ def collect_codegen_bench(
             )
         )
     return entries
+
+
+# ----------------------------------------------------------------------
+# BENCH_cover.json — covering hot-path kernel comparison
+# ----------------------------------------------------------------------
+
+#: Counters sampled from the bitmask-kernel run of each cover-bench
+#: workload (presence is validated so the new hot path cannot silently
+#: stop being exercised).
+COVER_COUNTERS = (
+    "cliques.mask_kernel_calls",
+    "cover.iterations",
+)
+
+
+def _sum_of_products_dag(terms: int):
+    """``acc = sum(a_i * b_i + c_i)`` — wide, clique-dense, MUL+ADD mix.
+
+    With the level window off, every pair of independent MUL/ADD tasks
+    is a clique candidate, which is exactly the regime the paper calls
+    "the most time consuming portion of our algorithm".
+    """
+    from repro.ir.dag import BlockDAG
+    from repro.ir.ops import Opcode
+
+    dag = BlockDAG()
+    parts = []
+    for i in range(terms):
+        a = dag.var(f"a{i}")
+        b = dag.var(f"b{i}")
+        c = dag.var(f"c{i}")
+        product = dag.operation(Opcode.MUL, (a, b))
+        parts.append(dag.operation(Opcode.ADD, (product, c)))
+    total = parts[0]
+    for part in parts[1:]:
+        total = dag.operation(Opcode.ADD, (total, part))
+    dag.store("acc", total)
+    return dag
+
+
+def _wide_reduction_dag(width: int):
+    """``sum = sum(x_i * y_i)`` — the tests' wide-DAG shape, scaled up."""
+    from repro.ir.dag import BlockDAG
+    from repro.ir.ops import Opcode
+
+    dag = BlockDAG()
+    products = []
+    for i in range(width):
+        x = dag.var(f"x{i}")
+        y = dag.var(f"y{i}")
+        products.append(dag.operation(Opcode.MUL, (x, y)))
+    total = products[0]
+    for product in products[1:]:
+        total = dag.operation(Opcode.ADD, (total, product))
+    dag.store("sum", total)
+    return dag
+
+
+#: The cover-bench workload table: (name, DAG factory, register-file
+#: size for ``example_architecture``, config overrides, heavy).  The
+#: workloads marked ``heavy`` are clique-bound (level window off, so
+#: clique enumeration and covering dominate) and carry the >=2x
+#: speedup acceptance bar; the unmarked entries track the default
+#: (windowed) configuration where assignment exploration shares the
+#: profile and a smaller win is expected.
+COVER_WORKLOADS = (
+    ("sop8-nowin", lambda: _sum_of_products_dag(8), 4,
+     {"level_window": None, "num_assignments": 2}, True),
+    ("sop8-spill", lambda: _sum_of_products_dag(8), 2,
+     {"level_window": None, "num_assignments": 2}, True),
+    ("wide14-nowin", lambda: _wide_reduction_dag(14), 4,
+     {"level_window": None, "num_assignments": 2}, True),
+    ("wide12-window", lambda: _wide_reduction_dag(12), 4,
+     {"num_assignments": 2}, False),
+)
+
+
+def collect_cover_bench(
+    workload_names: Optional[List[str]] = None,
+    repeats: int = 1,
+) -> List[Dict[str, Any]]:
+    """Compile each cover-bench workload under both covering kernels.
+
+    For each workload the block is compiled with
+    ``clique_kernel="bitmask"`` and ``clique_kernel="reference"``
+    (best-of-``repeats`` wall clock each), the schedules are compared
+    task-for-task, and one extra bitmask run under a telemetry session
+    samples the hot-path counters.  Returns the ``entries`` payload of
+    ``BENCH_cover.json``.
+    """
+    import dataclasses
+
+    from repro.covering.config import HeuristicConfig
+    from repro.covering.engine import generate_block_solution
+    from repro.isdl.builtin_machines import example_architecture
+    from repro.telemetry.session import TelemetrySession, use_session
+
+    # One throwaway compile so lazy imports and fingerprint caches are
+    # warm before any timed run (the first kernel timed would otherwise
+    # absorb them).
+    generate_block_solution(
+        _wide_reduction_dag(2),
+        example_architecture(4),
+        HeuristicConfig(num_assignments=1),
+    )
+    entries: List[Dict[str, Any]] = []
+    for name, build, registers, overrides, heavy in COVER_WORKLOADS:
+        if workload_names is not None and name not in workload_names:
+            continue
+        machine = example_architecture(registers)
+        base = HeuristicConfig(**overrides)
+        dag = build()
+        timings: Dict[str, float] = {}
+        schedules: Dict[str, List[List[int]]] = {}
+        solutions: Dict[str, Any] = {}
+        for kernel in ("bitmask", "reference"):
+            config = base.with_(clique_kernel=kernel)
+            best = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                solution = generate_block_solution(dag, machine, config)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+                solutions[kernel] = solution
+            timings[kernel] = best
+            schedules[kernel] = [
+                sorted(word) for word in solutions[kernel].schedule
+            ]
+        session = TelemetrySession(
+            meta={"source": name, "machine": machine.name}
+        )
+        with use_session(session):
+            generate_block_solution(dag, machine, base)
+        counters = {
+            key: value
+            for key, value in session.report().to_dict()["counters"].items()
+            if key.startswith(("cliques.", "cover."))
+        }
+        bitmask = solutions["bitmask"]
+        entries.append(
+            {
+                "workload": name,
+                "machine": machine.name,
+                "config": {
+                    key: value
+                    for key, value in dataclasses.asdict(base).items()
+                },
+                "heavy": heavy,
+                "bitmask_s": timings["bitmask"],
+                "reference_s": timings["reference"],
+                "speedup": timings["reference"] / max(
+                    timings["bitmask"], 1e-9
+                ),
+                "identical": schedules["bitmask"] == schedules["reference"],
+                "metrics": {
+                    "instructions": bitmask.instruction_count,
+                    "spills": bitmask.spill_count,
+                    "reloads": bitmask.reload_count,
+                    "original_nodes": dag.stats()["paper_nodes"],
+                },
+                "counters": counters,
+            }
+        )
+    return entries
+
+
+def make_cover_report(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap cover-bench entries in the versioned envelope."""
+    return {"schema": COVER_BENCH_SCHEMA, "entries": list(entries)}
+
+
+def write_cover_report(path: str, entries: List[Dict[str, Any]]) -> None:
+    """Write a schema-valid ``BENCH_cover.json`` (validated first)."""
+    payload = make_cover_report(entries)
+    validate_cover_report(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_cover_report(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro/bench-cover/v1`` schema."""
+    if not isinstance(payload, dict):
+        raise ValueError("cover bench report must be a JSON object")
+    if payload.get("schema") != COVER_BENCH_SCHEMA:
+        raise ValueError(
+            f"cover bench schema must be {COVER_BENCH_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("cover bench report needs a non-empty 'entries' list")
+    for position, entry in enumerate(entries):
+        where = f"entry #{position}"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where} is not an object")
+        for key in ("workload", "machine"):
+            if not isinstance(entry.get(key), str) or not entry[key]:
+                raise ValueError(f"{where}: missing string {key!r}")
+        for key in ("bitmask_s", "reference_s", "speedup"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{where}: {key!r} must be a non-negative number"
+                )
+        for key in ("heavy", "identical"):
+            if not isinstance(entry.get(key), bool):
+                raise ValueError(f"{where}: {key!r} must be a bool")
+        if entry["identical"] is not True:
+            raise ValueError(
+                f"{where}: kernels disagreed on the schedule for "
+                f"{entry['workload']!r} — the bitmask kernel must be "
+                f"bit-identical to the reference"
+            )
+        if not isinstance(entry.get("config"), dict):
+            raise ValueError(f"{where}: missing 'config' object")
+        if not isinstance(entry.get("metrics"), dict):
+            raise ValueError(f"{where}: missing 'metrics' object")
+        counters = entry.get("counters")
+        if not isinstance(counters, dict):
+            raise ValueError(f"{where}: missing 'counters' object")
+        for counter_name, value in counters.items():
+            if not isinstance(counter_name, str) or not isinstance(value, int):
+                raise ValueError(
+                    f"{where}: counter {counter_name!r} must map to int"
+                )
+        for counter_name in COVER_COUNTERS:
+            if counter_name not in counters:
+                raise ValueError(
+                    f"{where}: core counter {counter_name!r} missing"
+                )
+    if not any(entry["heavy"] for entry in entries):
+        raise ValueError(
+            "cover bench report needs at least one heavy (clique-bound) "
+            "workload entry"
+        )

@@ -75,6 +75,27 @@ def transitive_closure(adjacency: Adjacency) -> Dict[N, Set[N]]:
     return closure
 
 
+def descendant_masks(
+    adjacency: Adjacency, positions: Mapping[N, int]
+) -> Dict[N, int]:
+    """Bitmask transitive closure: ``{node: mask_of_all_descendants}``.
+
+    Like :func:`transitive_closure` but with each node's descendant set
+    encoded as an int whose bit ``positions[d]`` is set for every
+    descendant ``d`` (node excluded).  Unions become single ``|=`` ops on
+    machine-word-packed ints, which is what makes the bitmask clique
+    kernel's matrix build cheap.
+    """
+    order = topological_order(adjacency)
+    masks: Dict[N, int] = {}
+    for node in reversed(order):
+        mask = 0
+        for succ in adjacency.get(node, ()):
+            mask |= masks[succ] | (1 << positions[succ])
+        masks[node] = mask
+    return masks
+
+
 def longest_path_lengths(adjacency: Adjacency) -> Dict[N, int]:
     """Longest path (in edges) from each node to any sink.
 

@@ -1,0 +1,505 @@
+"""Differential and regression tests for the bitmask covering kernel.
+
+The covering hot path exists twice: the original set/matrix
+implementation (``clique_kernel="reference"``) and the integer-bitmask
+kernel with incremental ready-set maintenance, incremental post-spill
+clique rebuilds, and the block-solution memo (``"bitmask"``, the
+default).  The contract is *bit identity*: same schedules, same spill
+decisions, same instruction counts, on every workload.  These tests
+enforce that contract differentially and pin the bugfixes that rode
+along (call-scoped loop stats, the uncoverable-task diagnostic, the
+visited-memo cap, stall-NOP/bound interaction, empty-NOP round-trips).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.covering import (
+    CodeGenerator,
+    HeuristicConfig,
+    TaskGraph,
+    cover_assignment,
+    explore_assignments,
+    generate_block_solution,
+)
+import repro.covering.cliques as cliques_module
+import repro.covering.cover as cover_module
+from repro.covering.engine import machine_fingerprint
+from repro.covering.parallelism import parallelism_masks, parallelism_matrix
+from repro.errors import CoverageError
+from repro.eval.workloads import WORKLOADS
+from repro.ir import BlockDAG, Opcode
+from repro.isdl import (
+    example_architecture,
+    parse_machine,
+    pipelined_dsp_architecture,
+)
+from repro.sndag import build_split_node_dag
+from repro.telemetry import TelemetrySession, use_session
+from repro.utils.bitset import bits
+
+from conftest import build_fig2_dag, build_wide_dag
+
+CORPUS_FILES = sorted((Path(__file__).parent / "corpus").glob("*.json"))
+
+BITMASK = HeuristicConfig(clique_kernel="bitmask")
+REFERENCE = HeuristicConfig(clique_kernel="reference")
+
+
+def _graph_for(dag, machine, config=None, pin_value=None):
+    sn = build_split_node_dag(dag, machine)
+    assignments = explore_assignments(
+        sn, config or HeuristicConfig.default()
+    )
+    return TaskGraph(sn, assignments[0], pin_value=pin_value)
+
+
+def _solve(dag, machine, **overrides):
+    """Schedules under both kernels, normalised word-by-word."""
+    outcome = {}
+    for kernel in ("bitmask", "reference"):
+        config = HeuristicConfig(clique_kernel=kernel, **overrides)
+        try:
+            solution = generate_block_solution(dag, machine, config)
+        except CoverageError as error:
+            outcome[kernel] = ("error", str(error))
+            continue
+        outcome[kernel] = (
+            [sorted(word) for word in solution.schedule],
+            solution.spill_count,
+            solution.reload_count,
+        )
+    return outcome
+
+
+def _build_sop_dag(terms):
+    dag = BlockDAG()
+    parts = []
+    for i in range(terms):
+        product = dag.operation(
+            Opcode.MUL, (dag.var(f"a{i}"), dag.var(f"b{i}"))
+        )
+        parts.append(dag.operation(Opcode.ADD, (product, dag.var(f"c{i}"))))
+    total = parts[0]
+    for part in parts[1:]:
+        total = dag.operation(Opcode.ADD, (total, part))
+    dag.store("acc", total)
+    return dag
+
+
+@pytest.mark.hotpath
+class TestKernelEquivalence:
+    """Bit-identical schedules under both kernels, everywhere."""
+
+    @pytest.mark.parametrize(
+        "load", WORKLOADS, ids=lambda load: load.name
+    )
+    @pytest.mark.parametrize("registers", [2, 4])
+    def test_paper_workloads(self, load, registers):
+        machine = example_architecture(registers)
+        outcome = _solve(load.build(), machine)
+        assert outcome["bitmask"] == outcome["reference"], load.name
+
+    @pytest.mark.parametrize("registers", [2, 4])
+    def test_wide_dag_no_window(self, registers):
+        # Level window off is the clique-dense regime the bitmask
+        # kernel was built for; spills on the 2-register machine also
+        # exercise the incremental rebuild path.
+        machine = example_architecture(registers)
+        outcome = _solve(
+            build_wide_dag(8), machine, level_window=None,
+            num_assignments=2,
+        )
+        assert outcome["bitmask"] == outcome["reference"]
+
+    @pytest.mark.parametrize("registers", [2, 4])
+    def test_sum_of_products_spills(self, registers):
+        machine = example_architecture(registers)
+        outcome = _solve(
+            _build_sop_dag(6), machine, level_window=None,
+            num_assignments=2,
+        )
+        assert outcome["bitmask"] == outcome["reference"]
+
+    def test_pipelined_machine_with_stalls(self):
+        # Multi-cycle latencies drive the incremental ready state's
+        # waiting heap; the kernels must agree on every stall.
+        dag = BlockDAG()
+        a, b, c = dag.var("a"), dag.var("b"), dag.var("c")
+        first = dag.operation(Opcode.MUL, (a, b))
+        second = dag.operation(Opcode.MUL, (first, c))
+        dag.store("p", second)
+        outcome = _solve(dag, pipelined_dsp_architecture(4))
+        assert outcome["bitmask"] == outcome["reference"]
+
+    def test_tight_clique_budget(self):
+        # A tiny max_cliques forces the budget-trip + singleton-top-up
+        # path, where traversal order decides which cliques exist.
+        outcome = _solve(
+            build_wide_dag(8),
+            example_architecture(4),
+            level_window=None,
+            num_assignments=2,
+            max_cliques=6,
+        )
+        assert outcome["bitmask"] == outcome["reference"]
+
+    def test_clique_lists_identical(self):
+        # Below the covering loop: the raw legalized clique lists agree
+        # member-for-member, in order.
+        from repro.covering.cliques import (
+            generate_maximal_cliques,
+            generate_maximal_clique_masks,
+            legalize_cliques,
+            legalize_clique_masks,
+        )
+
+        graph = _graph_for(build_wide_dag(6), example_architecture(4))
+        task_ids = graph.task_ids()
+        matrix, index_map = parallelism_matrix(
+            graph, task_ids, level_window=None
+        )
+        as_tasks = [
+            frozenset(index_map[i] for i in clique)
+            for clique in generate_maximal_cliques(matrix)
+        ]
+        reference = legalize_cliques(graph, as_tasks, graph.machine)
+        rows = parallelism_masks(graph, task_ids, level_window=None)
+        masks = legalize_clique_masks(
+            graph, generate_maximal_clique_masks(rows), graph.machine
+        )
+        assert [sorted(c) for c in reference] == [bits(m) for m in masks]
+
+
+@pytest.mark.hotpath
+@pytest.mark.corpus
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda path: path.stem)
+def test_corpus_cases_agree_across_kernels(path):
+    """Every frozen fuzz reproducer behaves identically under both
+    kernels (outcome class, instruction count, spills, cycles)."""
+    from repro.fuzz import load_case, run_case
+
+    case = load_case(path)
+    results = {}
+    for kernel in ("bitmask", "reference"):
+        variant = dataclasses.replace(
+            case, config={**case.config, "clique_kernel": kernel}
+        )
+        result = run_case(variant)
+        results[kernel] = (
+            result.outcome,
+            result.instructions,
+            result.spills,
+            result.cycles,
+        )
+    assert results["bitmask"] == results["reference"]
+
+
+class TestUncoverableDiagnostic:
+    """A task with no legal implementation must raise a precise error,
+    not silently drop out of every clique (the old behavior left the
+    covering loop to starve and spill forever)."""
+
+    MACHINE = """
+    machine mono {
+      memory DM size 256;
+      regfile RF1 size 4;
+      unit U1 regfile RF1 { op ADD; op MUL; }
+      bus B1 connects DM, RF1;
+      constraint never U1.MUL;
+    }
+    """
+
+    @pytest.mark.parametrize("config", [BITMASK, REFERENCE])
+    def test_banned_op_raises_precise_error(self, config):
+        machine = parse_machine(self.MACHINE)
+        dag = BlockDAG()
+        dag.store(
+            "p", dag.operation(Opcode.MUL, (dag.var("a"), dag.var("b")))
+        )
+        with pytest.raises(CoverageError) as excinfo:
+            generate_block_solution(dag, machine, config)
+        message = str(excinfo.value)
+        assert "no legal implementation" in message
+        assert "MUL" in message
+        assert "violates" in message
+
+    def test_legal_ops_still_compile(self):
+        machine = parse_machine(self.MACHINE)
+        dag = BlockDAG()
+        dag.store(
+            "s", dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b")))
+        )
+        solution = generate_block_solution(dag, machine)
+        solution.validate()
+
+    def test_diagnostic_identical_across_kernels(self):
+        machine = parse_machine(self.MACHINE)
+        dag = BlockDAG()
+        dag.store(
+            "p", dag.operation(Opcode.MUL, (dag.var("a"), dag.var("b")))
+        )
+        messages = {}
+        for config in (BITMASK, REFERENCE):
+            with pytest.raises(CoverageError) as excinfo:
+                generate_block_solution(dag, machine, config)
+            messages[config.clique_kernel] = str(excinfo.value)
+        assert messages["bitmask"] == messages["reference"]
+
+
+class TestLoopStatsScoping:
+    """Covering-loop stats are call-scoped: a covering run nested inside
+    another (telemetry probes, tooling hooks) must not corrupt the outer
+    call's counters — the old module-level ``_LOOP_STATS`` did."""
+
+    def _iterations(self, run):
+        session = TelemetrySession()
+        with use_session(session):
+            run()
+        return session.report().to_dict()["counters"]["cover.iterations"]
+
+    def test_nested_cover_counts_add_exactly(self, monkeypatch):
+        outer_dag = build_fig2_dag()
+        inner_dag = build_wide_dag(3)
+        machine = example_architecture(4)
+
+        outer_alone = self._iterations(
+            lambda: generate_block_solution(outer_dag, machine, REFERENCE)
+        )
+        inner_alone = self._iterations(
+            lambda: generate_block_solution(inner_dag, machine, BITMASK)
+        )
+
+        original = cover_module._build_cliques
+        fired = []
+
+        def nesting_build_cliques(*args, **kwargs):
+            if not fired:
+                fired.append(True)
+                # A full covering run while the outer loop is mid-flight.
+                generate_block_solution(inner_dag, machine, BITMASK)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            cover_module, "_build_cliques", nesting_build_cliques
+        )
+        combined = self._iterations(
+            lambda: generate_block_solution(outer_dag, machine, REFERENCE)
+        )
+        assert fired, "the nesting hook never ran"
+        assert combined == outer_alone + inner_alone
+
+
+class TestVisitedCap:
+    """The clique recursion's visited memo is capped: past the cap it
+    stops absorbing new states (a pure prune, so results are unchanged)
+    instead of growing without bound."""
+
+    def test_tiny_cap_same_cliques(self, monkeypatch):
+        from repro.covering.cliques import (
+            generate_maximal_cliques,
+            generate_maximal_clique_masks,
+        )
+
+        graph = _graph_for(
+            build_wide_dag(6),
+            example_architecture(4),
+            config=HeuristicConfig(level_window=None, num_assignments=2),
+        )
+        matrix, _ = parallelism_matrix(
+            graph, graph.task_ids(), level_window=None
+        )
+        rows = parallelism_masks(
+            graph, graph.task_ids(), level_window=None
+        )
+        unlimited_sets = generate_maximal_cliques(matrix)
+        unlimited_masks = generate_maximal_clique_masks(rows)
+        monkeypatch.setattr(cliques_module, "_VISITED_LIMIT", 4)
+        assert generate_maximal_cliques(matrix) == unlimited_sets
+        assert generate_maximal_clique_masks(rows) == unlimited_masks
+
+
+class TestBlockSolutionMemo:
+    """Structurally identical blocks compile once per CodeGenerator."""
+
+    def test_second_compile_hits(self):
+        generator = CodeGenerator(example_architecture(4))
+        session = TelemetrySession()
+        with use_session(session):
+            first = generator.compile_dag(build_fig2_dag())
+            second = generator.compile_dag(build_fig2_dag())
+        counters = session.report().to_dict()["counters"]
+        assert counters["cover.memo_misses"] == 1
+        assert counters["cover.memo_hits"] == 1
+        assert second.schedule == first.schedule
+        assert second.spill_count == first.spill_count
+        second.validate()
+
+    def test_hit_returns_private_copy(self):
+        generator = CodeGenerator(example_architecture(4))
+        first = generator.compile_dag(build_fig2_dag())
+        pristine = [sorted(word) for word in first.schedule]
+        # Mutate the returned solution the way downstream passes do.
+        first.schedule = []
+        first.graph.tasks.clear()
+        second = generator.compile_dag(build_fig2_dag())
+        assert [sorted(word) for word in second.schedule] == pristine
+        assert second.graph.tasks
+        second.validate()
+
+    def test_different_machines_do_not_collide(self):
+        session = TelemetrySession()
+        with use_session(session):
+            small = CodeGenerator(example_architecture(2))
+            large = CodeGenerator(example_architecture(4))
+            small.compile_dag(build_wide_dag(5))
+            large.compile_dag(build_wide_dag(5))
+        counters = session.report().to_dict()["counters"]
+        assert counters["cover.memo_misses"] == 2
+        assert counters.get("cover.memo_hits", 0) == 0
+
+    def test_fingerprints_are_content_hashes(self):
+        assert build_fig2_dag().fingerprint() == build_fig2_dag().fingerprint()
+        assert (
+            build_fig2_dag().fingerprint()
+            != build_wide_dag(3).fingerprint()
+        )
+        assert machine_fingerprint(
+            example_architecture(4)
+        ) == machine_fingerprint(example_architecture(4))
+        assert machine_fingerprint(
+            example_architecture(4)
+        ) != machine_fingerprint(example_architecture(2))
+
+
+class TestStallNopBoundInteraction:
+    """Stall NOPs count against the branch-and-bound instruction bound:
+    a schedule that only reaches the bound because of latency padding is
+    still pruned (returns None), and one cycle of slack admits it."""
+
+    def _chained_mul_dag(self):
+        dag = BlockDAG()
+        a, b, c = dag.var("a"), dag.var("b"), dag.var("c")
+        first = dag.operation(Opcode.MUL, (a, b))
+        second = dag.operation(Opcode.MUL, (first, c))
+        dag.store("p", second)
+        return dag
+
+    @pytest.mark.parametrize("config", [BITMASK, REFERENCE])
+    def test_bound_counts_stall_nops(self, config):
+        machine = pipelined_dsp_architecture(4)
+        dag = self._chained_mul_dag()
+        free = cover_assignment(_graph_for(dag, machine), config)
+        assert any(not word for word in free.schedule), (
+            "expected at least one stall NOP between chained MULs"
+        )
+        length = free.instruction_count
+        pruned = cover_assignment(
+            _graph_for(dag, machine), config, bound=length
+        )
+        assert pruned is None
+        admitted = cover_assignment(
+            _graph_for(dag, machine), config, bound=length + 1
+        )
+        assert admitted is not None
+        assert admitted.instruction_count == length
+
+    @pytest.mark.parametrize("config", [BITMASK, REFERENCE])
+    def test_pinned_latency_padding_counts_against_bound(self, config):
+        # Pinning a multi-cycle result (a branch condition that is never
+        # stored) pads the schedule until the value is written back;
+        # that trailing padding also hits the bound.
+        machine = pipelined_dsp_architecture(4)
+        dag = BlockDAG()
+        dag.store(
+            "s", dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b")))
+        )
+        condition = dag.operation(
+            Opcode.MUL, (dag.var("x"), dag.var("y"))
+        )
+        sn = build_split_node_dag(dag, machine)
+        assignment = explore_assignments(sn, config)[0]
+        padded = cover_assignment(
+            TaskGraph(sn, assignment, pin_value=condition), config
+        )
+        unpadded = cover_assignment(TaskGraph(sn, assignment), config)
+        assert padded.instruction_count > unpadded.instruction_count
+        assert not padded.schedule[-1], "expected trailing NOP padding"
+        pruned = cover_assignment(
+            TaskGraph(sn, assignment, pin_value=condition),
+            config,
+            bound=padded.instruction_count,
+        )
+        assert pruned is None
+        admitted = cover_assignment(
+            TaskGraph(sn, assignment, pin_value=condition),
+            config,
+            bound=padded.instruction_count + 1,
+        )
+        assert admitted is not None
+        assert admitted.instruction_count == padded.instruction_count
+
+
+class TestEmptyNopRoundTrips:
+    """Stall cycles emit empty instruction words; those words must
+    survive the assembler text format, the binary encoding, and the
+    simulator."""
+
+    def _compiled(self):
+        from repro.asmgen import compile_dag
+
+        dag = BlockDAG()
+        a, b, c = dag.var("a"), dag.var("b"), dag.var("c")
+        first = dag.operation(Opcode.MUL, (a, b))
+        second = dag.operation(Opcode.MUL, (first, c))
+        dag.store("p", second)
+        machine = pipelined_dsp_architecture(4)
+        return compile_dag(dag, machine), machine
+
+    def test_compiled_program_contains_empty_word(self):
+        compiled, _ = self._compiled()
+        assert any(
+            instruction.is_empty()
+            for instruction in compiled.program.instructions[:-1]
+        )
+
+    def test_text_round_trip(self):
+        from repro.assembler import parse_assembly, program_to_text
+
+        compiled, machine = self._compiled()
+        text = program_to_text(compiled.program)
+        reparsed = parse_assembly(text, machine)
+        assert program_to_text(reparsed) == text
+
+    def test_binary_round_trip(self):
+        # Binary encoding drops labels, so compare structure and
+        # behavior rather than exact text.
+        from repro.assembler import decode_program, encode_program
+        from repro.simulator import run_program
+
+        compiled, machine = self._compiled()
+        blob = encode_program(compiled.program, machine)
+        decoded = decode_program(blob, machine)
+        assert len(decoded.instructions) == len(
+            compiled.program.instructions
+        )
+        assert [i.is_empty() for i in decoded.instructions] == [
+            i.is_empty() for i in compiled.program.instructions
+        ]
+        env = {"a": 2, "b": 3, "c": 7}
+        assert (
+            run_program(decoded, machine, env).variables
+            == run_program(compiled.program, machine, env).variables
+        )
+
+    def test_simulator_executes_through_nops(self):
+        from repro.simulator import run_program
+
+        compiled, machine = self._compiled()
+        env = {"a": 2, "b": 3, "c": 7}
+        result = run_program(compiled.program, machine, env)
+        assert result.variables["p"] == 42

@@ -153,9 +153,15 @@ class TestModelValidation:
                 )
             )
 
-    def test_single_term_constraint_rejected(self):
+    def test_single_term_constraint_allowed(self):
+        # Legal ISDL: bans the matched operation outright; the covering
+        # layer diagnoses affected tasks as having no implementation.
+        constraint = Constraint((ConstraintTerm("U1", "ADD"),))
+        assert str(constraint) == "never U1.ADD"
+
+    def test_empty_constraint_rejected(self):
         with pytest.raises(MachineValidationError):
-            Constraint((ConstraintTerm("U1", "ADD"),))
+            Constraint(())
 
     def test_empty_regfile_rejected(self):
         with pytest.raises(MachineValidationError):
