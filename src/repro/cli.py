@@ -39,6 +39,17 @@ Commands
     bitmask-vs-reference equivalence guard).
 ``fuzz --replay FILE``
     Re-run one reproducer JSON file and report the outcome.
+``verify SOURCE --machine SPEC [...] [--machines-dir DIR]
+[--kernel {bitmask,reference,both}] [--json] [--quiet]``
+    Compile and certify a program with the independent translation
+    validator (:mod:`repro.verify`): every paper invariant of every
+    block is re-checked and violations are reported by kind.  Multiple
+    ``--machine`` specs and ``--machines-dir`` fan one source out over
+    many targets; machines that genuinely cannot cover the program are
+    reported as skipped, not violations.
+``verify --corpus DIR [--kernel ...]``
+    Certify every fuzz reproducer in ``DIR`` on its own recorded
+    machine and config.
 
 Machines are named either by a built-in key (``arch1``, ``arch2``,
 ``fig6``, ``dualbus``, ``mac``, ``single``, ``cf``, ``pipe``) with an
@@ -389,6 +400,133 @@ def _cmd_fuzz(args) -> int:
     return 1 if stats.failure_count else 0
 
 
+def _verify_targets(args) -> List[tuple]:
+    """Expand the verify CLI's arguments into (label, source, machine,
+    base config) tuples."""
+    from pathlib import Path
+
+    from repro.covering.config import HeuristicConfig
+
+    targets: List[tuple] = []
+    if args.corpus:
+        from repro.fuzz.corpus import load_case
+
+        files = sorted(Path(args.corpus).glob("*.json"))
+        if not files:
+            raise ReproError(f"no reproducer files in {args.corpus!r}")
+        for path in files:
+            try:
+                case = load_case(path)
+            except (OSError, ValueError) as error:
+                raise ReproError(
+                    f"cannot load {path}: {error}"
+                ) from error
+            targets.append(
+                (path.name, case.source, case.machine, case.heuristic_config())
+            )
+        return targets
+    if not args.source:
+        raise ReproError("verify needs a SOURCE file or --corpus DIR")
+    with open(args.source) as handle:
+        source = handle.read()
+    specs = list(args.machine or [])
+    if args.machines_dir:
+        found = sorted(Path(args.machines_dir).glob("*.isdl"))
+        if not found:
+            raise ReproError(f"no .isdl files in {args.machines_dir!r}")
+        specs.extend(str(path) for path in found)
+    if not specs:
+        raise ReproError("verify needs --machine or --machines-dir")
+    for spec in specs:
+        machine = resolve_machine(spec)
+        targets.append(
+            (
+                f"{args.source} @ {machine.name}",
+                source,
+                machine,
+                HeuristicConfig.default(),
+            )
+        )
+    return targets
+
+
+def _cmd_verify(args) -> int:
+    import json as json_module
+
+    from repro.asmgen.program import compile_function
+    from repro.errors import CoverageError
+    from repro.verify import verify_function
+
+    kernels = (
+        ["bitmask", "reference"] if args.kernel == "both" else [args.kernel]
+    )
+    results = []
+    certified = skipped = total_violations = 0
+    for label, source, machine, base_config in _verify_targets(args):
+        for kernel in kernels:
+            config = base_config.with_(clique_kernel=kernel)
+            entry = {
+                "target": label,
+                "machine": machine.name,
+                "kernel": kernel,
+            }
+            try:
+                function = compile_source(source)
+                compiled = compile_function(function, machine, config)
+            except CoverageError as error:
+                # The documented contract, not a bug: this machine
+                # genuinely cannot implement the program.
+                skipped += 1
+                entry["status"] = "skipped"
+                entry["reason"] = str(error)
+                results.append(entry)
+                if not args.json and not args.quiet:
+                    print(f"SKIP {label} [{kernel}]: {str(error)[:100]}")
+                continue
+            reports = verify_function(compiled)
+            checks = sum(r.checks for r in reports)
+            violations = sum(len(r.violations) for r in reports)
+            total_violations += violations
+            certified += violations == 0
+            entry["status"] = "ok" if violations == 0 else "violations"
+            entry["checks"] = checks
+            entry["blocks"] = [r.summary() for r in reports]
+            results.append(entry)
+            if args.json:
+                continue
+            if violations == 0:
+                if not args.quiet:
+                    print(
+                        f"OK   {label} [{kernel}]: {len(reports)} "
+                        f"block(s), {checks} checks"
+                    )
+            else:
+                print(f"FAIL {label} [{kernel}]:")
+                for report in reports:
+                    if not report.ok:
+                        print(
+                            "  " + report.describe().replace("\n", "\n  ")
+                        )
+    if args.json:
+        print(
+            json_module.dumps(
+                {
+                    "certified": certified,
+                    "skipped": skipped,
+                    "violations": total_violations,
+                    "results": results,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"; certified {certified}, skipped {skipped} (coverage), "
+            f"{total_violations} violation(s)"
+        )
+    return 1 if total_violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -549,6 +687,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="force every case's covering kernel (equivalence guard)",
     )
 
+    verify = commands.add_parser(
+        "verify",
+        help="certify compiled schedules with the independent validator",
+    )
+    verify.add_argument(
+        "source", nargs="?", help="minic source file to certify"
+    )
+    verify.add_argument(
+        "--machine",
+        "-m",
+        action="append",
+        metavar="SPEC",
+        help="target machine (repeatable)",
+    )
+    verify.add_argument(
+        "--machines-dir",
+        metavar="DIR",
+        help="also certify against every .isdl file in DIR",
+    )
+    verify.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="certify every reproducer JSON in DIR on its own machine",
+    )
+    verify.add_argument(
+        "--kernel",
+        choices=("bitmask", "reference", "both"),
+        default="both",
+        help="covering kernel(s) to certify under (default: both)",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="machine-readable results"
+    )
+    verify.add_argument(
+        "--quiet",
+        "-q",
+        action="store_true",
+        help="print only failures and the final summary",
+    )
+
     return parser
 
 
@@ -562,6 +740,7 @@ _HANDLERS = {
     "simulate": _cmd_simulate,
     "tables": _cmd_tables,
     "fuzz": _cmd_fuzz,
+    "verify": _cmd_verify,
 }
 
 

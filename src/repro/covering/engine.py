@@ -192,26 +192,59 @@ class CodeGenerator:
     Carries a block-solution memo: blocks with identical DAGs (same
     fingerprint, same pin) compile once per generator — a win for
     unrolled loops and repeated basic blocks within a function.
+
+    With ``validate=True`` every produced solution (memo hits included)
+    is re-checked by the independent translation validator
+    (:mod:`repro.verify`) before being returned, and a
+    :class:`repro.errors.VerificationError` carrying the structured
+    violation list is raised when any paper invariant is broken.
     """
 
     def __init__(
-        self, machine: Machine, config: Optional[HeuristicConfig] = None
+        self,
+        machine: Machine,
+        config: Optional[HeuristicConfig] = None,
+        validate: bool = False,
     ):
         self.machine = machine
         self.config = config or HeuristicConfig.default()
+        self.validate = validate
         self._memo: Dict[_MemoKey, BlockSolution] = {}
 
     def compile_dag(
         self, dag: BlockDAG, pin_value: Optional[int] = None
     ) -> BlockSolution:
         """Cover one expression DAG; see :func:`generate_block_solution`."""
-        return generate_block_solution(
+        solution = generate_block_solution(
             dag,
             self.machine,
             self.config,
             pin_value=pin_value,
             memo=self._memo,
         )
+        if self.validate:
+            self._validate(solution)
+        return solution
+
+    def _validate(self, solution: BlockSolution) -> None:
+        # Imported lazily: repro.verify must stay import-independent of
+        # the covering layer it audits, and vice versa.
+        from repro.errors import VerificationError
+        from repro.verify import verify_solution
+
+        tm = _telemetry()
+        with tm.span("verify.block", category="verify"):
+            report = verify_solution(solution)
+        tm.count("verify.blocks", 1)
+        tm.count("verify.checks", report.checks)
+        tm.count("verify.violations", len(report.violations))
+        if not report.ok:
+            raise VerificationError(
+                f"schedule failed translation validation "
+                f"({len(report.violations)} violation(s)):\n"
+                + "\n".join(v.describe() for v in report.violations),
+                violations=report.violations,
+            )
 
     def compile_block(self, block: BasicBlock) -> BlockSolution:
         """Cover a basic block, pinning its branch condition if any."""

@@ -92,6 +92,20 @@ class RegisterAllocationError(ReproError):
     """
 
 
+class VerificationError(ReproError):
+    """The independent schedule validator found invariant violations.
+
+    Raised by validating pipelines (``CodeGenerator(validate=True)``,
+    ``compile_function(validate=True)``); carries the structured
+    :class:`repro.verify.violations.Violation` list so callers can
+    report *which* paper invariant broke.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = list(violations)
+
+
 class AssemblerError(ReproError):
     """Invalid assembly text or an instruction that cannot be encoded."""
 

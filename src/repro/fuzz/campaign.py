@@ -117,6 +117,12 @@ class CampaignStats:
                 f"FAILURE [{finding.result.outcome.value}] "
                 f"seed={case.seed} iteration={case.iteration}"
             )
+            if finding.result.violations:
+                # A validator finding names the broken paper invariant;
+                # the shrinker preserved the leading kind.
+                lines.append(
+                    f"  invariant: {finding.result.violations[0]}"
+                )
             if finding.shrink is not None:
                 lines.append(
                     f"  shrunk {finding.shrink.statements_before} -> "
@@ -170,6 +176,7 @@ def run_campaign(
     max_steps: int = 20_000,
     max_cycles: int = 200_000,
     config_override: Optional[Dict[str, Any]] = None,
+    validate: bool = True,
 ) -> CampaignStats:
     """Run one fuzz campaign and return its statistics.
 
@@ -190,6 +197,10 @@ def run_campaign(
             stream is unchanged, so iterations stay reproducible).
             Used by CI to re-run the oracle with
             ``{"clique_kernel": "reference"}``.
+        validate: run the independent translation validator on every
+            compiled block; violations are reported as the distinct
+            ``validator`` failure class and shrunk toward the smallest
+            case breaking the same invariant.
     """
     stats = CampaignStats(seed=seed, iterations_requested=iterations)
     start = time.monotonic()
@@ -211,6 +222,7 @@ def run_campaign(
             post_compile_hook=post_compile_hook,
             max_steps=max_steps,
             max_cycles=max_cycles,
+            validate=validate,
         )
         stats.iterations_run += 1
         stats.outcomes[result.outcome] += 1
@@ -224,6 +236,7 @@ def run_campaign(
                     max_evaluations=max_shrink_evaluations,
                     max_steps=max_steps,
                     max_cycles=max_cycles,
+                    validate=validate,
                 )
             if artifacts_dir is not None:
                 best = finding.minimized

@@ -37,6 +37,7 @@ from repro.ir.interp import interpret_function
 from repro.isdl.model import Machine
 from repro.isdl.parser import parse_machine
 from repro.simulator.executor import run_program
+from repro.verify import verify_function
 
 
 class Outcome(enum.Enum):
@@ -56,6 +57,10 @@ class Outcome(enum.Enum):
     #: The emitted program faulted or livelocked on the simulator —
     #: always a bug.
     SIM_FAULT = "sim-fault"
+    #: The independent translation validator found an invariant
+    #: violation in a compiled block (see :mod:`repro.verify`) —
+    #: always a bug, even when the final state happens to match.
+    VALIDATOR = "validator"
     #: The emitted program computed different values — a miscompile.
     MISMATCH = "mismatch"
 
@@ -65,6 +70,7 @@ class Outcome(enum.Enum):
         return self in (
             Outcome.COMPILE_CRASH,
             Outcome.SIM_FAULT,
+            Outcome.VALIDATOR,
             Outcome.MISMATCH,
         )
 
@@ -127,6 +133,9 @@ class CaseResult:
     spills: int = 0
     cycles: int = 0
     reference: Dict[str, int] = field(default_factory=dict)
+    #: validator violation kinds in report order (VALIDATOR outcomes);
+    #: the first entry is the invariant the shrinker preserves.
+    violations: List[str] = field(default_factory=list)
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
@@ -154,8 +163,16 @@ def run_case(
     post_compile_hook: Optional[PostCompileHook] = None,
     max_steps: int = 20_000,
     max_cycles: int = 200_000,
+    validate: bool = True,
 ) -> CaseResult:
-    """Run one case through the full differential pipeline."""
+    """Run one case through the full differential pipeline.
+
+    With ``validate`` (the default) every compiled block is also
+    certified by the independent translation validator, so an invariant
+    violation is reported as :data:`Outcome.VALIDATOR` — naming *which*
+    paper invariant broke — even when the simulated final state would
+    have matched the interpreter.
+    """
     # 1-2: front end + reference semantics.  Frontend errors on fuzzer
     # output are compiler bugs (the generator emits only valid minic).
     try:
@@ -179,6 +196,24 @@ def run_case(
         return CaseResult(Outcome.COVERAGE, detail=str(error))
     except Exception as error:  # noqa: BLE001
         return CaseResult(Outcome.COMPILE_CRASH, detail=_crash_detail(error))
+
+    # 3b: translation validation of every block (schedule + emission).
+    # Runs before fault-injection hooks: the hooks mutate the flat
+    # program to test the *differential* oracle downstream.
+    if validate:
+        reports = [r for r in verify_function(compiled) if not r.ok]
+        if reports:
+            kinds = [kind for r in reports for kind in r.kinds()]
+            detail = "; ".join(
+                v.describe() for r in reports for v in r.violations[:4]
+            )
+            return CaseResult(
+                Outcome.VALIDATOR,
+                detail=detail,
+                violations=kinds,
+                instructions=compiled.total_instructions,
+                spills=compiled.total_spills,
+            )
 
     if post_compile_hook is not None:
         post_compile_hook(compiled)

@@ -220,6 +220,15 @@ def _same_failure(target: CaseResult, candidate: CaseResult) -> bool:
         return candidate.detail.split(":", 1)[0].split(" ", 1)[0] == (
             target.detail.split(":", 1)[0].split(" ", 1)[0]
         )
+    if target.outcome is Outcome.VALIDATOR:
+        # Minimize to the *invariant*, not to any validator failure:
+        # the candidate must still break the same leading violation
+        # kind (e.g. dependence-order), so delta debugging converges on
+        # the smallest program exhibiting that specific broken
+        # guarantee.
+        if not target.violations or not candidate.violations:
+            return bool(target.violations) == bool(candidate.violations)
+        return target.violations[0] in candidate.violations
     return True
 
 
@@ -230,6 +239,7 @@ def shrink_case(
     max_evaluations: int = 300,
     max_steps: int = 20_000,
     max_cycles: int = 200_000,
+    validate: bool = True,
 ) -> ShrinkResult:
     """Minimize ``case`` while preserving its failure outcome.
 
@@ -247,6 +257,7 @@ def shrink_case(
             post_compile_hook=post_compile_hook,
             max_steps=max_steps,
             max_cycles=max_cycles,
+            validate=validate,
         )
 
     if target is None:

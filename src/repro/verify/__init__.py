@@ -1,0 +1,59 @@
+"""Independent schedule validation (translation validation).
+
+This package certifies compiled blocks against the paper's invariants
+without reusing any code from the layers it audits — see
+:mod:`repro.verify.checker` for the invariant list and
+``docs/verification.md`` for the paper mapping.
+
+Entry points:
+
+- :func:`verify_solution` — invariants 1-5 over one block solution;
+- :func:`verify_block` — invariants 1-6 over a solution plus its
+  emitted instructions;
+- :func:`verify_function` — every block of a compiled function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.verify.checker import verify_solution
+from repro.verify.emission import verify_emission
+from repro.verify.violations import (
+    VerificationReport,
+    Violation,
+    ViolationKind,
+)
+
+__all__ = [
+    "VerificationReport",
+    "Violation",
+    "ViolationKind",
+    "verify_block",
+    "verify_emission",
+    "verify_function",
+    "verify_solution",
+]
+
+
+def verify_block(
+    solution, instructions=None, block_name: str = "block"
+) -> VerificationReport:
+    """Validate one block: schedule invariants plus emission round-trip."""
+    report = verify_solution(solution, block_name=block_name)
+    if instructions is not None:
+        verify_emission(solution, instructions, report)
+    return report
+
+
+def verify_function(compiled) -> List[VerificationReport]:
+    """Validate every block of a compiled function.
+
+    ``compiled`` is duck-typed: anything with a ``blocks`` mapping of
+    name -> object carrying ``solution`` and ``instructions`` works
+    (:class:`repro.asmgen.program.CompiledFunction` does).
+    """
+    return [
+        verify_block(block.solution, block.instructions, block_name=name)
+        for name, block in compiled.blocks.items()
+    ]

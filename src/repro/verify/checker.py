@@ -1,0 +1,464 @@
+"""Independent re-checking of a scheduled block against the paper's
+invariants (translation validation).
+
+The checker deliberately shares no code with the covering, scheduling,
+register-estimation, or peephole layers it audits: it reads the task
+graph and schedule as plain data, recomputes latencies, transfer
+legality, constraint matching, and live ranges directly from the machine
+model, and reports every discrepancy as a structured
+:class:`~repro.verify.violations.Violation`.  Only the ``ir`` opcode
+predicates, the ``isdl.model`` machine description, and the Split-Node
+DAG's read-side alternative listing are consulted.
+
+Invariants checked (paper sections in ``docs/verification.md``):
+
+1. every DAG operation and store is implemented exactly once, by a
+   recorded legal alternative;
+2. def-before-use: every dependency completes (issue + latency) before
+   its consumer issues — stall NOPs included;
+3. every value flow is realized: reads name live producers delivering
+   the same value into the same storage, operands sit in the consuming
+   unit's register file, transfers ride buses that connect their
+   endpoints, and pinned branch conditions survive to block end;
+4. each VLIW word uses every unit and bus at most once and matches no
+   ISDL "never" constraint;
+5. register-bank occupancy stays within capacity and spills/reloads
+   pair up;
+6. (in :mod:`repro.verify.emission`) the emitted assembly round-trips
+   to the same schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.ops import is_leaf
+
+from repro.verify.violations import VerificationReport, ViolationKind
+
+
+def _op_latency(machine, unit_name: str, op_name: str) -> int:
+    """Latency of an op looked up straight from the machine model."""
+    if not machine.has_unit(unit_name):
+        return 1
+    op = machine.unit(unit_name).op_named(op_name)
+    return op.latency if op is not None else 1
+
+
+def _task_latency(machine, task) -> int:
+    """Cycles until a task's result is readable (transfers take one)."""
+    if task.kind.value == "op":
+        return _op_latency(machine, task.unit, task.op_name)
+    return 1
+
+
+def _schedule_map(solution, report: VerificationReport) -> Dict[int, int]:
+    """task id -> issue cycle; flags phantom/duplicate/unscheduled."""
+    tasks = solution.graph.tasks
+    cycle_of: Dict[int, int] = {}
+    for cycle, members in enumerate(solution.schedule):
+        for task_id in members:
+            report.checks += 2
+            if task_id in cycle_of:
+                report.add(
+                    ViolationKind.DUPLICATE_TASK,
+                    f"task t{task_id} issued in cycles "
+                    f"{cycle_of[task_id]} and {cycle}",
+                    task=task_id,
+                    cycle=cycle,
+                )
+                continue
+            if task_id not in tasks:
+                report.add(
+                    ViolationKind.PHANTOM_TASK,
+                    f"scheduled task t{task_id} does not exist in the "
+                    f"task graph",
+                    task=task_id,
+                    cycle=cycle,
+                )
+                continue
+            cycle_of[task_id] = cycle
+    for task_id in sorted(tasks):
+        report.checks += 1
+        if task_id not in cycle_of:
+            report.add(
+                ViolationKind.UNSCHEDULED_TASK,
+                f"live task {tasks[task_id].describe()} is missing from "
+                f"the schedule",
+                task=task_id,
+            )
+    return cycle_of
+
+
+def _check_covering(solution, cycle_of, report: VerificationReport) -> None:
+    """Invariant 1: exact, legal covering of every operation and store."""
+    graph = solution.graph
+    dag = graph.dag
+    sn = solution.sn
+    covered: Dict[int, List[int]] = {}
+    for task_id in sorted(cycle_of):
+        task = graph.tasks[task_id]
+        if task.kind.value != "op":
+            continue
+        for node_id in task.covers:
+            covered.setdefault(node_id, []).append(task_id)
+        report.checks += 1
+        try:
+            alternatives = sn.alternatives(task.value)
+        except KeyError:
+            alternatives = []
+        legal = any(
+            alt.unit == task.unit
+            and alt.op_name == task.op_name
+            and tuple(alt.covers) == tuple(task.covers)
+            for alt in alternatives
+        )
+        machine = graph.machine
+        known_op = machine.has_unit(task.unit) and (
+            machine.unit(task.unit).op_named(task.op_name) is not None
+        )
+        if not (legal and known_op):
+            report.add(
+                ViolationKind.ILLEGAL_ALTERNATIVE,
+                f"{task.describe()} is not a recorded alternative of "
+                f"n{task.value}",
+                task=task_id,
+                node=task.value,
+            )
+    for node_id in dag.operation_nodes():
+        report.checks += 1
+        implementers = covered.get(node_id, [])
+        if not implementers:
+            report.add(
+                ViolationKind.UNCOVERED_OPERATION,
+                f"operation n{node_id} ({dag.node(node_id).describe()}) "
+                f"is implemented by no scheduled task",
+                node=node_id,
+            )
+        elif len(implementers) > 1:
+            report.add(
+                ViolationKind.DOUBLE_COVERED_OPERATION,
+                f"operation n{node_id} is implemented by "
+                f"{len(implementers)} tasks: "
+                + ", ".join(f"t{t}" for t in implementers),
+                node=node_id,
+            )
+    dm = graph.machine.data_memory
+    for store_id in dag.stores:
+        symbol = dag.node(store_id).symbol
+        writers = [
+            task_id
+            for task_id in sorted(cycle_of)
+            if graph.tasks[task_id].store_symbol == symbol
+            and graph.tasks[task_id].dest_storage == dm
+        ]
+        report.checks += 1
+        if not writers:
+            report.add(
+                ViolationKind.UNCOVERED_OPERATION,
+                f"store of {symbol!r} (n{store_id}) is written back by "
+                f"no scheduled transfer",
+                node=store_id,
+            )
+        elif len(writers) > 1:
+            report.add(
+                ViolationKind.DOUBLE_COVERED_OPERATION,
+                f"store of {symbol!r} (n{store_id}) is written back by "
+                f"{len(writers)} transfers",
+                node=store_id,
+            )
+
+
+def _check_dependences(solution, cycle_of, report: VerificationReport) -> None:
+    """Invariant 2: issue + latency of every dependency <= consumer issue."""
+    graph = solution.graph
+    machine = graph.machine
+    for task_id, cycle in sorted(cycle_of.items()):
+        task = graph.tasks[task_id]
+        producers = [r.producer for r in task.reads if r.producer is not None]
+        producers.extend(task.extra_after)
+        for producer_id in producers:
+            if producer_id not in cycle_of:
+                continue  # missing producers are invariant-3 violations
+            report.checks += 1
+            available = cycle_of[producer_id] + _task_latency(
+                machine, graph.tasks[producer_id]
+            )
+            if available > cycle:
+                report.add(
+                    ViolationKind.DEPENDENCE_ORDER,
+                    f"{task.describe()} issues at cycle {cycle} but its "
+                    f"dependency t{producer_id} completes at {available}",
+                    task=task_id,
+                    cycle=cycle,
+                )
+
+
+def _check_value_flow(solution, cycle_of, report: VerificationReport) -> None:
+    """Invariant 3: reads, operand locations, transfer paths, pinning."""
+    graph = solution.graph
+    machine = graph.machine
+    dm = machine.data_memory
+    for task_id in sorted(cycle_of):
+        task = graph.tasks[task_id]
+        is_op = task.kind.value == "op"
+        unit_rf = (
+            machine.unit(task.unit).register_file
+            if is_op and machine.has_unit(task.unit)
+            else None
+        )
+        for read in task.reads:
+            report.checks += 1
+            if read.producer is None:
+                leaf = (
+                    read.value in graph.dag
+                    and is_leaf(graph.dag.node(read.value).opcode)
+                )
+                if read.storage != dm or not leaf:
+                    report.add(
+                        ViolationKind.VALUE_FLOW,
+                        f"{task.describe()} reads n{read.value} from "
+                        f"{read.storage} with no producing task",
+                        task=task_id,
+                        node=read.value,
+                    )
+            elif read.producer not in graph.tasks:
+                report.add(
+                    ViolationKind.VALUE_FLOW,
+                    f"{task.describe()} reads missing task "
+                    f"t{read.producer}",
+                    task=task_id,
+                    node=read.value,
+                )
+            else:
+                producer = graph.tasks[read.producer]
+                if (
+                    producer.value != read.value
+                    or producer.dest_storage != read.storage
+                ):
+                    report.add(
+                        ViolationKind.VALUE_FLOW,
+                        f"{task.describe()} expects n{read.value} in "
+                        f"{read.storage} but t{read.producer} delivers "
+                        f"n{producer.value} into {producer.dest_storage}",
+                        task=task_id,
+                        node=read.value,
+                    )
+            if is_op and unit_rf is not None and read.storage != unit_rf:
+                report.checks += 1
+                report.add(
+                    ViolationKind.OPERAND_LOCATION,
+                    f"{task.describe()} reads an operand from "
+                    f"{read.storage}; unit {task.unit} reads only from "
+                    f"{unit_rf}",
+                    task=task_id,
+                    node=read.value,
+                )
+        if not is_op:
+            report.checks += 1
+            connecting = [
+                b.name
+                for b in machine.buses_connecting(
+                    task.source_storage or "", task.dest_storage
+                )
+            ]
+            source_ok = (
+                len(task.reads) == 1
+                and task.reads[0].storage == task.source_storage
+            )
+            if task.bus not in connecting or not source_ok:
+                report.add(
+                    ViolationKind.ILLEGAL_TRANSFER,
+                    f"{task.describe()}: bus {task.bus} does not carry "
+                    f"{task.source_storage} -> {task.dest_storage}",
+                    task=task_id,
+                    node=task.value,
+                )
+    _check_pin(solution, cycle_of, report)
+
+
+def _check_pin(solution, cycle_of, report: VerificationReport) -> None:
+    """Pinned branch conditions stay register-resident to block end."""
+    graph = solution.graph
+    read = graph.condition_read
+    if read is None:
+        return
+    report.checks += 1
+    machine = graph.machine
+    rf_names = {rf.name for rf in machine.register_files}
+    if read.producer is None or read.storage not in rf_names:
+        report.add(
+            ViolationKind.PIN_VIOLATION,
+            f"branch condition n{read.value} is not delivered to a "
+            f"register file",
+            node=read.value,
+        )
+        return
+    if read.producer not in cycle_of:
+        report.add(
+            ViolationKind.PIN_VIOLATION,
+            f"branch condition producer t{read.producer} is not "
+            f"scheduled",
+            task=read.producer,
+            node=read.value,
+        )
+        return
+    available = cycle_of[read.producer] + _task_latency(
+        machine, graph.tasks[read.producer]
+    )
+    if available > len(solution.schedule):
+        report.add(
+            ViolationKind.DEPENDENCE_ORDER,
+            f"branch condition t{read.producer} completes at cycle "
+            f"{available}, after the block body ends at "
+            f"{len(solution.schedule)}",
+            task=read.producer,
+            node=read.value,
+        )
+
+
+def _check_words(solution, cycle_of, report: VerificationReport) -> None:
+    """Invariant 4: slot exclusivity and ISDL "never" constraints."""
+    graph = solution.graph
+    machine = graph.machine
+    for cycle, members in enumerate(solution.schedule):
+        live = [t for t in members if t in graph.tasks]
+        used: Dict[str, int] = {}
+        for task_id in live:
+            report.checks += 1
+            resource = graph.tasks[task_id].resource
+            used[resource] = used.get(resource, 0) + 1
+            if used[resource] == 2:
+                report.add(
+                    ViolationKind.RESOURCE_CONFLICT,
+                    f"resource {resource} carries two slots in one word",
+                    task=task_id,
+                    cycle=cycle,
+                )
+        for constraint in machine.constraints:
+            report.checks += 1
+            if _constraint_matches(graph.tasks, live, constraint):
+                report.add(
+                    ViolationKind.CONSTRAINT,
+                    f"word matches every term of '{constraint}'",
+                    cycle=cycle,
+                    constraint=str(constraint),
+                )
+
+
+def _constraint_matches(tasks, member_ids, constraint) -> bool:
+    """True when every term of an ISDL constraint matches some slot."""
+    for term in constraint.terms:
+        if not any(
+            _term_matches(tasks[t], term.resource, term.op_name)
+            for t in member_ids
+        ):
+            return False
+    return True
+
+
+def _term_matches(task, resource: str, op_name: str) -> bool:
+    if task.resource != resource:
+        return False
+    if op_name == "*":
+        return True
+    return task.kind.value == "op" and task.op_name == op_name
+
+
+def _check_banks(solution, cycle_of, report: VerificationReport) -> None:
+    """Invariant 5: occupancy within capacity; spills pair with reloads.
+
+    Live ranges are recomputed from scratch with the paper's semantics:
+    a delivery occupies its bank strictly after its issue cycle, through
+    its last consumer (a dead result: through issue + latency; a pinned
+    condition: through the end of the block).
+    """
+    graph = solution.graph
+    machine = graph.machine
+    dm = machine.data_memory
+    rf_sizes = {rf.name: rf.size for rf in machine.register_files}
+    length = len(solution.schedule)
+    consumers: Dict[int, List[int]] = {}
+    for task_id in sorted(cycle_of):
+        for read in graph.tasks[task_id].reads:
+            if read.producer is not None:
+                consumers.setdefault(read.producer, []).append(task_id)
+    occupancy: Dict[str, List[int]] = {
+        bank: [0] * length for bank in rf_sizes
+    }
+    for task_id, def_cycle in sorted(cycle_of.items()):
+        task = graph.tasks[task_id]
+        bank = task.dest_storage
+        if bank not in rf_sizes:
+            continue
+        uses = [cycle_of[c] for c in consumers.get(task_id, []) if c in cycle_of]
+        if uses:
+            last_use = max(uses)
+        else:
+            last_use = def_cycle + _task_latency(machine, task)
+        if task_id in graph.pinned:
+            last_use = max(last_use, length)
+        for cycle in range(def_cycle, min(last_use, length)):
+            occupancy[bank][cycle] += 1
+    for bank, profile in sorted(occupancy.items()):
+        report.checks += 1
+        for cycle, count in enumerate(profile):
+            if count > rf_sizes[bank]:
+                report.add(
+                    ViolationKind.BANK_OVERFLOW,
+                    f"bank {bank} holds {count} live values after cycle "
+                    f"{cycle}; capacity is {rf_sizes[bank]}",
+                    cycle=cycle,
+                )
+                break
+    for task_id in sorted(cycle_of):
+        task = graph.tasks[task_id]
+        if task.is_spill and task.dest_storage == dm:
+            report.checks += 1
+            if not consumers.get(task_id):
+                report.add(
+                    ViolationKind.SPILL_MISMATCH,
+                    f"{task.describe()} spills a value nothing reloads",
+                    task=task_id,
+                    node=task.value,
+                )
+        if task.is_reload and task.reads and task.reads[0].storage == dm:
+            report.checks += 1
+            producer = task.reads[0].producer
+            source = (
+                graph.tasks[producer]
+                if producer is not None and producer in graph.tasks
+                else None
+            )
+            if source is None or source.dest_storage != dm:
+                report.add(
+                    ViolationKind.SPILL_MISMATCH,
+                    f"{task.describe()} reloads from memory but no spill "
+                    f"delivered n{task.value} there",
+                    task=task_id,
+                    node=task.value,
+                )
+
+
+def verify_solution(
+    solution, block_name: str = "block"
+) -> VerificationReport:
+    """Validate one scheduled block solution against invariants 1-5.
+
+    Args:
+        solution: a ``BlockSolution``-shaped object (read as plain
+            data; pre- or post-peephole states are both accepted).
+        block_name: label used in diagnostics.
+
+    Returns:
+        A :class:`VerificationReport`; ``report.ok`` means every
+        invariant held.
+    """
+    report = VerificationReport(block=block_name)
+    cycle_of = _schedule_map(solution, report)
+    _check_covering(solution, cycle_of, report)
+    _check_dependences(solution, cycle_of, report)
+    _check_value_flow(solution, cycle_of, report)
+    _check_words(solution, cycle_of, report)
+    _check_banks(solution, cycle_of, report)
+    return report

@@ -1,0 +1,122 @@
+"""Invariant 6: emitted assembly round-trips to the schedule.
+
+Each emitted VLIW word is re-derived from the scheduled tasks of its
+cycle and compared slot by slot: the multiset of (unit, op) slots and of
+bus transfers must match, every register reference must fall inside its
+bank, and every slot's endpoints must name the storages the task graph
+says the value moves between.  A disagreement means the emitter (or the
+register allocator feeding it) materialized a different program than the
+one the covering engine scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.verify.violations import VerificationReport, ViolationKind
+
+
+def _location_storage(location) -> str:
+    """Storage name a RegRef/MemRef lives in (duck-typed)."""
+    name = getattr(location, "register_file", None)
+    if name is not None:
+        return name
+    return location.memory
+
+
+def _word_signature_from_tasks(graph, members) -> List[Tuple]:
+    """Canonical slot signature of one scheduled cycle."""
+    signature: List[Tuple] = []
+    for task_id in members:
+        task = graph.tasks.get(task_id)
+        if task is None:
+            continue
+        if task.kind.value == "op":
+            signature.append(("op", task.unit, task.op_name, task.dest_storage))
+        else:
+            signature.append(
+                ("xfer", task.bus, task.source_storage, task.dest_storage)
+            )
+    return sorted(signature)
+
+
+def _word_signature_from_instruction(instruction) -> List[Tuple]:
+    """Canonical slot signature of one emitted VLIW word."""
+    signature: List[Tuple] = []
+    for op in instruction.ops:
+        signature.append(
+            ("op", op.unit, op.op_name, _location_storage(op.destination))
+        )
+    for transfer in instruction.transfers:
+        signature.append(
+            (
+                "xfer",
+                transfer.bus,
+                _location_storage(transfer.source),
+                _location_storage(transfer.destination),
+            )
+        )
+    return sorted(signature)
+
+
+def _check_register_bounds(
+    machine, instruction, cycle: int, report: VerificationReport
+) -> None:
+    """Every register reference must fall inside its declared bank."""
+    rf_sizes = {rf.name: rf.size for rf in machine.register_files}
+    locations = []
+    for op in instruction.ops:
+        locations.append(op.destination)
+        locations.extend(op.sources)
+    for transfer in instruction.transfers:
+        locations.extend((transfer.source, transfer.destination))
+    for location in locations:
+        bank = getattr(location, "register_file", None)
+        if bank is None:
+            continue
+        report.checks += 1
+        size = rf_sizes.get(bank)
+        if size is None or not (0 <= location.index < size):
+            report.add(
+                ViolationKind.EMISSION_MISMATCH,
+                f"register reference {location} is outside bank "
+                f"{bank} (size {size})",
+                cycle=cycle,
+            )
+
+
+def verify_emission(
+    solution, instructions, report: Optional[VerificationReport] = None
+) -> VerificationReport:
+    """Check that ``instructions`` realize exactly ``solution.schedule``.
+
+    Appends :data:`~repro.verify.violations.ViolationKind.EMISSION_MISMATCH`
+    violations to ``report`` (a fresh report is created when omitted).
+    """
+    if report is None:
+        report = VerificationReport()
+    graph = solution.graph
+    machine = graph.machine
+    report.checks += 1
+    if len(instructions) != len(solution.schedule):
+        report.add(
+            ViolationKind.EMISSION_MISMATCH,
+            f"{len(instructions)} instructions emitted for "
+            f"{len(solution.schedule)} scheduled cycles",
+        )
+        return report
+    for cycle, (members, instruction) in enumerate(
+        zip(solution.schedule, instructions)
+    ):
+        report.checks += 1
+        expected = _word_signature_from_tasks(graph, members)
+        actual = _word_signature_from_instruction(instruction)
+        if expected != actual:
+            report.add(
+                ViolationKind.EMISSION_MISMATCH,
+                f"word does not round-trip: schedule says {expected}, "
+                f"assembly says {actual}",
+                cycle=cycle,
+            )
+        _check_register_bounds(machine, instruction, cycle, report)
+    return report

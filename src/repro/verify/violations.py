@@ -1,0 +1,151 @@
+"""Structured diagnostics produced by the schedule validator.
+
+Each :class:`Violation` names the invariant that broke (a
+:class:`ViolationKind`), the block, and — where meaningful — the task,
+original-DAG node, cycle, and constraint involved, so a failure can be
+traced straight back to the paper section whose guarantee it breaks
+(see ``docs/verification.md`` for the mapping).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class ViolationKind(enum.Enum):
+    """The paper invariant a violation breaks.
+
+    Grouped by the checker's six invariants:
+
+    1. covering — UNCOVERED_OPERATION, DOUBLE_COVERED_OPERATION,
+       ILLEGAL_ALTERNATIVE, UNSCHEDULED_TASK, PHANTOM_TASK,
+       DUPLICATE_TASK;
+    2. dependence order — DEPENDENCE_ORDER;
+    3. value flow — VALUE_FLOW, OPERAND_LOCATION, ILLEGAL_TRANSFER,
+       PIN_VIOLATION;
+    4. word legality — RESOURCE_CONFLICT, CONSTRAINT;
+    5. register banks — BANK_OVERFLOW, SPILL_MISMATCH;
+    6. emission — EMISSION_MISMATCH.
+    """
+
+    #: A DAG operation (or store) implemented by no scheduled task.
+    UNCOVERED_OPERATION = "uncovered-operation"
+    #: A DAG operation (or store) implemented more than once.
+    DOUBLE_COVERED_OPERATION = "double-covered-operation"
+    #: An OP task that is not a recorded Split-Node DAG alternative of
+    #: the node it claims to cover, or names an op its unit lacks.
+    ILLEGAL_ALTERNATIVE = "illegal-alternative"
+    #: A live task missing from the schedule.
+    UNSCHEDULED_TASK = "unscheduled-task"
+    #: A scheduled task id that no longer exists in the task graph.
+    PHANTOM_TASK = "phantom-task"
+    #: A task issued in more than one cycle.
+    DUPLICATE_TASK = "duplicate-task"
+    #: A consumer issued before a dependency's result is available
+    #: (issue + latency), i.e. a missing stall NOP or reordered words.
+    DEPENDENCE_ORDER = "dependence-order"
+    #: A read whose producing task is missing, delivers a different
+    #: value, or delivers into a different storage than the read names.
+    VALUE_FLOW = "value-flow"
+    #: An OP operand read from anywhere but the unit's register file.
+    OPERAND_LOCATION = "operand-location"
+    #: A transfer whose bus does not connect its endpoints.
+    ILLEGAL_TRANSFER = "illegal-transfer"
+    #: A branch condition that is not register-resident at block end.
+    PIN_VIOLATION = "pin-violation"
+    #: A functional unit or bus used twice in one VLIW word.
+    RESOURCE_CONFLICT = "resource-conflict"
+    #: A VLIW word matching every term of an ISDL "never" constraint.
+    CONSTRAINT = "constraint"
+    #: Register-bank occupancy above the bank's capacity.
+    BANK_OVERFLOW = "bank-overflow"
+    #: A spill with no matching consumer, or a reload that does not
+    #: read a value delivered to data memory.
+    SPILL_MISMATCH = "spill-mismatch"
+    #: Emitted assembly that does not round-trip to the schedule.
+    EMISSION_MISMATCH = "emission-mismatch"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, localized as precisely as possible."""
+
+    kind: ViolationKind
+    message: str
+    block: str = "block"
+    task: Optional[int] = None
+    node: Optional[int] = None
+    cycle: Optional[int] = None
+    constraint: Optional[str] = None
+
+    def describe(self) -> str:
+        """One-line rendering used by the CLI and fuzz findings."""
+        where = [self.block]
+        if self.cycle is not None:
+            where.append(f"cycle {self.cycle}")
+        if self.task is not None:
+            where.append(f"t{self.task}")
+        if self.node is not None:
+            where.append(f"n{self.node}")
+        if self.constraint is not None:
+            where.append(self.constraint)
+        return f"[{self.kind.value}] {' '.join(where)}: {self.message}"
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable form (``repro verify --json``)."""
+        return {
+            "kind": self.kind.value,
+            "message": self.message,
+            "block": self.block,
+            "task": self.task,
+            "node": self.node,
+            "cycle": self.cycle,
+            "constraint": self.constraint,
+        }
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of validating one block."""
+
+    block: str = "block"
+    #: number of elementary invariant checks performed (telemetry).
+    checks: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every checked invariant holds."""
+        return not self.violations
+
+    def kinds(self) -> List[str]:
+        """Violation kind values in report order (stable, may repeat)."""
+        return [v.kind.value for v in self.violations]
+
+    def add(self, kind: ViolationKind, message: str, **where) -> None:
+        """Record a violation localized by the keyword fields."""
+        self.violations.append(
+            Violation(kind=kind, message=message, block=self.block, **where)
+        )
+
+    def describe(self) -> str:
+        """Multi-line rendering: verdict plus one line per violation."""
+        if self.ok:
+            return f"{self.block}: OK ({self.checks} checks)"
+        lines = [
+            f"{self.block}: {len(self.violations)} violation(s) "
+            f"({self.checks} checks)"
+        ]
+        lines.extend("  " + v.describe() for v in self.violations)
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable form (``repro verify --json``)."""
+        return {
+            "block": self.block,
+            "checks": self.checks,
+            "ok": self.ok,
+            "violations": [v.summary() for v in self.violations],
+        }

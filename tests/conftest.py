@@ -133,3 +133,30 @@ def single_block_function(dag: BlockDAG, name: str = "main") -> Function:
     function = Function(name)
     function.add_block(BasicBlock("entry", dag))
     return function
+
+
+def solve_both_kernels(dag: BlockDAG, machine, **overrides):
+    """Schedule ``dag`` under both clique kernels, normalised
+    word-by-word: kernel name -> (sorted schedule, spills, reloads), or
+    ``("error", message)`` when covering fails.
+
+    Shared by the kernel-equivalence suite and the golden-schedule
+    regression tests so both compare the exact same canonical form.
+    """
+    from repro.covering import HeuristicConfig, generate_block_solution
+    from repro.errors import CoverageError
+
+    outcome = {}
+    for kernel in ("bitmask", "reference"):
+        config = HeuristicConfig(clique_kernel=kernel, **overrides)
+        try:
+            solution = generate_block_solution(dag, machine, config)
+        except CoverageError as error:
+            outcome[kernel] = ("error", str(error))
+            continue
+        outcome[kernel] = (
+            [sorted(word) for word in solution.schedule],
+            solution.spill_count,
+            solution.reload_count,
+        )
+    return outcome

@@ -42,7 +42,7 @@ from repro.sndag import build_split_node_dag
 from repro.telemetry import TelemetrySession, use_session
 from repro.utils.bitset import bits
 
-from conftest import build_fig2_dag, build_wide_dag
+from conftest import build_fig2_dag, build_wide_dag, solve_both_kernels
 
 CORPUS_FILES = sorted((Path(__file__).parent / "corpus").glob("*.json"))
 
@@ -58,22 +58,9 @@ def _graph_for(dag, machine, config=None, pin_value=None):
     return TaskGraph(sn, assignments[0], pin_value=pin_value)
 
 
-def _solve(dag, machine, **overrides):
-    """Schedules under both kernels, normalised word-by-word."""
-    outcome = {}
-    for kernel in ("bitmask", "reference"):
-        config = HeuristicConfig(clique_kernel=kernel, **overrides)
-        try:
-            solution = generate_block_solution(dag, machine, config)
-        except CoverageError as error:
-            outcome[kernel] = ("error", str(error))
-            continue
-        outcome[kernel] = (
-            [sorted(word) for word in solution.schedule],
-            solution.spill_count,
-            solution.reload_count,
-        )
-    return outcome
+# The both-kernel solver lives in conftest (solve_both_kernels) so the
+# golden-schedule regression tests share the exact same canonical form.
+_solve = solve_both_kernels
 
 
 def _build_sop_dag(terms):
