@@ -25,7 +25,7 @@ from repro.telemetry import (
     write_bench_report,
 )
 
-from conftest import RESULTS_DIR, full_mode, write_result
+from conftest import REPO_ROOT, RESULTS_DIR, full_mode, write_result
 
 
 _SMOKE_WORKLOADS = ["Ex1", "Ex2", "Ex3"]
@@ -38,6 +38,7 @@ def test_bench_codegen_profile(benchmark, results_dir):
     )
     path = results_dir / "BENCH_codegen.json"
     write_bench_report(str(path), entries)
+    write_bench_report(str(REPO_ROOT / "BENCH_codegen.json"), entries)
     payload = json.loads(path.read_text())
     validate_bench_report(payload)  # round-trips schema-valid
 

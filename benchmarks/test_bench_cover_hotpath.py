@@ -25,7 +25,7 @@ from repro.telemetry import (
     write_cover_report,
 )
 
-from conftest import full_mode, write_result
+from conftest import REPO_ROOT, full_mode, write_result
 
 
 def test_bench_cover_hotpath(benchmark, results_dir):
@@ -35,6 +35,7 @@ def test_bench_cover_hotpath(benchmark, results_dir):
     )
     path = results_dir / "BENCH_cover.json"
     write_cover_report(str(path), entries)
+    write_cover_report(str(REPO_ROOT / "BENCH_cover.json"), entries)
     payload = json.loads(path.read_text())
     validate_cover_report(payload)  # round-trips schema-valid
 

@@ -50,6 +50,18 @@ Commands
 ``verify --corpus DIR [--kernel ...]``
     Certify every fuzz reproducer in ``DIR`` on its own recorded
     machine and config.
+``explain SOURCE --machine SPEC [--kernel {bitmask,reference}] [--json]
+[--html FILE] [--full] [--diff SPEC] [--diff-kernel K]``
+    Compile under a decision journal and report *why* the covering
+    search chose each schedule: per-block covering steps with the
+    losing cliques and lookahead estimates, beam prunes, transfer-path
+    picks, spill-victim rankings, and a schedule quality report
+    (achieved length vs. lower bounds, utilization, overheads).
+    ``--json`` emits the versioned `repro/explain/v1` report;
+    ``--html`` writes a self-contained timeline page; ``--diff``
+    re-runs on a second machine (and/or ``--diff-kernel``) and shows
+    the first decision where the two searches part ways (exit 1 on
+    divergence).
 
 Machines are named either by a built-in key (``arch1``, ``arch2``,
 ``fig6``, ``dualbus``, ``mac``, ``single``, ``cf``, ``pipe``) with an
@@ -470,9 +482,25 @@ def _cmd_verify(args) -> int:
                 "machine": machine.name,
                 "kernel": kernel,
             }
+            explain = None
             try:
                 function = compile_source(source)
-                compiled = compile_function(function, machine, config)
+                if args.json:
+                    # Journal the compile so each violation can link to
+                    # the decision that produced the offending cycle.
+                    from repro.explain import (
+                        build_explain_report,
+                        compile_with_journal,
+                    )
+
+                    journal, compiled, error = compile_with_journal(
+                        function, machine, config
+                    )
+                    if error is not None:
+                        raise error
+                    explain = build_explain_report(journal, compiled)
+                else:
+                    compiled = compile_function(function, machine, config)
             except CoverageError as error:
                 # The documented contract, not a bug: this machine
                 # genuinely cannot implement the program.
@@ -490,7 +518,23 @@ def _cmd_verify(args) -> int:
             certified += violations == 0
             entry["status"] = "ok" if violations == 0 else "violations"
             entry["checks"] = checks
-            entry["blocks"] = [r.summary() for r in reports]
+            blocks_json = []
+            for report in reports:
+                summary = report.summary()
+                if explain is not None:
+                    from repro.explain import find_decision
+
+                    for violation, record in zip(
+                        report.violations, summary["violations"]
+                    ):
+                        record["decision"] = find_decision(
+                            explain,
+                            report.block,
+                            task=violation.task,
+                            cycle=violation.cycle,
+                        )
+                blocks_json.append(summary)
+            entry["blocks"] = blocks_json
             results.append(entry)
             if args.json:
                 continue
@@ -525,6 +569,73 @@ def _cmd_verify(args) -> int:
             f"{total_violations} violation(s)"
         )
     return 1 if total_violations else 0
+
+
+def _cmd_explain(args) -> int:
+    import json as json_module
+
+    from repro.covering.config import HeuristicConfig
+    from repro.explain import (
+        diff_reports,
+        explain_source,
+        render_diff_text,
+        render_html,
+        render_text,
+    )
+
+    machine = resolve_machine(args.machine)
+    with open(args.source) as handle:
+        source = handle.read()
+    config = HeuristicConfig.default()
+    if args.kernel:
+        config = config.with_(clique_kernel=args.kernel)
+    report, _compiled, error = explain_source(
+        source,
+        machine,
+        config,
+        meta={"source": args.source, "machine": machine.name},
+    )
+    if args.diff or args.diff_kernel:
+        other_machine = (
+            resolve_machine(args.diff) if args.diff else machine
+        )
+        other_config = HeuristicConfig.default()
+        if args.diff_kernel:
+            other_config = other_config.with_(clique_kernel=args.diff_kernel)
+        other_report, _, other_error = explain_source(
+            source,
+            other_machine,
+            other_config,
+            meta={"source": args.source, "machine": other_machine.name},
+        )
+        label_a = f"{machine.name}/{args.kernel or 'default'}"
+        label_b = f"{other_machine.name}/{args.diff_kernel or 'default'}"
+        diff = diff_reports(report, other_report, label_a, label_b)
+        if args.json:
+            print(json_module.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff_text(diff))
+        for which, failure in (
+            (label_a, error),
+            (label_b, other_error),
+        ):
+            if failure is not None:
+                print(
+                    f"; {which} compile failed: {failure}", file=sys.stderr
+                )
+        return 0 if diff["identical"] and not error and not other_error else 1
+    if args.html:
+        with open(args.html, "w") as handle:
+            handle.write(render_html(report))
+        print(f"; wrote {args.html}", file=sys.stderr)
+    if args.json:
+        print(json_module.dumps(report, indent=2, sort_keys=True))
+    elif not args.html:
+        print(render_text(report, full=args.full))
+    if error is not None:
+        print(f"; compile failed: {error}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -727,6 +838,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only failures and the final summary",
     )
 
+    explain = commands.add_parser(
+        "explain",
+        help="audit why the covering search chose each schedule",
+    )
+    explain.add_argument("source", help="minic source file")
+    explain.add_argument("--machine", "-m", required=True)
+    explain.add_argument(
+        "--kernel",
+        choices=("bitmask", "reference"),
+        default=None,
+        help="covering kernel (journals are identical either way)",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro/explain/v1 report (or diff) as JSON",
+    )
+    explain.add_argument(
+        "--html",
+        metavar="FILE",
+        help="write a self-contained HTML timeline page",
+    )
+    explain.add_argument(
+        "--full",
+        action="store_true",
+        help="list every journal entry, not just covering steps",
+    )
+    explain.add_argument(
+        "--diff",
+        metavar="SPEC",
+        help="second machine to run and compare decisions against",
+    )
+    explain.add_argument(
+        "--diff-kernel",
+        choices=("bitmask", "reference"),
+        default=None,
+        help="covering kernel for the --diff run",
+    )
+
     return parser
 
 
@@ -741,6 +891,7 @@ _HANDLERS = {
     "tables": _cmd_tables,
     "fuzz": _cmd_fuzz,
     "verify": _cmd_verify,
+    "explain": _cmd_explain,
 }
 
 

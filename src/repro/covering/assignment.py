@@ -211,6 +211,7 @@ def explore_assignments(
     """
     config = config or HeuristicConfig.default()
     tm = _telemetry()
+    jr = tm.journal
     with tm.span("covering.assignments", category="covering"):
         model = _CostModel(sn, config)
         dag = sn.dag
@@ -228,7 +229,7 @@ def explore_assignments(
         frontier: List[_Partial] = [_Partial(choice={}, cost=0)]
         for op_id in op_ids:
             next_frontier: List[_Partial] = []
-            for partial in frontier:
+            for partial_index, partial in enumerate(frontier):
                 if op_id in partial.absorbed:
                     next_frontier.append(partial)
                     continue
@@ -241,11 +242,32 @@ def explore_assignments(
                 alternatives_scored += len(scored)
                 if not scored:
                     continue  # no usable alternative under this partial
+                best: Optional[int] = None
                 if config.assignment_pruning:
                     best = min(increment for increment, _ in scored)
                     kept = [item for item in scored if item[0] == best]
                     pruned_min_cost += len(scored) - len(kept)
-                    scored = kept
+                else:
+                    kept = scored
+                if jr.enabled and len(scored) > 1:
+                    jr.emit(
+                        "assignment.bind",
+                        op=op_id,
+                        partial=partial_index,
+                        alternatives=sorted(
+                            (
+                                {
+                                    "unit": alt.unit,
+                                    "op": alt.op_name,
+                                    "cost": cost,
+                                    "kept": best is None or cost == best,
+                                }
+                                for cost, alt in scored
+                            ),
+                            key=lambda a: (a["cost"], a["unit"], a["op"]),
+                        ),
+                    )
+                scored = kept
                 for increment, alternative in scored:
                     choice = dict(partial.choice)
                     for covered_id in alternative.covers:
@@ -257,7 +279,17 @@ def explore_assignments(
                     )
             if config.frontier_limit is not None and len(next_frontier) > config.frontier_limit:
                 next_frontier.sort(key=lambda p: p.cost)
-                beam_truncated += len(next_frontier) - config.frontier_limit
+                dropped = len(next_frontier) - config.frontier_limit
+                beam_truncated += dropped
+                if jr.enabled:
+                    jr.emit(
+                        "assignment.beam",
+                        op=op_id,
+                        limit=config.frontier_limit,
+                        dropped=dropped,
+                        kept_max_cost=next_frontier[config.frontier_limit - 1].cost,
+                        dropped_min_cost=next_frontier[config.frontier_limit].cost,
+                    )
                 next_frontier = next_frontier[: config.frontier_limit]
             frontier = next_frontier
             if tm.enabled:
@@ -277,6 +309,13 @@ def explore_assignments(
                 deduped.append(assignment)
         if config.num_assignments is not None:
             deduped = deduped[: config.num_assignments]
+        if jr.enabled:
+            jr.emit(
+                "assignment.select",
+                complete=len(complete),
+                selected=len(deduped),
+                costs=[a.cost for a in deduped],
+            )
     tm.count("assign.split_nodes_bound", len(op_ids))
     tm.count("assign.alternatives_scored", alternatives_scored)
     tm.count("assign.pruned_min_cost", pruned_min_cost)

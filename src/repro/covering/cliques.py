@@ -321,6 +321,7 @@ def legalize_cliques(
     """
     if not machine.constraints:
         return list(cliques)
+    jr = _telemetry().journal
     legal: Set[FrozenSet[int]] = set()
     work = list(cliques)
     seen: Set[FrozenSet[int]] = set()
@@ -331,10 +332,12 @@ def legalize_cliques(
             continue
         seen.add(clique)
         violated = None
+        culprit = None
         for constraint in machine.constraints:
             matches = _violates(graph.tasks, clique, constraint)
             if matches:
                 violated = matches
+                culprit = constraint
                 break
         if violated is None:
             legal.add(clique)
@@ -343,6 +346,13 @@ def legalize_cliques(
         # a smaller clique; branch on each possibility.
         breakers = sorted({t for matched in violated for t in matched})
         splits += 1
+        if jr.enabled:
+            jr.emit(
+                "clique.split",
+                members=sorted(clique),
+                constraint=str(culprit),
+                breakers=breakers,
+            )
         for task_id in breakers:
             work.append(clique - {task_id})
     # Drop cliques strictly contained in another legal clique.
@@ -382,6 +392,7 @@ def legalize_clique_masks(
                     mask |= 1 << task_id
             masks.append(mask)
         term_masks.append(masks)
+    jr = _telemetry().journal
     legal: Set[int] = set()
     work = list(cliques)
     seen: Set[int] = set()
@@ -392,17 +403,26 @@ def legalize_clique_masks(
             continue
         seen.add(clique)
         violated: Optional[int] = None
-        for masks in term_masks:
+        culprit: Optional[Constraint] = None
+        for constraint, masks in zip(machine.constraints, term_masks):
             if all(clique & mask for mask in masks):
                 breakers = 0
                 for mask in masks:
                     breakers |= clique & mask
                 violated = breakers
+                culprit = constraint
                 break
         if violated is None:
             legal.add(clique)
             continue
         splits += 1
+        if jr.enabled:
+            jr.emit(
+                "clique.split",
+                members=bits(clique),
+                constraint=str(culprit),
+                breakers=bits(violated),
+            )
         for low in _low_bits(violated):
             work.append(clique & ~low)
     result = [

@@ -62,6 +62,81 @@ class CoverResult:
         return len(self.schedule)
 
 
+@dataclass
+class CoverStats:
+    """Per-call covering-loop statistics, accumulated in the loop and
+    flushed to telemetry counters once when the call exits.
+
+    Both kernels update the same instance; named fields (rather than the
+    positional list they replaced) make an index slip between the two
+    update sites impossible.
+    """
+
+    iterations: int = 0
+    stall_nops: int = 0
+    subset_fallbacks: int = 0
+    lookahead_ties: int = 0
+    spill_rounds: int = 0
+
+
+#: Losing cliques kept per ``cover.step`` journal entry; the rest are
+#: counted in ``alternatives_dropped`` so journals stay bounded.
+_STEP_ALTERNATIVES_CAP = 16
+
+
+def _journal_step(
+    jr,
+    graph: TaskGraph,
+    uncovered: Set[int],
+    now: int,
+    chosen: List[int],
+    feasible: List[List[int]],
+    top: List[List[int]],
+    tie: bool,
+    via_subset: bool,
+) -> None:
+    """Record one clique-selection decision (paper IV-D).
+
+    ``chosen``/``feasible``/``top`` arrive as sorted member-id lists so
+    the frozenset and bitmask kernels journal byte-identically.  The
+    lookahead estimates are recomputed here for *every* candidate — the
+    selection itself only computes them on a top-size tie — so the entry
+    can always say what the tie-break saw (or would have seen).
+    """
+    order = _uncovered_order(graph, uncovered)
+
+    def estimate(members: List[int]) -> int:
+        return _lookahead_estimate(graph, uncovered - set(members), order)
+
+    top_keys = {tuple(c) for c in top}
+    losers = sorted(
+        (c for c in feasible if c != chosen), key=lambda c: (-len(c), c)
+    )
+    dropped = max(0, len(losers) - _STEP_ALTERNATIVES_CAP)
+    losers = losers[:_STEP_ALTERNATIVES_CAP]
+    jr.emit(
+        "cover.step",
+        cycle=now,
+        chosen={
+            "members": chosen,
+            "size": len(chosen),
+            "lookahead": estimate(chosen),
+        },
+        alternatives=[
+            {
+                "members": c,
+                "size": len(c),
+                "lookahead": estimate(c),
+                "top_tie": tuple(c) in top_keys,
+            }
+            for c in losers
+        ],
+        alternatives_dropped=dropped,
+        tie_break="lookahead" if tie else "first",
+        via_subset=via_subset,
+    )
+
+
 def _build_cliques(
     graph: TaskGraph, task_ids: List[int], config: HeuristicConfig
 ) -> List[FrozenSet[int]]:
@@ -145,6 +220,7 @@ def _choose_spill_victim(
     ready: Optional[Set[int]] = None,
     protected: Optional[Set[int]] = None,
     focus_bank: Optional[str] = None,
+    explain: Optional[List[Dict[str, object]]] = None,
 ) -> int:
     """Pick the delivery to spill (paper IV-D): most-needed bank first,
     then — Belady-style — the value whose next use is *farthest* away
@@ -209,6 +285,21 @@ def _choose_spill_victim(
                     delivery,
                 )
 
+            if explain is not None:
+                # Journal the full ranking of the bank that decided the
+                # spill, smallest rank tuple (= chosen victim) first.
+                for delivery in sorted(victims, key=rank):
+                    score = rank(delivery)
+                    explain.append(
+                        {
+                            "delivery": delivery,
+                            "bank": bank,
+                            "shielded": bool(score[0]),
+                            "all_consumers_ready": bool(score[1]),
+                            "next_use_distance": -score[2],
+                            "pending_consumers": score[3],
+                        }
+                    )
             return min(victims, key=rank)
     raise CoverageError(
         "register files exhausted but no spillable value exists "
@@ -262,6 +353,7 @@ def _pick_spill(
     covered: Set[int],
     ready: Set[int],
     stuck_strategy: str,
+    explain: Optional[List[Dict[str, object]]] = None,
 ) -> Tuple[int, Optional[int], str]:
     """One register-starvation decision (paper Fig. 9): pick the focus
     consumer, the bank to relieve, and the delivery to spill.
@@ -323,7 +415,7 @@ def _pick_spill(
     if focus is not None and (not blocked or focus_bank in blocked):
         relieve = focus_bank
     victim = _choose_spill_victim(
-        graph, tracker, candidates, covered, ready, protected, relieve
+        graph, tracker, candidates, covered, ready, protected, relieve, explain
     )
     return victim, focus, focus_bank
 
@@ -355,14 +447,12 @@ def cover_assignment(
     config = config or HeuristicConfig.default()
     tm = _telemetry()
     with tm.span("covering.cover", detail=stuck_strategy, category="covering"):
-        # Search statistics live in a per-call list — in order:
-        # iterations, stall NOPs, feasible-subset fallbacks, lookahead
-        # tie-breaks, spill rounds — and are flushed from the local in
-        # the ``finally`` below: the loop has several exit paths (done,
-        # bound prune, starvation) and all of them must report, while a
-        # module-level global would be clobbered by nested or retried
-        # coverings.
-        stats = [0, 0, 0, 0, 0]
+        # Search statistics live in a per-call CoverStats and are flushed
+        # from the local in the ``finally`` below: the loop has several
+        # exit paths (done, bound prune, starvation) and all of them must
+        # report, while a module-level global would be clobbered by
+        # nested or retried coverings.
+        stats = CoverStats()
         try:
             if config.clique_kernel == "reference":
                 result = _cover_loop(graph, config, bound, stuck_strategy, stats)
@@ -372,11 +462,11 @@ def cover_assignment(
                 )
         finally:
             tm.count("cover.calls", 1)
-            tm.count("cover.iterations", stats[0])
-            tm.count("cover.stall_nops", stats[1])
-            tm.count("cover.subset_fallbacks", stats[2])
-            tm.count("cover.lookahead_ties", stats[3])
-            tm.count("cover.spill_rounds", stats[4])
+            tm.count("cover.iterations", stats.iterations)
+            tm.count("cover.stall_nops", stats.stall_nops)
+            tm.count("cover.subset_fallbacks", stats.subset_fallbacks)
+            tm.count("cover.lookahead_ties", stats.lookahead_ties)
+            tm.count("cover.spill_rounds", stats.spill_rounds)
         if result is None:
             tm.count("cover.bound_prunes", 1)
         return result
@@ -387,10 +477,11 @@ def _cover_loop(
     config: HeuristicConfig,
     bound: Optional[int],
     stuck_strategy: str,
-    stats: List[int],
+    stats: CoverStats,
 ) -> Optional[CoverResult]:
     """The reference covering loop: per-iteration ready recomputation,
     frozenset cliques, full clique rebuild after every spill."""
+    jr = _telemetry().journal
     tracker = PressureTracker(graph)
     covered: Set[int] = set()
     schedule: List[List[int]] = []
@@ -403,7 +494,7 @@ def _cover_loop(
     focus_bank: str = ""
 
     while uncovered:
-        stats[0] += 1
+        stats.iterations += 1
         if bound is not None and len(schedule) >= bound:
             return None
         now = len(schedule)
@@ -425,7 +516,9 @@ def _cover_loop(
                 if d in covered
             )
             if pending_latency:
-                stats[1] += 1
+                stats.stall_nops += 1
+                if jr.enabled:
+                    jr.emit("cover.stall", cycle=now)
                 schedule.append([])  # an explicit NOP word
                 continue
             raise CoverageError("no ready task but tasks remain (cycle?)")
@@ -454,6 +547,7 @@ def _cover_loop(
                 seen.add(shrunk)
                 candidates.append(shrunk)
         feasible = [c for c in candidates if tracker.feasible(c)]
+        via_subset = False
         if not feasible:
             # Try feasible subsets before resorting to a spill: a clique
             # may be blocked by one member only.
@@ -462,12 +556,14 @@ def _cover_loop(
             }
             feasible = [s for s in subsets if s]
             if feasible:
-                stats[2] += 1
+                stats.subset_fallbacks += 1
+                via_subset = True
         if feasible:
             best_size = max(len(c) for c in feasible)
             top = [c for c in feasible if len(c) == best_size]
-            if len(top) > 1 and config.lookahead:
-                stats[3] += 1
+            tie = len(top) > 1 and config.lookahead
+            if tie:
+                stats.lookahead_ties += 1
                 order = _uncovered_order(graph, uncovered)
                 chosen = min(
                     top,
@@ -478,6 +574,18 @@ def _cover_loop(
                 )
             else:
                 chosen = min(top, key=lambda c: sorted(c))
+            if jr.enabled:
+                _journal_step(
+                    jr,
+                    graph,
+                    uncovered,
+                    now,
+                    sorted(chosen),
+                    [sorted(c) for c in feasible],
+                    [sorted(c) for c in top],
+                    tie,
+                    via_subset,
+                )
             tracker.commit(chosen)
             covered |= chosen
             uncovered -= chosen
@@ -487,15 +595,26 @@ def _cover_loop(
             continue
         # Spill path (paper Fig. 9).
         spills_done += 1
-        stats[4] += 1
+        stats.spill_rounds += 1
         if spills_done > config.max_spills:
             raise CoverageError(
                 f"more than {config.max_spills} spills required; "
                 f"register files are too small for this block"
             )
+        explain = [] if jr.enabled else None
         victim, focus, focus_bank = _pick_spill(
-            graph, tracker, candidates, covered, ready, stuck_strategy
+            graph, tracker, candidates, covered, ready, stuck_strategy, explain
         )
+        if jr.enabled:
+            jr.emit(
+                "cover.spill",
+                cycle=now,
+                victim=victim,
+                victim_desc=graph.tasks[victim].describe(),
+                focus=focus,
+                focus_bank=focus_bank,
+                candidates=explain,
+            )
         graph.spill_delivery(victim, covered, ready=ready)
         uncovered = set(graph.task_ids()) - covered
         tracker.rebuild(schedule)
@@ -706,12 +825,13 @@ def _cover_loop_masks(
     config: HeuristicConfig,
     bound: Optional[int],
     stuck_strategy: str,
-    stats: List[int],
+    stats: CoverStats,
 ) -> Optional[CoverResult]:
     """The bitmask covering loop: decision-identical to
     :func:`_cover_loop`, with cliques and ready/admissible sets as ints,
     incremental ready maintenance, and incremental post-spill clique
     rebuilds."""
+    jr = _telemetry().journal
     tracker = PressureTracker(graph)
     covered: Set[int] = set()
     schedule: List[List[int]] = []
@@ -727,7 +847,7 @@ def _cover_loop_masks(
     focus_bank: str = ""
 
     while uncovered_mask:
-        stats[0] += 1
+        stats.iterations += 1
         if bound is not None and len(schedule) >= bound:
             return None
         now = len(schedule)
@@ -745,7 +865,9 @@ def _cover_loop_masks(
                 if d in covered
             )
             if pending_latency:
-                stats[1] += 1
+                stats.stall_nops += 1
+                if jr.enabled:
+                    jr.emit("cover.stall", cycle=now)
                 schedule.append([])  # an explicit NOP word
                 continue
             raise CoverageError("no ready task but tasks remain (cycle?)")
@@ -770,6 +892,7 @@ def _cover_loop_masks(
                 candidates.append(shrunk)
         as_set = {c: frozenset(iter_bits(c)) for c in candidates}
         feasible = [c for c in candidates if tracker.feasible(as_set[c])]
+        via_subset = False
         if not feasible:
             subsets = {
                 mask_of(_feasible_subset(tracker, as_set[c]))
@@ -777,12 +900,14 @@ def _cover_loop_masks(
             }
             feasible = [s for s in subsets if s]
             if feasible:
-                stats[2] += 1
+                stats.subset_fallbacks += 1
+                via_subset = True
         if feasible:
             best_size = max(popcount(c) for c in feasible)
             top = [c for c in feasible if popcount(c) == best_size]
-            if len(top) > 1 and config.lookahead:
-                stats[3] += 1
+            tie = len(top) > 1 and config.lookahead
+            if tie:
+                stats.lookahead_ties += 1
                 order = _uncovered_order(graph, uncovered)
                 chosen = min(
                     top,
@@ -798,6 +923,18 @@ def _cover_loop_masks(
             else:
                 chosen = min(top, key=bits)
             chosen_ids = bits(chosen)
+            if jr.enabled:
+                _journal_step(
+                    jr,
+                    graph,
+                    uncovered,
+                    now,
+                    list(chosen_ids),
+                    [list(bits(c)) for c in feasible],
+                    [list(bits(c)) for c in top],
+                    tie,
+                    via_subset,
+                )
             tracker.commit(chosen_ids)
             covered.update(chosen_ids)
             uncovered.difference_update(chosen_ids)
@@ -809,7 +946,7 @@ def _cover_loop_masks(
             continue
         # Spill path (paper Fig. 9).
         spills_done += 1
-        stats[4] += 1
+        stats.spill_rounds += 1
         if spills_done > config.max_spills:
             raise CoverageError(
                 f"more than {config.max_spills} spills required; "
@@ -817,9 +954,21 @@ def _cover_loop_masks(
             )
         ready = set(iter_bits(ready_mask))
         candidate_sets = [as_set[c] for c in candidates]
+        explain = [] if jr.enabled else None
         victim, focus, focus_bank = _pick_spill(
-            graph, tracker, candidate_sets, covered, ready, stuck_strategy
+            graph, tracker, candidate_sets, covered, ready, stuck_strategy,
+            explain,
         )
+        if jr.enabled:
+            jr.emit(
+                "cover.spill",
+                cycle=now,
+                victim=victim,
+                victim_desc=graph.tasks[victim].describe(),
+                focus=focus,
+                focus_bank=focus_bank,
+                candidates=explain,
+            )
         graph.spill_delivery(victim, covered, ready=ready)
         uncovered = set(graph.task_ids()) - covered
         uncovered_mask = mask_of(uncovered)

@@ -104,6 +104,7 @@ def generate_block_solution(
     """
     config = config or HeuristicConfig.default()
     tm = _telemetry()
+    jr = tm.journal
     key: Optional[_MemoKey] = None
     if memo is not None:
         key = (
@@ -115,8 +116,22 @@ def generate_block_solution(
         hit = memo.get(key)
         if hit is not None:
             tm.count("cover.memo_hits", 1)
+            if jr.enabled:
+                jr.emit(
+                    "memo.hit",
+                    dag=key[0][:12],
+                    machine=key[1][:12],
+                    pin=pin_value,
+                )
             return _clone_solution(hit)
         tm.count("cover.memo_misses", 1)
+        if jr.enabled:
+            jr.emit(
+                "memo.miss",
+                dag=key[0][:12],
+                machine=key[1][:12],
+                pin=pin_value,
+            )
     watch = Stopwatch()
     with watch, tm.span("covering.block", category="covering"):
         if sn is None:
@@ -128,8 +143,9 @@ def generate_block_solution(
                 f"block on machine {machine.name!r}"
             )
         best: Optional[BlockSolution] = None
+        best_index = -1
         failures = []
-        for assignment in assignments:
+        for index, assignment in enumerate(assignments):
             bound = None
             if best is not None and config.branch_and_bound:
                 bound = best.instruction_count
@@ -139,15 +155,38 @@ def generate_block_solution(
             # two complementary focus strategies exist, and an assignment
             # that thrashes under one usually converges under the other.
             for strategy in ("consumer", "arrival"):
+                jr.begin_attempt(index, strategy)
+                if jr.enabled:
+                    jr.emit(
+                        "cover.attempt",
+                        assignment=index,
+                        cost=assignment.cost,
+                        bound=bound,
+                    )
                 graph = TaskGraph(sn, assignment, pin_value=pin_value)
                 try:
                     result = cover_assignment(
                         graph, config, bound, stuck_strategy=strategy
                     )
+                    if jr.enabled:
+                        if result is None:
+                            jr.emit("cover.outcome", status="pruned")
+                        else:
+                            jr.emit(
+                                "cover.outcome",
+                                status="covered",
+                                instructions=result.instruction_count,
+                                spills=result.spill_count,
+                                reloads=result.reload_count,
+                            )
                 except CoverageError as error:
                     failures.append(error)
                     tm.count("covering.strategy_failures", 1)
+                    if jr.enabled:
+                        jr.emit("cover.outcome", status="failed", error=str(error))
                     continue
+                finally:
+                    jr.end_attempt()
                 break
             if result is None:
                 continue  # pruned by the bound or uncoverable
@@ -165,11 +204,21 @@ def generate_block_solution(
                     reload_count=result.reload_count,
                     assignments_explored=len(assignments),
                 )
+                best_index = index
         if best is not None:
             tm.count("covering.blocks", 1)
             tm.count("covering.spills", best.spill_count)
             tm.count("covering.reloads", best.reload_count)
             tm.count("covering.instructions", best.instruction_count)
+            if jr.enabled:
+                jr.emit(
+                    "block.solution",
+                    assignment=best_index,
+                    instructions=best.instruction_count,
+                    spills=best.spill_count,
+                    reloads=best.reload_count,
+                    register_estimate=dict(sorted(best.register_estimate.items())),
+                )
     if best is None:
         detail = f"; last error: {failures[-1]}" if failures else ""
         raise CoverageError(

@@ -42,6 +42,7 @@ from repro.isdl.databases import TransferPath
 from repro.isdl.model import Machine
 from repro.covering.assignment import Assignment
 from repro.sndag.build import SplitNodeDAG
+from repro.telemetry.session import current as _telemetry
 from repro.utils.ids import IdAllocator
 
 
@@ -269,10 +270,33 @@ class TaskGraph:
     def _choose_path(self, source: str, target: str) -> TransferPath:
         """Least-congested minimal path (Section IV-B's heuristic)."""
         paths = self.sn.transfer_db.paths(source, target)
-        return min(
-            paths,
-            key=lambda p: (sum(self._bus_load[h.bus] for h in p), tuple(h.bus for h in p)),
-        )
+
+        def congestion(p: TransferPath) -> int:
+            return sum(self._bus_load[h.bus] for h in p)
+
+        chosen = min(paths, key=lambda p: (congestion(p), tuple(h.bus for h in p)))
+        if len(paths) > 1:
+            jr = _telemetry().journal
+            if jr.enabled:
+                jr.emit(
+                    "transfer.path",
+                    source=source,
+                    target=target,
+                    chosen=[h.bus for h in chosen],
+                    load=congestion(chosen),
+                    alternatives=sorted(
+                        (
+                            {
+                                "buses": [h.bus for h in p],
+                                "load": congestion(p),
+                            }
+                            for p in paths
+                            if p is not chosen
+                        ),
+                        key=lambda a: (a["load"], a["buses"]),
+                    ),
+                )
+        return chosen
 
     def _build_store(self, store_id: int) -> None:
         store = self.dag.node(store_id)

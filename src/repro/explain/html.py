@@ -1,0 +1,130 @@
+"""Self-contained HTML rendering of an explain report.
+
+One static file, no external assets: a per-block schedule timeline
+(rows = machine resources, columns = cycles, cells colored by slot
+kind) above a collapsible decision journal.  Built for "open the file a
+CI job attached and see why the schedule looks like that".
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List
+
+from repro.explain.report import _describe_entry
+
+_CSS = """
+body { font-family: ui-monospace, Menlo, Consolas, monospace;
+       margin: 1.5rem; color: #1a1a2e; background: #fafafa; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 2rem; }
+table.timeline { border-collapse: collapse; margin: .5rem 0; }
+table.timeline th, table.timeline td {
+  border: 1px solid #ccc; padding: 2px 6px; font-size: .75rem;
+  text-align: center; min-width: 2rem; }
+table.timeline th.res { text-align: right; background: #eee; }
+td.op { background: #8ecae6; } td.transfer { background: #ffe8a1; }
+td.spill { background: #f4978e; } td.reload { background: #f8ad9d; }
+td.idle { background: #fff; color: #bbb; }
+.quality { margin: .4rem 0; font-size: .85rem; }
+details { margin: .5rem 0; } summary { cursor: pointer; }
+ol.journal { font-size: .8rem; } ol.journal li { margin: 2px 0; }
+.kind { display: inline-block; min-width: 10rem; color: #555; }
+"""
+
+
+def _escape(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _block_timeline_html(block: Dict[str, Any]) -> List[str]:
+    timeline = block["timeline"]
+    if not timeline:
+        return ["<p>no timeline (block did not compile)</p>"]
+    resources = sorted(
+        {slot["resource"] for record in timeline for slot in record["slots"]}
+    )
+    lines = ['<table class="timeline">']
+    header = "".join(
+        f"<th>{record['cycle']}</th>" for record in timeline
+    )
+    lines.append(f'<tr><th class="res">cycle</th>{header}</tr>')
+    for resource in resources:
+        cells = []
+        for record in timeline:
+            slot = next(
+                (s for s in record["slots"] if s["resource"] == resource),
+                None,
+            )
+            if slot is None:
+                cells.append('<td class="idle">·</td>')
+            else:
+                cells.append(
+                    f'<td class="{_escape(slot["kind"])}" '
+                    f'title="{_escape(slot["desc"])}">t{slot["task"]}</td>'
+                )
+        lines.append(
+            f'<tr><th class="res">{_escape(resource)}</th>{"".join(cells)}</tr>'
+        )
+    lines.append("</table>")
+    return lines
+
+
+def render_html(report: Dict[str, Any]) -> str:
+    """The whole report as one self-contained HTML document."""
+    meta = report["meta"]
+    title = "explain report"
+    if meta.get("source"):
+        title += f" — {meta['source']}"
+    if meta.get("machine"):
+        title += f" on {meta['machine']}"
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_escape(title)}</h1>",
+    ]
+    counts = report["decision_counts"]
+    if counts:
+        parts.append(
+            "<p>"
+            + ", ".join(
+                f"{_escape(kind)} ×{counts[kind]}" for kind in sorted(counts)
+            )
+            + "</p>"
+        )
+    for block in report["blocks"]:
+        name = block["name"] if block["name"] is not None else "&lt;unscoped&gt;"
+        parts.append(f"<h2>block {name}</h2>")
+        quality = block["quality"]
+        if quality is not None:
+            overhead = quality["overhead"]
+            parts.append(
+                '<p class="quality">'
+                f"{quality['cycles']} cycles (lower bound "
+                f"{quality['lower_bound']}: critical path "
+                f"{quality['critical_path']}, resource bound "
+                f"{quality['resource_bound']}) · ipc {quality['ipc']} · "
+                f"{overhead['op_slots']} op / "
+                f"{overhead['transfer_slots']} transfer / "
+                f"{overhead['spill_slots']} spill / "
+                f"{overhead['reload_slots']} reload slots · "
+                f"{overhead['stall_cycles']} stall(s)</p>"
+            )
+        parts.extend(_block_timeline_html(block))
+        decisions = block["decisions"]
+        parts.append(
+            f"<details><summary>{len(decisions)} decision(s)</summary>"
+        )
+        parts.append('<ol class="journal">')
+        for entry in decisions:
+            scope = ""
+            if entry["attempt"] is not None:
+                scope = f"[a{entry['attempt']}/{entry['strategy']}] "
+            parts.append(
+                f'<li><span class="kind">{_escape(entry["kind"])}</span>'
+                f"{_escape(scope + _describe_entry(entry))}</li>"
+            )
+        parts.append("</ol></details>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -243,6 +243,15 @@ def run_campaign(
                 best_result = (
                     finding.shrink.result if finding.shrink else result
                 )
+                # Attach the decision journal of the minimized case's
+                # compile; a journaling failure must never eat the
+                # reproducer itself.
+                try:
+                    from repro.explain import capture_case_journal
+
+                    journal = capture_case_journal(best)
+                except Exception:
+                    journal = None
                 finding.reproducer = save_reproducer(
                     best,
                     best_result,
@@ -251,6 +260,7 @@ def run_campaign(
                         f"minimized finding from seed={seed} "
                         f"iteration={iteration}"
                     ),
+                    journal=journal,
                 )
             stats.findings.append(finding)
         if progress is not None:

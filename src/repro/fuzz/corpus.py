@@ -71,8 +71,16 @@ def save_reproducer(
     directory: Union[str, Path],
     stem: Optional[str] = None,
     description: str = "",
+    journal: Optional[Dict[str, Any]] = None,
 ) -> Path:
-    """Write one reproducer file and return its path."""
+    """Write one reproducer file and return its path.
+
+    ``journal`` is an optional `repro/explain/v1` report of the case's
+    compile (see :mod:`repro.explain`): minimized findings ship with
+    the decision journal of the failing block so "why did the search
+    schedule it that way" is answerable straight from the artifact.
+    Loaders ignore the key, so journaled files replay unchanged.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     if stem is None:
@@ -81,6 +89,8 @@ def save_reproducer(
         stem = f"{result.outcome.value}-s{seed}-i{iteration}"
     path = directory / f"{stem}.json"
     payload = case_to_dict(case, result, description=description)
+    if journal is not None:
+        payload["journal"] = journal
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 

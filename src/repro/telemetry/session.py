@@ -160,17 +160,62 @@ class Histogram:
         )
 
 
+class NullJournal:
+    """The do-nothing decision journal attached to sessions by default.
+
+    The real :class:`repro.explain.DecisionJournal` records *why* the
+    covering search chose what it chose; this placeholder keeps the
+    probe sites allocation-free when nobody asked for a journal.  Scope
+    markers are no-ops; hot emit sites additionally guard on
+    ``journal.enabled`` so payloads are never even built.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def begin_block(self, name):
+        """Ignore a block scope opening."""
+
+    def end_block(self):
+        """Ignore a block scope closing."""
+
+    def begin_attempt(self, index, strategy):
+        """Ignore an assignment-attempt scope opening."""
+
+    def end_attempt(self):
+        """Ignore an assignment-attempt scope closing."""
+
+    def emit(self, kind, **data):
+        """Ignore a decision record."""
+
+
+NULL_JOURNAL = NullJournal()
+
+
 class TelemetrySession:
-    """An active telemetry collection: spans + counters + histograms."""
+    """An active telemetry collection: spans + counters + histograms.
+
+    A session may additionally carry a **decision journal** (see
+    :mod:`repro.explain`): pass one as ``journal`` and the covering
+    layer's probe sites record every consequential search decision into
+    it.  By default the journal is the shared :data:`NULL_JOURNAL`, so
+    plain profiling pays nothing for the journal probes.
+    """
 
     enabled = True
 
-    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+    def __init__(
+        self,
+        meta: Optional[Dict[str, Any]] = None,
+        journal: Optional[Any] = None,
+    ) -> None:
         self.t0 = wall_clock()
         self.spans: List[SpanRecord] = []
         self.counters: Dict[str, int] = {}
         self.histograms: Dict[str, Histogram] = {}
         self.meta: Dict[str, Any] = dict(meta or {})
+        self.journal = journal if journal is not None else NULL_JOURNAL
         self._stack: List[int] = []
 
     # -- probes (the instrumented code's API) ----------------------------
@@ -250,6 +295,9 @@ class NullSession:
     __slots__ = ()
 
     enabled = False
+
+    #: Decision journaling is off with telemetry off (shared no-op).
+    journal = NULL_JOURNAL
 
     def span(self, name, detail=None, category=None):
         """No-op span (a shared preallocated context manager)."""

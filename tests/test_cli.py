@@ -295,3 +295,114 @@ class TestProfiling:
         )
         assert code == 0
         validate_bench_report(json.loads(bench_path.read_text()))
+
+
+class TestExplain:
+    def test_explain_text(self, program_file, capsys):
+        assert main(["explain", program_file, "-m", "arch1"]) == 0
+        out = capsys.readouterr().out
+        assert "explain report" in out
+        assert "cycles vs lower bound" in out
+        assert "chose" in out
+
+    def test_explain_json_is_schema_valid(self, program_file, capsys):
+        import json
+
+        from repro.explain import validate_explain_report
+
+        assert main(["explain", program_file, "-m", "arch1", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_explain_report(report)
+        assert report["decision_counts"].get("cover.step", 0) > 0
+
+    def test_explain_kernels_identical_via_cli(self, program_file, capsys):
+        assert (
+            main(
+                [
+                    "explain",
+                    program_file,
+                    "-m",
+                    "arch1",
+                    "--kernel",
+                    "bitmask",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        bitmask = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "explain",
+                    program_file,
+                    "-m",
+                    "arch1",
+                    "--kernel",
+                    "reference",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        reference = capsys.readouterr().out
+        assert bitmask == reference
+
+    def test_explain_html(self, program_file, tmp_path, capsys):
+        out_file = tmp_path / "report.html"
+        assert (
+            main(
+                ["explain", program_file, "-m", "arch1", "--html", str(out_file)]
+            )
+            == 0
+        )
+        page = out_file.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "timeline" in page
+
+    def test_explain_diff_kernels_exit_zero(self, program_file, capsys):
+        code = main(
+            [
+                "explain",
+                program_file,
+                "-m",
+                "arch1",
+                "--diff-kernel",
+                "reference",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "identical" in out
+
+    def test_explain_diff_machines_exit_one(self, program_file, capsys):
+        code = main(
+            ["explain", program_file, "-m", "arch1", "--diff", "fig6"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED" in out
+
+    def test_verify_json_links_decisions(self, program_file, capsys):
+        import json
+
+        code = main(
+            [
+                "verify",
+                program_file,
+                "-m",
+                "arch1",
+                "--kernel",
+                "bitmask",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        result = payload["results"][0]
+        assert result["status"] == "ok"
+        # Healthy compiles have no violations to link; the schema spot
+        # for the link is per violation record (exercised directly in
+        # tests/test_explain.py via find_decision).
+        for block in result["blocks"]:
+            assert block["violations"] == []

@@ -172,6 +172,28 @@ class TestCorpusIO:
         with pytest.raises(ValueError, match="format"):
             load_case(path)
 
+    def test_journal_rides_along_and_replays(self, tmp_path):
+        import json
+
+        from repro.explain import (
+            capture_case_journal,
+            validate_explain_report,
+        )
+
+        case = generate_case(seed=5, iteration=2)
+        result = CaseResult(Outcome.OK, reference={"out": 7})
+        journal = capture_case_journal(case)
+        path = save_reproducer(
+            case, result, tmp_path, stem="journaled", journal=journal
+        )
+        payload = json.loads(path.read_text())
+        validate_explain_report(payload["journal"])
+        assert payload["journal"]["meta"]["origin"] == "fuzz"
+        # The extra key is ignored by the loader: the case replays
+        # exactly as an unjournaled reproducer would.
+        loaded = load_case(path)
+        assert loaded.source == case.source
+
 
 class TestCampaign:
     def test_smoke_campaign_is_clean(self, tmp_path):
@@ -195,8 +217,16 @@ class TestCampaign:
         assert stats.findings
         written = list(tmp_path.glob("*.json"))
         assert written, "expected minimized reproducers on disk"
-        # Reproducer files load back into runnable cases.
+        # Reproducer files load back into runnable cases, and carry the
+        # minimized case's decision journal.
         load_case(written[0])
+        import json
+
+        from repro.explain import validate_explain_report
+
+        payload = json.loads(written[0].read_text())
+        assert "journal" in payload
+        validate_explain_report(payload["journal"])
 
     def test_time_budget_stops_early(self):
         stats = run_campaign(seed=2, iterations=500, time_budget=1.0)

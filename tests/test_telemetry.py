@@ -186,22 +186,27 @@ class TestPipelineInstrumentation:
         assert any(n.startswith("sim.unit.") for n in session.counters)
 
     def test_null_session_compile_allocates_nothing_in_telemetry(self):
+        import repro.explain  # noqa: F401 -- journal hooks must stay free
+
         machine = example_architecture(4)
         function = compile_source(SOURCE)
         compile_function(function, machine)  # warm every code path/cache
         # Filter to the probe layer: the engine's Stopwatch (pre-dating
         # telemetry, kept for cpu_seconds) legitimately allocates in
-        # clock.py on every path; the null *session* must not.
-        telemetry_filter = tracemalloc.Filter(
-            True, "*/repro/telemetry/session.py"
-        )
+        # clock.py on every path; the null *session* must not, and
+        # neither may the decision-journal hooks (NullJournal) nor any
+        # code in repro.explain while journaling is off.
+        telemetry_filters = [
+            tracemalloc.Filter(True, "*/repro/telemetry/session.py"),
+            tracemalloc.Filter(True, "*/repro/explain/*"),
+        ]
         tracemalloc.start(5)
         try:
             compile_function(function, machine)
             snapshot = tracemalloc.take_snapshot()
         finally:
             tracemalloc.stop()
-        stats = snapshot.filter_traces([telemetry_filter]).statistics(
+        stats = snapshot.filter_traces(telemetry_filters).statistics(
             "filename"
         )
         leaked = sum(s.size for s in stats)
