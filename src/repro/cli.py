@@ -50,6 +50,18 @@ Commands
 ``verify --corpus DIR [--kernel ...]``
     Certify every fuzz reproducer in ``DIR`` on its own recorded
     machine and config.
+``batch [SOURCE ...] [--machine SPEC ...] [--machines-dir DIR]
+[--jobs FILE] [--cache-dir DIR] [--workers N] [--validate] [--json FILE]``
+    Batch compile service: fan every (source, machine) pair — or an
+    explicit JSON job list — across a process pool, warm-started by the
+    persistent content-addressed block cache at ``--cache-dir``.
+    Prints a per-job summary table; ``--json`` writes the structured
+    `repro/serve/v1` report (``-`` for stdout).
+``serve [--cache-dir DIR] [--validate]``
+    Line-oriented compile service: one JSON job request per stdin line
+    (``{"id": ..., "source": "y = a + b;", "machine": "arch1"}``), one
+    JSON result per stdout line, every compile backed by the
+    persistent block cache.
 ``explain SOURCE --machine SPEC [--kernel {bitmask,reference}] [--json]
 [--html FILE] [--full] [--diff SPEC] [--diff-kernel K]``
     Compile under a decision journal and report *why* the covering
@@ -193,7 +205,11 @@ def _cmd_compile(args) -> int:
     with scope:
         function = compile_source(source)
         compiled = compile_function(
-            function, machine, config, peephole=not args.no_peephole
+            function,
+            machine,
+            config,
+            peephole=not args.no_peephole,
+            cache_dir=args.cache_dir,
         )
         image = (
             encode_program(compiled.program, machine) if args.bin else None
@@ -407,6 +423,7 @@ def _cmd_fuzz(args) -> int:
         max_shrink_evaluations=args.shrink_budget,
         progress=progress,
         config_override=config_override,
+        cache_dir=args.cache_dir,
     )
     print(stats.summary())
     return 1 if stats.failure_count else 0
@@ -638,6 +655,115 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _batch_jobs(args) -> List:
+    """Expand the batch CLI's arguments into CompileJob objects."""
+    import json as json_module
+    from pathlib import Path
+
+    from repro.isdl.writer import machine_to_isdl
+    from repro.serve.service import CompileJob
+
+    if args.jobs:
+        with open(args.jobs) as handle:
+            payload = json_module.load(handle)
+        if not isinstance(payload, list):
+            raise ReproError(
+                f"{args.jobs}: a job list must be a JSON array of job "
+                f"objects"
+            )
+        try:
+            return [CompileJob.from_dict(item) for item in payload]
+        except (KeyError, TypeError) as error:
+            raise ReproError(
+                f"{args.jobs}: malformed job object: {error}"
+            ) from error
+    if not args.source:
+        raise ReproError("batch needs SOURCE files or --jobs FILE")
+    specs = list(args.machine or [])
+    if args.machines_dir:
+        found = sorted(Path(args.machines_dir).glob("*.isdl"))
+        if not found:
+            raise ReproError(f"no .isdl files in {args.machines_dir!r}")
+        specs.extend(str(path) for path in found)
+    if not specs:
+        raise ReproError("batch needs --machine or --machines-dir")
+    jobs = []
+    for source_path in args.source:
+        with open(source_path) as handle:
+            source = handle.read()
+        for spec in specs:
+            machine = resolve_machine(spec)
+            jobs.append(
+                CompileJob(
+                    job_id=f"{source_path}@{machine.name}",
+                    source=source,
+                    machine_isdl=machine_to_isdl(machine),
+                    validate=args.validate,
+                )
+            )
+    return jobs
+
+
+def _cmd_batch(args) -> int:
+    import json as json_module
+
+    from repro.serve.service import run_batch, validate_batch_report
+
+    jobs = _batch_jobs(args)
+    report = run_batch(
+        jobs, cache_dir=args.cache_dir, workers=args.workers
+    )
+    validate_batch_report(report)
+    if args.json:
+        text = json_module.dumps(report, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print(f"; wrote {args.json}", file=sys.stderr)
+    totals = report["totals"]
+    for result in report["results"]:
+        if result["status"] == "ok":
+            line = (
+                f"ok    {result['job_id']:40s} "
+                f"{result['metrics']['instructions']:4d} instr "
+                f"{result['metrics']['spills']:3d} spills"
+            )
+        else:
+            line = (
+                f"{result['status'][:5]:5s} {result['job_id']:40s} "
+                f"{(result['error'] or '')[:60]}"
+            )
+        print(line, file=sys.stderr)
+    print(
+        f"; {totals['jobs']} job(s): {totals['ok']} ok, "
+        f"{totals['structured_failures']} uncoverable, "
+        f"{totals['errors']} error(s); "
+        f"{totals['jobs_per_second']:.1f} jobs/s, "
+        f"cache hit rate {totals['cache_hit_rate']:.0%}",
+        file=sys.stderr,
+    )
+    return 1 if totals["errors"] else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.service import serve_stream
+
+    served = serve_stream(
+        sys.stdin,
+        sys.stdout,
+        cache_dir=args.cache_dir,
+        validate=args.validate,
+    )
+    print(
+        f"; served {served['requests']} request(s): "
+        f"{served['ok']} ok, {served['failed']} failed",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -680,6 +806,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--heuristics-off",
         action="store_true",
         help="exhaustive assignment exploration",
+    )
+    compile_parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent block-solution cache directory (warm-starts "
+        "repeated compiles across processes)",
     )
     add_profile_arguments(compile_parser)
 
@@ -797,6 +930,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="force every case's covering kernel (equivalence guard)",
     )
+    fuzz.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent block-solution cache: repeated campaigns over "
+        "the same seeds warm-start their compiles",
+    )
+
+    batch = commands.add_parser(
+        "batch",
+        help="compile many (source, machine) jobs through a process "
+        "pool with a persistent block cache",
+    )
+    batch.add_argument(
+        "source", nargs="*", help="minic source files to compile"
+    )
+    batch.add_argument(
+        "--machine",
+        "-m",
+        action="append",
+        metavar="SPEC",
+        help="target machine (repeatable)",
+    )
+    batch.add_argument(
+        "--machines-dir",
+        metavar="DIR",
+        help="also target every .isdl file in DIR",
+    )
+    batch.add_argument(
+        "--jobs",
+        metavar="FILE",
+        help="explicit JSON job list (array of repro/serve/v1 job "
+        "objects) instead of SOURCE x machines",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="shared persistent block-solution cache directory",
+    )
+    batch.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=0,
+        help="process-pool width (0 = compile in-process; default 0)",
+    )
+    batch.add_argument(
+        "--validate",
+        action="store_true",
+        help="certify every block with the independent validator",
+    )
+    batch.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the repro/serve/v1 report here ('-' for stdout)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="JSON-lines compile service: job requests on stdin, "
+        "results on stdout",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent block-solution cache directory",
+    )
+    serve.add_argument(
+        "--validate",
+        action="store_true",
+        help="certify every block with the independent validator",
+    )
 
     verify = commands.add_parser(
         "verify",
@@ -892,6 +1099,8 @@ _HANDLERS = {
     "fuzz": _cmd_fuzz,
     "verify": _cmd_verify,
     "explain": _cmd_explain,
+    "batch": _cmd_batch,
+    "serve": _cmd_serve,
 }
 
 

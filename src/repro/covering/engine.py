@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import copy
 import hashlib
-from typing import Dict, Optional, Tuple
+import os
+from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
 from repro.errors import CoverageError
 from repro.ir.cfg import BasicBlock, Branch
@@ -32,11 +33,14 @@ from repro.sndag.build import SplitNodeDAG, build_split_node_dag
 from repro.telemetry.clock import Stopwatch
 from repro.telemetry.session import current as _telemetry
 
+if TYPE_CHECKING:  # imported lazily at runtime: serve depends on covering
+    from repro.serve.cache import BlockCache
+
 
 #: Memo key: (DAG fingerprint, machine fingerprint, config, pin_value).
 _MemoKey = Tuple[str, str, HeuristicConfig, Optional[int]]
 
-#: Entries kept per memo before the oldest are evicted (insertion order).
+#: Entries kept per memo before the least recently used are evicted.
 _MEMO_CAPACITY = 256
 
 
@@ -84,6 +88,7 @@ def generate_block_solution(
     pin_value: Optional[int] = None,
     sn: Optional[SplitNodeDAG] = None,
     memo: Optional[Dict[_MemoKey, BlockSolution]] = None,
+    disk_cache: Optional["BlockCache"] = None,
 ) -> BlockSolution:
     """Produce the lowest-cost covering of one basic-block DAG.
 
@@ -96,7 +101,13 @@ def generate_block_solution(
         sn: a pre-built Split-Node DAG, if the caller already has one.
         memo: optional block-solution cache keyed by (DAG fingerprint,
             machine fingerprint, config, pin_value); repeated blocks
-            compile once and hits return a private deep copy.
+            compile once and hits return a private deep copy.  True LRU:
+            a hit refreshes the entry, eviction removes the least
+            recently used.
+        disk_cache: optional persistent cache
+            (:class:`repro.serve.cache.BlockCache`) probed after the
+            in-memory memo and filled on every fresh compile; hits skip
+            the covering search entirely and warm the memo.
 
     Raises:
         CoverageError: if no assignment can be covered (e.g. register
@@ -106,15 +117,17 @@ def generate_block_solution(
     tm = _telemetry()
     jr = tm.journal
     key: Optional[_MemoKey] = None
-    if memo is not None:
+    if memo is not None or disk_cache is not None:
         key = (
             dag.fingerprint(),
             machine_fingerprint(machine),
             config,
             pin_value,
         )
-        hit = memo.get(key)
+    if memo is not None:
+        hit = memo.pop(key, None)
         if hit is not None:
+            memo[key] = hit  # move to end: most recently used
             tm.count("cover.memo_hits", 1)
             if jr.enabled:
                 jr.emit(
@@ -132,6 +145,14 @@ def generate_block_solution(
                 machine=key[1][:12],
                 pin=pin_value,
             )
+    if disk_cache is not None:
+        cached = disk_cache.get(key, dag, machine)
+        if cached is not None:
+            if memo is not None:
+                if len(memo) >= _MEMO_CAPACITY:
+                    memo.pop(next(iter(memo)))
+                memo[key] = _clone_solution(cached)
+            return cached
     watch = Stopwatch()
     with watch, tm.span("covering.block", category="covering"):
         if sn is None:
@@ -228,10 +249,16 @@ def generate_block_solution(
     best.cpu_seconds = watch.elapsed
     if memo is not None and key is not None:
         if len(memo) >= _MEMO_CAPACITY:
+            # Least recently used first: hits reinsert at the end, so
+            # the dict's insertion order is the recency order.
             memo.pop(next(iter(memo)))
         # Store a pristine copy: the returned solution will be mutated
         # downstream (peephole), the cached one must stay untouched.
         memo[key] = _clone_solution(best)
+    if disk_cache is not None and key is not None:
+        # Serialized immediately, so downstream mutation of the
+        # returned solution cannot leak into the persisted entry.
+        disk_cache.put(key, best)
     return best
 
 
@@ -242,9 +269,15 @@ class CodeGenerator:
     fingerprint, same pin) compile once per generator — a win for
     unrolled loops and repeated basic blocks within a function.
 
-    With ``validate=True`` every produced solution (memo hits included)
-    is re-checked by the independent translation validator
-    (:mod:`repro.verify`) before being returned, and a
+    With ``cache_dir=`` the memo is backed by the **persistent**
+    content-addressed block cache (:mod:`repro.serve.cache`): solutions
+    survive the process and warm-start later compiles anywhere that
+    points at the same directory — the batch service, repeated CLI
+    runs, the fuzz harness, CI.
+
+    With ``validate=True`` every produced solution (memo and disk-cache
+    hits included) is re-checked by the independent translation
+    validator (:mod:`repro.verify`) before being returned, and a
     :class:`repro.errors.VerificationError` carrying the structured
     violation list is raised when any paper invariant is broken.
     """
@@ -254,11 +287,21 @@ class CodeGenerator:
         machine: Machine,
         config: Optional[HeuristicConfig] = None,
         validate: bool = False,
+        cache_dir: Optional[Union[str, "os.PathLike"]] = None,
+        cache: Optional["BlockCache"] = None,
     ):
         self.machine = machine
         self.config = config or HeuristicConfig.default()
         self.validate = validate
         self._memo: Dict[_MemoKey, BlockSolution] = {}
+        if cache is None and cache_dir is not None:
+            # Lazy import: repro.serve sits on top of the covering
+            # layer; engine must stay importable without it at load
+            # time.
+            from repro.serve.cache import BlockCache
+
+            cache = BlockCache(cache_dir)
+        self.cache = cache
 
     def compile_dag(
         self, dag: BlockDAG, pin_value: Optional[int] = None
@@ -270,6 +313,7 @@ class CodeGenerator:
             self.config,
             pin_value=pin_value,
             memo=self._memo,
+            disk_cache=self.cache,
         )
         if self.validate:
             self._validate(solution)

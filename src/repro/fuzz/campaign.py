@@ -177,6 +177,7 @@ def run_campaign(
     max_cycles: int = 200_000,
     config_override: Optional[Dict[str, Any]] = None,
     validate: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> CampaignStats:
     """Run one fuzz campaign and return its statistics.
 
@@ -201,6 +202,11 @@ def run_campaign(
             compiled block; violations are reported as the distinct
             ``validator`` failure class and shrunk toward the smallest
             case breaking the same invariant.
+        cache_dir: persistent block-cache directory
+            (:mod:`repro.serve.cache`); repeated campaigns over the
+            same seeds warm-start their compiles.  Shrinking always
+            runs cold so thousands of short-lived mutants do not churn
+            the cache.
     """
     stats = CampaignStats(seed=seed, iterations_requested=iterations)
     start = time.monotonic()
@@ -223,6 +229,7 @@ def run_campaign(
             max_steps=max_steps,
             max_cycles=max_cycles,
             validate=validate,
+            cache_dir=cache_dir,
         )
         stats.iterations_run += 1
         stats.outcomes[result.outcome] += 1

@@ -164,6 +164,7 @@ def run_case(
     max_steps: int = 20_000,
     max_cycles: int = 200_000,
     validate: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> CaseResult:
     """Run one case through the full differential pipeline.
 
@@ -172,6 +173,11 @@ def run_case(
     violation is reported as :data:`Outcome.VALIDATOR` — naming *which*
     paper invariant broke — even when the simulated final state would
     have matched the interpreter.
+
+    With ``cache_dir`` block solutions come from (and fill) the
+    persistent block cache (:mod:`repro.serve.cache`), so repeated
+    campaigns warm-start; the oracle still checks the full output, so a
+    cache that ever changed a schedule would be caught here.
     """
     # 1-2: front end + reference semantics.  Frontend errors on fuzzer
     # output are compiler bugs (the generator emits only valid minic).
@@ -190,7 +196,10 @@ def run_case(
     # 3: the AVIV pipeline.
     try:
         compiled = compile_function(
-            function, case.machine, case.heuristic_config()
+            function,
+            case.machine,
+            case.heuristic_config(),
+            cache_dir=cache_dir,
         )
     except CoverageError as error:
         return CaseResult(Outcome.COVERAGE, detail=str(error))

@@ -1,0 +1,236 @@
+"""``BENCH_serve.json`` — throughput and cache efficiency under load.
+
+The serve bench drives the batch service with a **zipfian job mix**: a
+small universe of (example program × machine × config) jobs sampled
+with popularity ∝ 1/rank^s, the canonical shape of real compile traffic
+(a few hot translation units dominate, a long tail trickles).  Each
+entry runs the same mix twice against one persistent block cache:
+
+- **cold** — the cache directory starts empty; first occurrences miss
+  and fill it, repeats already hit within the run;
+- **warm** — the identical mix replayed against the populated cache,
+  the steady state of a long-lived service or a CI re-run.
+
+Recorded per entry: wall clock and throughput of both passes, hit rates,
+the cold/warm speedup, and whether every job's assembly and schedule map
+were **bit-identical** across the two passes (the cache must never
+change output — the validator refuses reports where it did).
+
+Schema (``repro/bench-serve/v1``)::
+
+    {"schema": "repro/bench-serve/v1",
+     "entries": [{"mix": ..., "jobs": N, "unique_jobs": U, "workers": W,
+                  "cold_s": ..., "warm_s": ..., "speedup": ...,
+                  "cold_hit_rate": ..., "warm_hit_rate": ...,
+                  "cold_jobs_per_second": ..., "warm_jobs_per_second": ...,
+                  "identical": true, "cache": {...}}, ...]}
+
+Written by ``benchmarks/test_bench_serve.py`` (repo root + the bench
+results dir); CI's ``serve-smoke`` job regenerates and validates it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.service import CompileJob, run_batch
+
+SERVE_BENCH_SCHEMA = "repro/bench-serve/v1"
+
+#: (label, example file, machine spec, config overrides).  The
+#: level-window-off configs push the covering search — the part a cache
+#: hit skips — toward the profile the paper calls "the most time
+#: consuming portion", which is exactly the regime a warm cache pays
+#: off in.
+DEFAULT_UNIVERSE: Tuple[Tuple[str, str, str, Dict[str, Any]], ...] = (
+    ("fir4@fig6", "examples/fir4.minic", "fig6", {}),
+    ("fir4@arch1", "examples/fir4.minic", "arch1", {}),
+    ("fir4@mac", "examples/fir4.minic", "mac", {}),
+    ("dotprod@fig6", "examples/dotprod.minic", "fig6",
+     {"level_window": None, "num_assignments": 2}),
+    ("dotprod@arch1", "examples/dotprod.minic", "arch1", {}),
+    ("dotprod@dualbus", "examples/dotprod.minic", "dualbus", {}),
+    ("branchy@cf", "examples/branchy.minic", "cf", {}),
+    ("fir4@single", "examples/fir4.minic", "single", {}),
+)
+
+
+def zipfian_mix(
+    universe: Sequence[CompileJob],
+    draws: int,
+    seed: int = 0,
+    exponent: float = 1.2,
+) -> List[CompileJob]:
+    """``draws`` jobs sampled zipfian over ``universe`` (rank = position).
+
+    Every universe member appears at least once (a mix that never
+    touches the tail would overstate the hit rate), then the remaining
+    draws follow popularity ∝ 1/(rank+1)^exponent under a seeded RNG.
+    """
+    if not universe:
+        raise ValueError("job universe must not be empty")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(universe))]
+    mix = list(universe[: draws])
+    while len(mix) < draws:
+        mix.append(rng.choices(universe, weights=weights, k=1)[0])
+    rng.shuffle(mix)
+    return mix
+
+
+def build_universe(
+    repo_root: Optional[Path] = None,
+    universe: Sequence[Tuple[str, str, str, Dict[str, Any]]] = DEFAULT_UNIVERSE,
+) -> List[CompileJob]:
+    """Materialize the default job universe into self-contained jobs."""
+    from repro.cli import resolve_machine
+    from repro.isdl.writer import machine_to_isdl
+
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+    jobs: List[CompileJob] = []
+    for label, example, machine_spec, config in universe:
+        source = (root / example).read_text()
+        machine_isdl = machine_to_isdl(resolve_machine(machine_spec))
+        jobs.append(
+            CompileJob(
+                job_id=label,
+                source=source,
+                machine_isdl=machine_isdl,
+                config=dict(config),
+            )
+        )
+    return jobs
+
+
+def _outputs(report: Dict[str, Any]) -> List[Tuple[str, Any, Any]]:
+    """(job_id, assembly, schedules) per result, for identity checks."""
+    return [
+        (r["job_id"], r.get("assembly"), r.get("schedules"))
+        for r in report["results"]
+    ]
+
+
+def collect_serve_bench(
+    draws: int = 32,
+    seed: int = 0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    repo_root: Optional[Path] = None,
+    universe: Optional[Sequence[CompileJob]] = None,
+) -> List[Dict[str, Any]]:
+    """Run the cold/warm zipfian load experiment; the bench entries.
+
+    With ``cache_dir=None`` a throwaway directory is used.  ``workers=0``
+    measures the in-process path (stable timings, what the >=2x
+    acceptance bar applies to); pass ``workers>0`` to exercise the pool.
+    """
+    jobs = list(universe) if universe is not None else build_universe(repo_root)
+    mix = zipfian_mix(jobs, draws=draws, seed=seed)
+    scratch = None
+    if cache_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        cache_dir = scratch.name
+    try:
+        cold = run_batch(mix, cache_dir=cache_dir, workers=workers)
+        warm = run_batch(mix, cache_dir=cache_dir, workers=workers)
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    statuses = {r["status"] for r in cold["results"]}
+    if statuses - {"ok"}:
+        bad = [
+            f"{r['job_id']}: {r['status']} {r['error']}"
+            for r in cold["results"]
+            if r["status"] != "ok"
+        ]
+        raise RuntimeError(
+            "serve bench universe must compile cleanly; " + "; ".join(bad)
+        )
+    entry = {
+        "mix": f"zipf-e1.2-seed{seed}",
+        "jobs": len(mix),
+        "unique_jobs": len({job.job_id for job in mix}),
+        "workers": workers,
+        "cold_s": cold["totals"]["wall_s"],
+        "warm_s": warm["totals"]["wall_s"],
+        "speedup": cold["totals"]["wall_s"]
+        / max(warm["totals"]["wall_s"], 1e-9),
+        "cold_hit_rate": cold["totals"]["cache_hit_rate"],
+        "warm_hit_rate": warm["totals"]["cache_hit_rate"],
+        "cold_jobs_per_second": cold["totals"]["jobs_per_second"],
+        "warm_jobs_per_second": warm["totals"]["jobs_per_second"],
+        "identical": _outputs(cold) == _outputs(warm),
+        "cache": warm["totals"]["cache"],
+    }
+    return [entry]
+
+
+def make_serve_report(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap serve-bench entries in the versioned envelope."""
+    return {"schema": SERVE_BENCH_SCHEMA, "entries": list(entries)}
+
+
+def write_serve_report(path: str, entries: List[Dict[str, Any]]) -> None:
+    """Write a schema-valid ``BENCH_serve.json`` (validated first)."""
+    payload = make_serve_report(entries)
+    validate_serve_report(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_serve_report(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro/bench-serve/v1`` schema."""
+    if not isinstance(payload, dict):
+        raise ValueError("serve bench report must be a JSON object")
+    if payload.get("schema") != SERVE_BENCH_SCHEMA:
+        raise ValueError(
+            f"serve bench schema must be {SERVE_BENCH_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("serve bench report needs a non-empty 'entries' list")
+    for position, entry in enumerate(entries):
+        where = f"entry #{position}"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where} is not an object")
+        if not isinstance(entry.get("mix"), str) or not entry["mix"]:
+            raise ValueError(f"{where}: missing string 'mix'")
+        for key in ("jobs", "unique_jobs", "workers"):
+            if not isinstance(entry.get(key), int) or entry[key] < 0:
+                raise ValueError(f"{where}: {key!r} must be a non-negative int")
+        if entry["unique_jobs"] > entry["jobs"]:
+            raise ValueError(f"{where}: more unique jobs than jobs")
+        for key in (
+            "cold_s",
+            "warm_s",
+            "speedup",
+            "cold_jobs_per_second",
+            "warm_jobs_per_second",
+        ):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{where}: {key!r} must be a non-negative number"
+                )
+        for key in ("cold_hit_rate", "warm_hit_rate"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+                raise ValueError(f"{where}: {key!r} must be in [0, 1]")
+        if entry.get("identical") is not True:
+            raise ValueError(
+                f"{where}: cold and warm outputs differed — a cache hit "
+                f"must be bit-identical to a cold compile"
+            )
+        cache = entry.get("cache")
+        if not isinstance(cache, dict):
+            raise ValueError(f"{where}: missing 'cache' counters")
+        for name, value in cache.items():
+            if not isinstance(name, str) or not isinstance(value, int):
+                raise ValueError(f"{where}: cache counter {name!r} not an int")

@@ -1,0 +1,333 @@
+"""The batch compile service: many (source, machine, config) jobs.
+
+``run_batch`` fans compile jobs across a ``ProcessPoolExecutor``
+(blocks and jobs are independent) with every worker sharing one
+persistent block cache (:mod:`repro.serve.cache`), and returns a
+structured ``repro/serve/v1`` report: one result object per job — the
+assembly listing, the per-block schedule map, headline metrics in the
+same shape as the ``BENCH_codegen.json`` entries, cache telemetry, and
+a status that distinguishes *structured* failures (a machine that
+cannot cover the program) from crashes.
+
+Jobs cross the process boundary as plain dicts (source text + ISDL
+text), so a worker never depends on the parent's object graph; the same
+``execute_job`` function also backs the in-process path (``workers=0``)
+that tests and the ``repro serve`` line-oriented mode use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Versioned envelope of a batch report.
+SERVE_SCHEMA = "repro/serve/v1"
+
+#: Job statuses that are *results*, not crashes.
+STRUCTURED_FAILURES = ("coverage_error", "verification_error")
+
+
+@dataclass
+class CompileJob:
+    """One compile request.
+
+    ``source`` is minic text and ``machine_isdl`` an ISDL-lite machine
+    description — both self-contained strings, so a job can be shipped
+    to a worker process, spooled to disk, or replayed later.
+    """
+
+    job_id: str
+    source: str
+    machine_isdl: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    validate: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "source": self.source,
+            "machine": self.machine_isdl,
+            "config": dict(self.config),
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CompileJob":
+        return cls(
+            job_id=str(data["job_id"]),
+            source=data["source"],
+            machine_isdl=data["machine"],
+            config=dict(data.get("config", {})),
+            validate=bool(data.get("validate", False)),
+        )
+
+
+#: Cache counters surfaced per job result.
+_CACHE_COUNTERS = ("hits", "misses", "stores", "evictions", "bad_entries")
+
+
+def execute_job(
+    payload: Dict[str, Any], cache_dir: Optional[str] = None
+) -> Dict[str, Any]:
+    """Compile one job dict and return its result dict.
+
+    Module-level and dict-in/dict-out so ``ProcessPoolExecutor`` can
+    pickle it; imports stay inside so pool workers pay them once.
+    """
+    from repro.asmgen.program import compile_function
+    from repro.covering.config import HeuristicConfig
+    from repro.errors import CoverageError, ReproError, VerificationError
+    from repro.frontend import compile_source
+    from repro.isdl.parser import parse_machine
+    from repro.telemetry import TelemetrySession, use_session
+
+    job = CompileJob.from_dict(payload)
+    result: Dict[str, Any] = {
+        "job_id": job.job_id,
+        "status": "ok",
+        "machine": None,
+        "error": None,
+        "metrics": {},
+        "assembly": None,
+        "schedules": {},
+        "cache": {},
+        "wall_s": 0.0,
+    }
+    session = TelemetrySession()
+    started = time.perf_counter()
+    try:
+        machine = parse_machine(job.machine_isdl)
+        result["machine"] = machine.name
+        config = HeuristicConfig.default().with_(**job.config)
+        with use_session(session):
+            function = compile_source(job.source)
+            compiled = compile_function(
+                function,
+                machine,
+                config,
+                validate=job.validate,
+                cache_dir=cache_dir,
+            )
+        result["metrics"] = {
+            "instructions": compiled.total_instructions,
+            "body_instructions": compiled.body_instructions,
+            "spills": compiled.total_spills,
+            "blocks": len(compiled.blocks),
+        }
+        result["assembly"] = compiled.program.listing()
+        result["schedules"] = {
+            name: [sorted(word) for word in block.solution.schedule]
+            for name, block in sorted(compiled.blocks.items())
+        }
+    except CoverageError as error:
+        result["status"] = "coverage_error"
+        result["error"] = str(error)
+    except VerificationError as error:
+        result["status"] = "verification_error"
+        result["error"] = str(error)
+    except ReproError as error:
+        result["status"] = "error"
+        result["error"] = str(error)
+    except Exception as error:  # noqa: BLE001 - reported, not swallowed
+        result["status"] = "error"
+        result["error"] = f"{type(error).__name__}: {error}"
+    result["wall_s"] = time.perf_counter() - started
+    result["cache"] = {
+        name: session.counter(f"serve.cache_{name}")
+        for name in _CACHE_COUNTERS
+    }
+    return result
+
+
+def run_batch(
+    jobs: Iterable[CompileJob],
+    cache_dir: Optional[str] = None,
+    workers: int = 0,
+    chunksize: int = 1,
+) -> Dict[str, Any]:
+    """Compile every job and return the ``repro/serve/v1`` report.
+
+    Args:
+        jobs: compile requests, in order; results keep that order.
+        cache_dir: persistent block-cache directory shared by every
+            worker (``None`` = no cross-job caching).
+        workers: process-pool width; ``0`` compiles in-process (serial,
+            deterministic — what the differential tests compare the
+            pool against).
+        chunksize: jobs per pool task (only with ``workers > 0``).
+    """
+    ordered = [job.to_dict() for job in jobs]
+    started = time.perf_counter()
+    if workers > 0:
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(
+                    partial(execute_job, cache_dir=cache_dir),
+                    ordered,
+                    chunksize=max(1, chunksize),
+                )
+            )
+    else:
+        results = [execute_job(payload, cache_dir) for payload in ordered]
+    wall = time.perf_counter() - started
+    return make_batch_report(results, wall_s=wall, workers=workers)
+
+
+def make_batch_report(
+    results: List[Dict[str, Any]],
+    wall_s: float = 0.0,
+    workers: int = 0,
+) -> Dict[str, Any]:
+    """Wrap per-job results in the versioned envelope with totals."""
+    cache = {name: 0 for name in _CACHE_COUNTERS}
+    for result in results:
+        for name in _CACHE_COUNTERS:
+            cache[name] += result.get("cache", {}).get(name, 0)
+    probes = cache["hits"] + cache["misses"]
+    ok = sum(1 for r in results if r["status"] == "ok")
+    structured = sum(
+        1 for r in results if r["status"] in STRUCTURED_FAILURES
+    )
+    return {
+        "schema": SERVE_SCHEMA,
+        "workers": workers,
+        "results": results,
+        "totals": {
+            "jobs": len(results),
+            "ok": ok,
+            "structured_failures": structured,
+            "errors": len(results) - ok - structured,
+            "wall_s": wall_s,
+            "jobs_per_second": (len(results) / wall_s) if wall_s > 0 else 0.0,
+            "cache": cache,
+            "cache_hit_rate": (cache["hits"] / probes) if probes else 0.0,
+        },
+    }
+
+
+def validate_batch_report(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a well-formed
+    ``repro/serve/v1`` batch report."""
+    if not isinstance(payload, dict):
+        raise ValueError("batch report must be a JSON object")
+    if payload.get("schema") != SERVE_SCHEMA:
+        raise ValueError(
+            f"batch report schema must be {SERVE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    results = payload.get("results")
+    if not isinstance(results, list):
+        raise ValueError("batch report needs a 'results' list")
+    for position, result in enumerate(results):
+        where = f"result #{position}"
+        if not isinstance(result, dict):
+            raise ValueError(f"{where} is not an object")
+        if not isinstance(result.get("job_id"), str):
+            raise ValueError(f"{where}: missing string 'job_id'")
+        status = result.get("status")
+        if status not in ("ok",) + STRUCTURED_FAILURES + ("error",):
+            raise ValueError(f"{where}: unknown status {status!r}")
+        if status == "ok":
+            if not isinstance(result.get("assembly"), str):
+                raise ValueError(f"{where}: ok result needs 'assembly'")
+            metrics = result.get("metrics")
+            if not isinstance(metrics, dict) or "instructions" not in metrics:
+                raise ValueError(f"{where}: ok result needs metrics")
+            if not isinstance(result.get("schedules"), dict):
+                raise ValueError(f"{where}: ok result needs 'schedules'")
+        elif not isinstance(result.get("error"), str):
+            raise ValueError(f"{where}: failed result needs 'error'")
+        cache = result.get("cache")
+        if not isinstance(cache, dict):
+            raise ValueError(f"{where}: missing 'cache' counters")
+        for name in _CACHE_COUNTERS:
+            if not isinstance(cache.get(name), int):
+                raise ValueError(f"{where}: cache counter {name!r} missing")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        raise ValueError("batch report needs a 'totals' object")
+    for name in ("jobs", "ok", "structured_failures", "errors"):
+        if not isinstance(totals.get(name), int):
+            raise ValueError(f"totals: {name!r} must be an int")
+    if totals["jobs"] != len(results):
+        raise ValueError("totals: 'jobs' disagrees with the result count")
+    for name in ("wall_s", "jobs_per_second", "cache_hit_rate"):
+        if not isinstance(totals.get(name), (int, float)):
+            raise ValueError(f"totals: {name!r} must be a number")
+
+
+def serve_stream(
+    requests: Iterable[str],
+    output,
+    cache_dir: Optional[str] = None,
+    validate: bool = False,
+) -> Dict[str, int]:
+    """The ``repro serve`` loop: JSON job lines in, JSON result lines out.
+
+    Each input line is one request object::
+
+        {"id": "job-1", "source": "y = a + b;", "machine": "arch1"}
+        {"id": "job-2", "source_path": "examples/fir4.minic",
+         "machine_isdl": "...", "config": {"num_assignments": 2}}
+
+    ``machine`` is a CLI machine spec (builtin key or ISDL path);
+    ``machine_isdl`` inlines the description.  Results are written to
+    ``output`` one JSON object per line, in request order, with the same
+    shape as :func:`execute_job` results.  Malformed requests produce a
+    ``status: "error"`` line instead of killing the service.  Returns a
+    small summary (requests served / ok / failed).
+    """
+    from repro.cli import resolve_machine
+    from repro.isdl.writer import machine_to_isdl
+
+    served = {"requests": 0, "ok": 0, "failed": 0}
+    for line in requests:
+        line = line.strip()
+        if not line:
+            continue
+        served["requests"] += 1
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            if "source" in request:
+                source = request["source"]
+            else:
+                with open(request["source_path"]) as handle:
+                    source = handle.read()
+            if "machine_isdl" in request:
+                machine_isdl = request["machine_isdl"]
+            else:
+                machine_isdl = machine_to_isdl(
+                    resolve_machine(request["machine"])
+                )
+            job = CompileJob(
+                job_id=str(request.get("id", served["requests"])),
+                source=source,
+                machine_isdl=machine_isdl,
+                config=dict(request.get("config", {})),
+                validate=bool(request.get("validate", validate)),
+            )
+            result = execute_job(job.to_dict(), cache_dir)
+        except Exception as error:  # noqa: BLE001 - the service must live
+            result = {
+                "job_id": None,
+                "status": "error",
+                "error": f"bad request: {error}",
+                "cache": {name: 0 for name in _CACHE_COUNTERS},
+            }
+        if result["status"] == "ok":
+            served["ok"] += 1
+        else:
+            served["failed"] += 1
+        output.write(json.dumps(result, sort_keys=True) + "\n")
+        try:
+            output.flush()
+        except (AttributeError, OSError):
+            pass
+    return served
