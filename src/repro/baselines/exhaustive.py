@@ -40,12 +40,17 @@ from repro.utils.timing import Stopwatch
 
 @dataclass
 class OptimalResult:
-    """Outcome of the exact search."""
+    """Outcome of the exact search.
+
+    ``nodes_expanded`` against ``node_budget`` distinguishes a search
+    that "timed out at 10" from one that timed out at 10M — gap reports
+    need that context to weigh an unproven bound."""
 
     cost: int
     proven: bool
     nodes_expanded: int
     assignments_searched: int
+    node_budget: int = 0
     cpu_seconds: float = 0.0
 
 
@@ -188,5 +193,6 @@ def optimal_block_cost(
         proven=not exhausted,
         nodes_expanded=nodes_expanded,
         assignments_searched=len(assignments),
+        node_budget=node_budget,
         cpu_seconds=watch.elapsed,
     )

@@ -9,9 +9,13 @@ Commands
     Print a machine summary and its ISDL-lite source, or a
     machine-readable JSON summary.
 ``compile FILE --machine NAME [--asm OUT] [--bin OUT] [--no-peephole]
-[--profile] [--trace-out FILE]``
+[--optimal] [--optimal-budget N] [--profile] [--trace-out FILE]``
     Compile a minic source file and print the assembly listing; write
-    text assembly and/or the binary image on request.  ``--profile``
+    text assembly and/or the binary image on request.  ``--optimal``
+    schedules every block with the constraint-solver backend
+    (:mod:`repro.optimal`): provably minimal block lengths, each
+    schedule certified by the independent validator, with a per-block
+    heuristic-vs-optimal summary on stderr.  ``--profile``
     prints a per-phase telemetry report (times + search counters);
     ``--trace-out`` writes a Chrome trace-event JSON file (load it at
     ``chrome://tracing`` or https://ui.perfetto.dev).
@@ -30,13 +34,25 @@ Commands
     Execute an object file on the simulator.
 ``tables [--table {1,2,both}] [--heuristics-off] [--no-optimal]``
     Regenerate the paper's Table I / Table II.
+``gap [--workload NAME ...] [--kernel {bitmask,reference,both}]
+[--budget N] [--json FILE]``
+    Measure the heuristic-vs-optimal gap over the paper workloads: the
+    constraint solver (:mod:`repro.optimal`) re-solves every block to
+    proven minimality and the table compares the heuristic engine's
+    block lengths against it, per clique kernel.  ``--json`` writes
+    the versioned `repro/bench-optimal/v1` report
+    (``BENCH_optimal.json``); exit 1 when any solve exhausted its
+    conflict budget (the gap is then only an upper bound).
 ``fuzz [--seed N] [--iterations N] [--time-budget S] [--artifacts DIR]
-[--clique-kernel {bitmask,reference}]``
+[--clique-kernel {bitmask,reference}] [--optimal-oracle]``
     Differential fuzzing: random (program, machine, config) triples
     compiled end to end, the simulator checked against the IR
     interpreter, failures minimized and written as reproducer files.
     ``--clique-kernel`` forces every case's covering kernel (the
-    bitmask-vs-reference equivalence guard).
+    bitmask-vs-reference equivalence guard); ``--optimal-oracle``
+    additionally solves every correct case's blocks to optimality and
+    reports heuristic gaps as the (non-failing) ``optimality``
+    outcome.
 ``fuzz --replay FILE``
     Re-run one reproducer JSON file and report the outcome.
 ``verify SOURCE --machine SPEC [...] [--machines-dir DIR]
@@ -210,6 +226,8 @@ def _cmd_compile(args) -> int:
             config,
             peephole=not args.no_peephole,
             cache_dir=args.cache_dir,
+            backend="optimal" if args.optimal else "heuristic",
+            conflict_budget=args.optimal_budget if args.optimal else None,
         )
         image = (
             encode_program(compiled.program, machine) if args.bin else None
@@ -222,6 +240,18 @@ def _cmd_compile(args) -> int:
         f"{compiled.total_spills} spills",
         file=sys.stderr,
     )
+    if args.optimal:
+        for name, block in compiled.blocks.items():
+            solve = block.optimal
+            if solve is None:
+                continue
+            status = "proven" if solve.proven else "budget-limited"
+            print(
+                f"; {name}: optimal {solve.cost} cycles ({status}) "
+                f"vs heuristic {solve.heuristic_cost} — "
+                f"gap {solve.gap}",
+                file=sys.stderr,
+            )
     if args.asm:
         with open(args.asm, "w") as handle:
             handle.write(program_to_text(compiled.program))
@@ -389,6 +419,45 @@ def _cmd_tables(args) -> int:
     return 0
 
 
+def _cmd_gap(args) -> int:
+    from repro.optimal import (
+        GAP_WORKLOADS,
+        collect_optimal_bench,
+        format_gap_table,
+        write_optimal_report,
+    )
+
+    table = list(GAP_WORKLOADS)
+    if args.workload:
+        wanted = set(args.workload)
+        known = {name for name, _, _ in table}
+        missing = wanted - known
+        if missing:
+            raise ReproError(
+                f"unknown workload(s) {sorted(missing)}; "
+                f"choose from {sorted(known)}"
+            )
+        table = [row for row in table if row[0] in wanted]
+    kernels = (
+        ("bitmask", "reference")
+        if args.kernel == "both"
+        else (args.kernel,)
+    )
+    entries = collect_optimal_bench(
+        workloads=table,
+        kernels=kernels,
+        conflict_budget=args.budget,
+    )
+    print(format_gap_table(entries))
+    if args.json:
+        write_optimal_report(args.json, entries)
+        print(f"; wrote {args.json}", file=sys.stderr)
+    exhausted = sum(
+        1 for entry in entries if entry["solver"]["budget_exhausted"]
+    )
+    return 1 if exhausted else 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import replay_file, run_campaign
 
@@ -424,6 +493,8 @@ def _cmd_fuzz(args) -> int:
         progress=progress,
         config_override=config_override,
         cache_dir=args.cache_dir,
+        optimal_oracle=args.optimal_oracle,
+        optimal_budget=args.optimal_budget,
     )
     print(stats.summary())
     return 1 if stats.failure_count else 0
@@ -814,6 +885,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent block-solution cache directory (warm-starts "
         "repeated compiles across processes)",
     )
+    compile_parser.add_argument(
+        "--optimal",
+        action="store_true",
+        help="schedule every block with the constraint-solver backend "
+        "(provably minimal block lengths, certified schedules)",
+    )
+    compile_parser.add_argument(
+        "--optimal-budget",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="CDCL conflict budget per block solve (default 50000)",
+    )
     add_profile_arguments(compile_parser)
 
     run_parser = commands.add_parser("run", help="compile and simulate")
@@ -879,6 +963,37 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--no-optimal", action="store_true")
     tables.add_argument("--optimal-budget", type=int, default=20_000)
 
+    gap = commands.add_parser(
+        "gap",
+        help="measure the heuristic-vs-optimal gap over the paper "
+        "workloads with the constraint solver",
+    )
+    gap.add_argument(
+        "--workload",
+        action="append",
+        metavar="NAME",
+        help="restrict to this workload (repeatable; default: all)",
+    )
+    gap.add_argument(
+        "--kernel",
+        choices=("bitmask", "reference", "both"),
+        default="both",
+        help="clique kernel(s) for the heuristic seed compile "
+        "(default: both — also cross-checks kernel agreement)",
+    )
+    gap.add_argument(
+        "--budget",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="CDCL conflict budget per block solve (default 50000)",
+    )
+    gap.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the repro/bench-optimal/v1 report here",
+    )
+
     fuzz = commands.add_parser(
         "fuzz", help="differential fuzzing of the whole pipeline"
     )
@@ -936,6 +1051,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent block-solution cache: repeated campaigns over "
         "the same seeds warm-start their compiles",
+    )
+    fuzz.add_argument(
+        "--optimal-oracle",
+        action="store_true",
+        help="also solve every correct case's blocks to optimality and "
+        "report the heuristic gap (the 'optimality' outcome)",
+    )
+    fuzz.add_argument(
+        "--optimal-budget",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="CDCL conflict budget per optimal-oracle solve "
+        "(default 20000)",
     )
 
     batch = commands.add_parser(
@@ -1096,6 +1225,7 @@ _HANDLERS = {
     "disasm": _cmd_disasm,
     "simulate": _cmd_simulate,
     "tables": _cmd_tables,
+    "gap": _cmd_gap,
     "fuzz": _cmd_fuzz,
     "verify": _cmd_verify,
     "explain": _cmd_explain,

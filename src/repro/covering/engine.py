@@ -280,6 +280,15 @@ class CodeGenerator:
     validator (:mod:`repro.verify`) before being returned, and a
     :class:`repro.errors.VerificationError` carrying the structured
     violation list is raised when any paper invariant is broken.
+
+    With ``backend="optimal"`` each block is solved to proven minimal
+    length by the constraint-solver oracle (:mod:`repro.optimal`): the
+    heuristic result seeds the bound, the solver proves or improves it,
+    and every improving schedule is certified by the validator before
+    emission.  Optimal compiles bypass the memo and disk cache (cached
+    heuristic schedules must never shadow a proof) and leave the full
+    :class:`repro.optimal.OptimalSolveResult` of the most recent block
+    in ``last_optimal``.
     """
 
     def __init__(
@@ -289,10 +298,22 @@ class CodeGenerator:
         validate: bool = False,
         cache_dir: Optional[Union[str, "os.PathLike"]] = None,
         cache: Optional["BlockCache"] = None,
+        backend: str = "heuristic",
+        conflict_budget: Optional[int] = None,
     ):
+        if backend not in ("heuristic", "optimal"):
+            raise ValueError(
+                f"unknown backend {backend!r}: want 'heuristic' or "
+                f"'optimal'"
+            )
         self.machine = machine
         self.config = config or HeuristicConfig.default()
         self.validate = validate
+        self.backend = backend
+        self.conflict_budget = conflict_budget
+        #: The optimal backend's full result for the last compiled
+        #: block (``None`` under the heuristic backend).
+        self.last_optimal = None
         self._memo: Dict[_MemoKey, BlockSolution] = {}
         if cache is None and cache_dir is not None:
             # Lazy import: repro.serve sits on top of the covering
@@ -307,6 +328,8 @@ class CodeGenerator:
         self, dag: BlockDAG, pin_value: Optional[int] = None
     ) -> BlockSolution:
         """Cover one expression DAG; see :func:`generate_block_solution`."""
+        if self.backend == "optimal":
+            return self._compile_optimal(dag, pin_value)
         solution = generate_block_solution(
             dag,
             self.machine,
@@ -315,6 +338,33 @@ class CodeGenerator:
             memo=self._memo,
             disk_cache=self.cache,
         )
+        if self.validate:
+            self._validate(solution)
+        return solution
+
+    def _compile_optimal(
+        self, dag: BlockDAG, pin_value: Optional[int]
+    ) -> BlockSolution:
+        # Lazy import: repro.optimal drives the covering engine for its
+        # heuristic seed, so the engine must not require it at load
+        # time.
+        from repro.optimal import (
+            DEFAULT_CONFLICT_BUDGET,
+            optimal_block_solution,
+        )
+
+        budget = self.conflict_budget
+        if budget is None:
+            budget = DEFAULT_CONFLICT_BUDGET
+        result = optimal_block_solution(
+            dag,
+            self.machine,
+            pin_value=pin_value,
+            config=self.config,
+            conflict_budget=budget,
+        )
+        self.last_optimal = result
+        solution = result.best_solution()
         if self.validate:
             self._validate(solution)
         return solution

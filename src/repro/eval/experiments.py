@@ -46,6 +46,11 @@ class ExperimentRow:
     aviv_no_heuristics: Optional[int] = None
     cpu_seconds_no_heuristics: Optional[float] = None
     validated: bool = False
+    #: Branch-and-bound effort behind the ``by_hand`` column: nodes the
+    #: search actually expanded against its budget, so an unproven bound
+    #: ("timed out at 10" vs "timed out at 10M") carries its context.
+    by_hand_nodes: Optional[int] = None
+    by_hand_budget: Optional[int] = None
 
 
 #: The paper's Table I (Ex6/Ex7 are Ex4/Ex5 at 2 registers per file).
@@ -102,6 +107,8 @@ def run_experiment(
     solution = generate_block_solution(dag, machine, config, sn=sn)
     by_hand: Optional[int] = None
     proven = False
+    by_hand_nodes: Optional[int] = None
+    by_hand_budget: Optional[int] = None
     if with_optimal:
         optimal = optimal_block_cost(
             dag,
@@ -111,6 +118,8 @@ def run_experiment(
         )
         by_hand = optimal.cost
         proven = optimal.proven
+        by_hand_nodes = optimal.nodes_expanded
+        by_hand_budget = optimal.node_budget
     row = ExperimentRow(
         block=load.name,
         machine=machine.name,
@@ -122,6 +131,8 @@ def run_experiment(
         by_hand_proven=proven,
         aviv=solution.instruction_count,
         cpu_seconds=solution.cpu_seconds,
+        by_hand_nodes=by_hand_nodes,
+        by_hand_budget=by_hand_budget,
     )
     if with_heuristics_off:
         off = generate_block_solution(

@@ -82,6 +82,17 @@ def format_rows(rows: List[ExperimentRow], title: str = "") -> str:
         if index == 0:
             lines.append("  ".join("-" * w for w in widths))
     lines.append("(* = search budget exhausted; value is an upper bound)")
+    for row in rows:
+        if row.by_hand is None or row.by_hand_proven:
+            continue
+        nodes = row.by_hand_nodes
+        budget = row.by_hand_budget
+        if nodes is None or budget is None:
+            continue
+        lines.append(
+            f"  * {row.block}: stopped after {nodes} of "
+            f"{budget} search node(s)"
+        )
     return "\n".join(lines)
 
 

@@ -52,8 +52,34 @@ def resource_bound(solution: BlockSolution) -> int:
     return max(per_resource.values()) if per_resource else 0
 
 
-def quality_report(solution: BlockSolution) -> Dict[str, Any]:
-    """Quality metrics for one block's final schedule (JSON-safe)."""
+def optimality_record(optimal: Any) -> Dict[str, Any]:
+    """JSON-safe gap row from a
+    :class:`repro.optimal.OptimalSolveResult` — how far the heuristic
+    landed from the proven (or best-known) minimum, with the honesty
+    flags a reader needs to weigh the claim."""
+    return {
+        "cost": optimal.cost,
+        "heuristic_cost": optimal.heuristic_cost,
+        "gap": optimal.gap,
+        "proven": optimal.proven,
+        "spill_free": optimal.spill_free,
+        "budget_exhausted": optimal.budget_exhausted,
+        "sat_calls": optimal.sat_calls,
+        "conflicts": optimal.conflicts,
+    }
+
+
+def quality_report(
+    solution: BlockSolution, optimal: Any = None
+) -> Dict[str, Any]:
+    """Quality metrics for one block's final schedule (JSON-safe).
+
+    ``optimal`` is the block's
+    :class:`repro.optimal.OptimalSolveResult` when it was compiled
+    under the optimal backend; the report then carries the measured
+    optimality gap.  The ``"optimal"`` key is always present (``None``
+    under the heuristic backend) so report shapes stay comparable.
+    """
     graph = solution.graph
     machine = graph.machine
     cycles = len(solution.schedule)
@@ -101,6 +127,9 @@ def quality_report(solution: BlockSolution) -> Dict[str, Any]:
         "spills": solution.spill_count,
         "reloads": solution.reload_count,
         "register_estimate": dict(sorted(solution.register_estimate.items())),
+        "optimal": (
+            optimality_record(optimal) if optimal is not None else None
+        ),
     }
 
 

@@ -37,6 +37,7 @@ _QUALITY_KEYS = (
     "spills",
     "reloads",
     "register_estimate",
+    "optimal",
 )
 
 
@@ -74,7 +75,10 @@ def build_explain_report(
         }
         compiled_block = compiled_blocks.get(name)
         if compiled_block is not None:
-            record["quality"] = quality_report(compiled_block.solution)
+            record["quality"] = quality_report(
+                compiled_block.solution,
+                optimal=getattr(compiled_block, "optimal", None),
+            )
             record["timeline"] = timeline(compiled_block.solution)
         blocks.append(record)
     # Compiled blocks that never journaled a decision (e.g. an empty
@@ -86,7 +90,10 @@ def build_explain_report(
                 {
                     "name": name,
                     "decisions": [],
-                    "quality": quality_report(compiled_block.solution),
+                    "quality": quality_report(
+                        compiled_block.solution,
+                        optimal=getattr(compiled_block, "optimal", None),
+                    ),
                     "timeline": timeline(compiled_block.solution),
                 }
             )
@@ -321,6 +328,16 @@ def render_text(report: Dict[str, Any], full: bool = False) -> str:
                 "  utilization: "
                 + ", ".join(f"{name}={value}" for name, value in busiest)
             )
+            optimal = quality.get("optimal")
+            if optimal is not None:
+                status = (
+                    "proven" if optimal["proven"] else "budget-limited"
+                )
+                lines.append(
+                    f"  optimal: {optimal['cost']} cycles ({status}) vs "
+                    f"heuristic {optimal['heuristic_cost']} — gap "
+                    f"{optimal['gap']}"
+                )
         steps = [e for e in block["decisions"] if e["kind"] == "cover.step"]
         spills = [e for e in block["decisions"] if e["kind"] == "cover.spill"]
         lines.append(

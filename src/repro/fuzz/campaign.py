@@ -91,6 +91,12 @@ class CampaignStats:
     findings: List[Finding] = field(default_factory=list)
     roundtrip_failures: List[str] = field(default_factory=list)
     elapsed: float = 0.0
+    #: optimality-oracle aggregates (zero unless the oracle ran):
+    #: cases with a measured gap, total gap cycles, and cases whose
+    #: solves all completed within budget.
+    optimal_gap_cases: int = 0
+    optimal_gap_cycles: int = 0
+    optimal_proven_cases: int = 0
 
     @property
     def failure_count(self) -> int:
@@ -109,6 +115,12 @@ class CampaignStats:
             if count
         )
         lines.append(f"outcomes: {counts or 'none'}")
+        if self.optimal_gap_cases or self.outcomes.get(Outcome.OPTIMALITY):
+            lines.append(
+                f"optimality: {self.optimal_gap_cases} case(s) with a "
+                f"gap, {self.optimal_gap_cycles} cycle(s) total, "
+                f"{self.optimal_proven_cases} case(s) fully proven"
+            )
         for failure in self.roundtrip_failures:
             lines.append(f"ISDL ROUND-TRIP FAILURE: {failure}")
         for finding in self.findings:
@@ -178,6 +190,8 @@ def run_campaign(
     config_override: Optional[Dict[str, Any]] = None,
     validate: bool = True,
     cache_dir: Optional[str] = None,
+    optimal_oracle: bool = False,
+    optimal_budget: int = 20_000,
 ) -> CampaignStats:
     """Run one fuzz campaign and return its statistics.
 
@@ -207,6 +221,12 @@ def run_campaign(
             same seeds warm-start their compiles.  Shrinking always
             runs cold so thousands of short-lived mutants do not churn
             the cache.
+        optimal_oracle: additionally solve every correct case's blocks
+            with the constraint-solver backend (:mod:`repro.optimal`)
+            and record the heuristic-vs-optimal gap; gap cases are the
+            ``optimality`` outcome (reported, not a failure).
+        optimal_budget: CDCL conflict budget per block solve for the
+            optimal oracle.
     """
     stats = CampaignStats(seed=seed, iterations_requested=iterations)
     start = time.monotonic()
@@ -230,9 +250,17 @@ def run_campaign(
             max_cycles=max_cycles,
             validate=validate,
             cache_dir=cache_dir,
+            optimal_oracle=optimal_oracle,
+            optimal_budget=optimal_budget,
         )
         stats.iterations_run += 1
         stats.outcomes[result.outcome] += 1
+        if result.optimal_blocks:
+            if result.optimal_gap > 0:
+                stats.optimal_gap_cases += 1
+                stats.optimal_gap_cycles += result.optimal_gap
+            if result.optimal_proven:
+                stats.optimal_proven_cases += 1
         if result.outcome.is_failure:
             finding = Finding(case=case, result=result)
             if shrink:

@@ -63,6 +63,13 @@ class Outcome(enum.Enum):
     VALIDATOR = "validator"
     #: The emitted program computed different values — a miscompile.
     MISMATCH = "mismatch"
+    #: The run was correct, but the optimal oracle *proved* at least
+    #: one block's heuristic schedule longer than necessary.  A quality
+    #: finding with the gap recorded, not a correctness bug — the
+    #: heuristic is allowed to be suboptimal (the paper's own tables
+    #: show gaps); campaigns report it so the corpus-wide gap is
+    #: visible.
+    OPTIMALITY = "optimality"
 
     @property
     def is_failure(self) -> bool:
@@ -136,6 +143,13 @@ class CaseResult:
     #: validator violation kinds in report order (VALIDATOR outcomes);
     #: the first entry is the invariant the shrinker preserves.
     violations: List[str] = field(default_factory=list)
+    #: per-block gap records from the optimal oracle (when enabled):
+    #: ``{"block", "heuristic", "optimal", "gap", "proven"}``.
+    optimal_blocks: List[Dict[str, Any]] = field(default_factory=list)
+    #: total proven heuristic-vs-optimal gap across blocks, in cycles.
+    optimal_gap: int = 0
+    #: every block's solve completed without budget exhaustion.
+    optimal_proven: bool = False
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""
@@ -146,6 +160,13 @@ class CaseResult:
             lines.append(
                 f"  {name}: simulator {simulated}, interpreter {expected}"
             )
+        for record in self.optimal_blocks:
+            if record["gap"]:
+                proven = "proven" if record["proven"] else "budget-limited"
+                lines.append(
+                    f"  {record['block']}: heuristic {record['heuristic']} "
+                    f"vs optimal {record['optimal']} ({proven})"
+                )
         return "\n".join(lines)
 
 
@@ -165,6 +186,8 @@ def run_case(
     max_cycles: int = 200_000,
     validate: bool = True,
     cache_dir: Optional[str] = None,
+    optimal_oracle: bool = False,
+    optimal_budget: int = 20_000,
 ) -> CaseResult:
     """Run one case through the full differential pipeline.
 
@@ -178,6 +201,14 @@ def run_case(
     persistent block cache (:mod:`repro.serve.cache`), so repeated
     campaigns warm-start; the oracle still checks the full output, so a
     cache that ever changed a schedule would be caught here.
+
+    With ``optimal_oracle`` a third comparison runs on correct cases:
+    every block is re-solved by the constraint-solver backend
+    (:mod:`repro.optimal`, capped at ``optimal_budget`` conflicts) and
+    the heuristic's block length compared against the certified
+    optimum.  A case whose heuristic left provable cycles on the table
+    is classified :data:`Outcome.OPTIMALITY` with the per-block gaps
+    recorded — a measured quality finding, not a failure.
     """
     # 1-2: front end + reference semantics.  Frontend errors on fuzzer
     # output are compiler bugs (the generator emits only valid minic).
@@ -261,13 +292,75 @@ def run_case(
             cycles=result.cycles,
             reference=reference,
         )
+
+    # 6 (optional): the optimality oracle.  Correctness is settled by
+    # now; re-solve each block exactly and measure what the heuristic
+    # left on the table.
+    optimal_blocks: List[Dict[str, Any]] = []
+    optimal_gap = 0
+    optimal_proven = False
+    if optimal_oracle:
+        try:
+            optimal_blocks, optimal_proven = _optimal_gaps(
+                function, case, optimal_budget
+            )
+        except ReproError as error:
+            # The solver certifies every model against the independent
+            # validator; a failure here is a real backend bug.
+            return CaseResult(
+                Outcome.COMPILE_CRASH,
+                detail=_crash_detail(error),
+                instructions=compiled.total_instructions,
+                spills=compiled.total_spills,
+            )
+        optimal_gap = sum(record["gap"] for record in optimal_blocks)
+    outcome = Outcome.OPTIMALITY if optimal_gap > 0 else Outcome.OK
     return CaseResult(
-        Outcome.OK,
+        outcome,
+        detail=(
+            f"heuristic left {optimal_gap} cycle(s) on the table"
+            if optimal_gap
+            else ""
+        ),
         instructions=compiled.total_instructions,
         spills=compiled.total_spills,
         cycles=result.cycles,
         reference=reference,
+        optimal_blocks=optimal_blocks,
+        optimal_gap=optimal_gap,
+        optimal_proven=optimal_proven,
     )
+
+
+def _optimal_gaps(function, case: FuzzCase, budget: int):
+    """Per-block heuristic-vs-optimal gap records for one function."""
+    from repro.ir.cfg import Branch
+    from repro.optimal import optimal_block_solution
+
+    records: List[Dict[str, Any]] = []
+    proven = True
+    for block in function:
+        pin_value = None
+        if isinstance(block.terminator, Branch):
+            pin_value = block.terminator.condition
+        solve = optimal_block_solution(
+            block.dag,
+            case.machine,
+            pin_value=pin_value,
+            config=case.heuristic_config(),
+            conflict_budget=budget,
+        )
+        proven = proven and solve.proven
+        records.append(
+            {
+                "block": block.name,
+                "heuristic": solve.heuristic_cost,
+                "optimal": solve.cost,
+                "gap": solve.gap,
+                "proven": solve.proven,
+            }
+        )
+    return records, proven
 
 
 def break_first_transfer(compiled: CompiledFunction) -> None:

@@ -1,0 +1,111 @@
+"""Decoding SAT models into certified :class:`BlockSolution` objects.
+
+A model is only as trustworthy as the encoding that produced it, so the
+optimal backend never hands a schedule downstream on its own authority:
+every decoded model is replayed through two *independent* checkers —
+the :meth:`BlockSolution.validate` structural invariants and the full
+translation validator (:func:`repro.verify.verify_solution`), the same
+code paths that audit the heuristic engine.  A model that fails either
+is a bug in the encoder or solver and raises
+:class:`~repro.errors.VerificationError` rather than propagating a
+wrong "optimal" schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.covering.assignment import Assignment
+from repro.covering.solution import BlockSolution
+from repro.covering.taskgraph import TaskGraph
+from repro.errors import VerificationError
+
+
+def occupancy_profile(
+    graph: TaskGraph, cycle_of: Dict[int, int], length: int
+) -> Dict[str, List[int]]:
+    """Per-bank live-value counts per cycle (checker semantics)."""
+    machine = graph.machine
+    sizes = {rf.name: rf.size for rf in machine.register_files}
+    consumers: Dict[int, List[int]] = {}
+    for task_id in cycle_of:
+        for read in graph.tasks[task_id].reads:
+            if read.producer is not None:
+                consumers.setdefault(read.producer, []).append(task_id)
+    profile: Dict[str, List[int]] = {
+        bank: [0] * length for bank in sizes
+    }
+    for task_id, def_cycle in sorted(cycle_of.items()):
+        task = graph.tasks[task_id]
+        bank = task.dest_storage
+        if bank not in sizes:
+            continue
+        uses = [cycle_of[c] for c in consumers.get(task_id, [])]
+        if uses:
+            last_use = max(uses)
+        else:
+            last_use = def_cycle + graph.latency(task_id)
+        if task_id in graph.pinned:
+            last_use = max(last_use, length)
+        for cycle in range(def_cycle, min(last_use, length)):
+            profile[bank][cycle] += 1
+    return profile
+
+
+def solution_from_model(
+    graph: TaskGraph,
+    assignment: Assignment,
+    cycle_of: Dict[int, int],
+    length: int,
+    assignments_explored: int,
+) -> BlockSolution:
+    """Build and certify a :class:`BlockSolution` from a decoded model.
+
+    Raises:
+        VerificationError: the model does not stand up to the
+            independent validator — an encoder or solver bug, never a
+            schedule to be trusted.
+    """
+    schedule: List[List[int]] = [[] for _ in range(length)]
+    for task_id, cycle in sorted(cycle_of.items()):
+        schedule[cycle].append(task_id)
+    profile = occupancy_profile(graph, cycle_of, length)
+    register_estimate = {
+        bank: max(counts) if counts else 0
+        for bank, counts in sorted(profile.items())
+    }
+    solution = BlockSolution(
+        machine_name=graph.machine.name,
+        sn=graph.sn,
+        assignment=assignment,
+        graph=graph,
+        schedule=schedule,
+        register_estimate=register_estimate,
+        spill_count=0,
+        reload_count=0,
+        assignments_explored=assignments_explored,
+    )
+    certify_solution(solution)
+    return solution
+
+
+def certify_solution(solution: BlockSolution) -> None:
+    """Replay a solver schedule through both independent checkers."""
+    # Lazy import mirrors the engine: verify stays import-independent
+    # of the layers it audits.
+    from repro.verify import verify_solution
+
+    try:
+        solution.validate()
+    except AssertionError as error:
+        raise VerificationError(
+            f"solver schedule failed structural validation: {error}"
+        )
+    report = verify_solution(solution, block_name="optimal")
+    if not report.ok:
+        raise VerificationError(
+            "solver schedule failed translation validation "
+            f"({len(report.violations)} violation(s)):\n"
+            + "\n".join(v.describe() for v in report.violations),
+            violations=report.violations,
+        )

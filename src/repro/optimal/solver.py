@@ -1,0 +1,525 @@
+"""A dependency-free CDCL SAT core with a CP-style bounds propagator.
+
+The optimal backend needs two engines:
+
+- :class:`CDCLSolver` — a conflict-driven clause-learning SAT solver in
+  the MiniSat lineage: two-watched-literal unit propagation, first-UIP
+  conflict analysis with activity (VSIDS-style) variable ordering and
+  phase saving, Luby-sequence restarts, and **assumption-based
+  incremental solving** so the makespan can be tightened bound by bound
+  while learned clauses carry over.  Pure python, no third-party
+  packages, deterministic: identical inputs produce identical models.
+
+- :class:`BoundsPropagator` — a small constraint-programming layer that
+  computes earliest/latest issue windows over the precedence graph
+  (bounds consistency to fixpoint) plus admissible makespan lower
+  bounds from resource counts.  The encoder uses it to prune SAT
+  variables before any clause is built and to stop the UNSAT-tightening
+  loop early.
+
+Both are sized for basic-block scheduling problems: tens of tasks,
+horizons of a few dozen cycles, thousands of clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class SolverStats:
+    """Cumulative search counters for one :class:`CDCLSolver`."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    sat_calls: int = 0
+
+
+def luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence."""
+    while True:
+        k = 1
+        while (1 << k) - 1 < i:
+            k += 1
+        if (1 << k) - 1 == i:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class CDCLSolver:
+    """Conflict-driven clause-learning SAT over DIMACS-style literals.
+
+    Variables are positive integers handed out by :meth:`new_var`; a
+    literal is ``+v`` or ``-v``.  Clauses are added at decision level
+    zero (between :meth:`solve` calls).  :meth:`solve` accepts a list of
+    assumption literals and a conflict budget; it returns ``True``
+    (satisfiable — read :meth:`model_value`), ``False`` (unsatisfiable
+    under the assumptions), or ``None`` (budget exhausted).
+    """
+
+    def __init__(self) -> None:
+        self.stats = SolverStats()
+        self._num_vars = 0
+        #: var -> 0 unassigned, +1 true, -1 false.
+        self._assign: List[int] = [0]
+        self._level: List[int] = [0]
+        self._reason: List[Optional[List[int]]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]  # saved polarity, -1/+1 (0 = none)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        #: literal -> clauses in which that literal is watched.
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._order: List[Tuple[float, int]] = []  # lazy max-activity heap
+        self._var_inc = 1.0
+        self._unsat = False
+        self._model: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return self._clause_count
+
+    _clause_count = 0
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable (a positive literal)."""
+        self._num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(-1)  # default polarity: false (sparse schedules)
+        heappush(self._order, (0.0, self._num_vars))
+        return self._num_vars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns ``False`` if the formula became UNSAT.
+
+        Must be called at decision level zero.  Duplicate literals are
+        merged, tautologies dropped, and literals already false at level
+        zero removed.
+        """
+        assert not self._trail_lim, "add_clause only at decision level 0"
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self._level[abs(lit)] == 0:
+                return True  # already satisfied forever
+            if value == -1 and self._level[abs(lit)] == 0:
+                continue  # falsified forever: drop the literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+                return False
+            if self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        self._attach(clause)
+        self._clause_count += 1
+        return True
+
+    def _attach(self, clause: List[int]) -> None:
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit)]
+        if v == 0:
+            return 0
+        return v if lit > 0 else -v
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        value = self._value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or ``None``."""
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            false_lit = -p
+            watchers = self._watches.get(false_lit)
+            if not watchers:
+                continue
+            kept: List[List[int]] = []
+            conflict: Optional[List[int]] = None
+            for index, clause in enumerate(watchers):
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(clause)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause)
+                        break
+                else:
+                    kept.append(clause)
+                    if not self._enqueue(first, clause):
+                        conflict = clause
+                        kept.extend(watchers[index + 1:])
+                        break
+            self._watches[false_lit] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _new_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = abs(lit)
+            self._phase[var] = 1 if lit > 0 else -1
+            self._assign[var] = 0
+            self._reason[var] = None
+            heappush(self._order, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heappush(self._order, (-self._activity[var], var))
+
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        """First-UIP learned clause and the level to backjump to."""
+        learnt: List[int] = [0]  # slot 0: the asserting literal
+        seen = set()
+        counter = 0
+        p: Optional[int] = None
+        index = len(self._trail) - 1
+        current = self._decision_level()
+        reason: Optional[List[int]] = conflict
+        while True:
+            assert reason is not None
+            for q in reason:
+                if p is not None and abs(q) == abs(p):
+                    continue
+                var = abs(q)
+                if var in seen or self._level[var] == 0:
+                    continue
+                seen.add(var)
+                self._bump(var)
+                if self._level[var] == current:
+                    counter += 1
+                else:
+                    learnt.append(q)
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            p = self._trail[index]
+            index -= 1
+            seen.discard(abs(p))
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[abs(p)]
+        learnt[0] = -p
+        if len(learnt) == 1:
+            return learnt, 0
+        # Second watch: the highest-level literal among the rest.
+        best = max(range(1, len(learnt)), key=lambda i: self._level[abs(learnt[i])])
+        learnt[1], learnt[best] = learnt[best], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _pick_branch(self) -> Optional[int]:
+        while self._order:
+            _, var = heappop(self._order)
+            if self._assign[var] == 0:
+                return var if self._phase[var] > 0 else -var
+        for var in range(1, self._num_vars + 1):
+            if self._assign[var] == 0:
+                return var if self._phase[var] > 0 else -var
+        return None
+
+    def solve(
+        self,
+        assumptions: Iterable[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> Optional[bool]:
+        """Search under ``assumptions``.
+
+        Returns ``True`` / ``False`` / ``None`` (conflict budget hit).
+        Learned clauses persist across calls, which is what makes the
+        makespan-tightening loop incremental.
+        """
+        self.stats.sat_calls += 1
+        if self._unsat:
+            return False
+        assumed = list(assumptions)
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        conflicts_this_call = 0
+        restart_round = 1
+        restart_limit = 64 * luby(restart_round)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_this_call += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return False
+                if (
+                    conflict_budget is not None
+                    and conflicts_this_call > conflict_budget
+                ):
+                    self._backtrack(0)
+                    return None
+                learnt, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._unsat = True
+                        return False
+                else:
+                    self._attach(learnt)
+                    self._clause_count += 1
+                    self.stats.learned_clauses += 1
+                    if not self._enqueue(learnt[0], learnt):
+                        self._unsat = True
+                        return False
+                self._var_inc /= 0.95
+                if conflicts_this_call >= restart_limit:
+                    self.stats.restarts += 1
+                    restart_round += 1
+                    restart_limit = (
+                        conflicts_this_call + 64 * luby(restart_round)
+                    )
+                    self._backtrack(0)
+                continue
+            # Assumption placement: one pseudo-decision level each.
+            next_lit: Optional[int] = None
+            while self._decision_level() < len(assumed):
+                candidate = assumed[self._decision_level()]
+                value = self._value(candidate)
+                if value == 1:
+                    self._new_level()
+                elif value == -1:
+                    self._backtrack(0)
+                    return False
+                else:
+                    next_lit = candidate
+                    break
+            if next_lit is None:
+                next_lit = self._pick_branch()
+                if next_lit is None:
+                    self._model = list(self._assign)
+                    self._backtrack(0)
+                    return True
+                self.stats.decisions += 1
+            self._new_level()
+            self._enqueue(next_lit, None)
+
+    def model_value(self, lit: int) -> bool:
+        """Truth of ``lit`` in the most recent satisfying model."""
+        if not self._model:
+            raise RuntimeError("no model: last solve() did not return True")
+        v = self._model[abs(lit)]
+        return (v > 0) if lit > 0 else (v < 0)
+
+
+# ----------------------------------------------------------------------
+# CP-style propagation layer
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ArcTask:
+    span: int
+    resource: Optional[str]
+    est: int = 0
+    lst: int = 0
+
+
+class BoundsPropagator:
+    """Bounds-consistency windows over a precedence graph.
+
+    Tasks issue at integer cycles in ``[0, horizon)``; an *arc*
+    ``(before, after, delay)`` constrains ``issue(after) >=
+    issue(before) + delay``.  A task's *span* is how many trailing
+    cycles its issue reserves against the horizon (1 for ordinary
+    tasks; a pinned delivery with latency L reserves L).
+
+    :meth:`propagate` tightens every ``[est, lst]`` window to fixpoint
+    and reports infeasibility; :meth:`lower_bound` returns an
+    admissible makespan bound (critical path vs. busiest resource).
+    """
+
+    def __init__(self, horizon: int) -> None:
+        self.horizon = horizon
+        self._tasks: Dict[int, _ArcTask] = {}
+        self._arcs: List[Tuple[int, int, int]] = []
+        self.infeasible = False
+
+    def add_task(
+        self, task_id: int, resource: Optional[str] = None, span: int = 1
+    ) -> None:
+        self._tasks[task_id] = _ArcTask(
+            span=span,
+            resource=resource,
+            est=0,
+            lst=self.horizon - span,
+        )
+        if self.horizon - span < 0:
+            self.infeasible = True
+
+    def add_arc(self, before: int, after: int, delay: int) -> None:
+        self._arcs.append((before, after, delay))
+
+    def propagate(self) -> bool:
+        """Tighten windows to fixpoint; ``False`` when infeasible."""
+        if self.infeasible:
+            return False
+        changed = True
+        rounds = 0
+        while changed:
+            changed = False
+            rounds += 1
+            if rounds > len(self._tasks) + 2:
+                # Positive-delay cycles cannot happen in a DAG; guard
+                # against a malformed input looping forever.
+                self.infeasible = True
+                return False
+            for before, after, delay in self._arcs:
+                b, a = self._tasks[before], self._tasks[after]
+                if b.est + delay > a.est:
+                    a.est = b.est + delay
+                    changed = True
+                if a.lst - delay < b.lst:
+                    b.lst = a.lst - delay
+                    changed = True
+        for task in self._tasks.values():
+            if task.est > task.lst:
+                self.infeasible = True
+                return False
+        # Light Hall check per resource: n single-slot tasks cannot fit
+        # in a shared window narrower than n cycles.
+        by_resource: Dict[str, List[_ArcTask]] = {}
+        for task in self._tasks.values():
+            if task.resource is not None:
+                by_resource.setdefault(task.resource, []).append(task)
+        for tasks in by_resource.values():
+            lo = min(t.est for t in tasks)
+            hi = max(t.lst for t in tasks)
+            if hi - lo + 1 < len(tasks):
+                self.infeasible = True
+                return False
+        return True
+
+    def window(self, task_id: int) -> Tuple[int, int]:
+        """Inclusive ``(est, lst)`` issue window of a task."""
+        task = self._tasks[task_id]
+        return task.est, task.lst
+
+    def lower_bound(self) -> int:
+        """Admissible makespan lower bound (cycles)."""
+        if not self._tasks:
+            return 0
+        critical = max(t.est + t.span for t in self._tasks.values())
+        counts: Dict[str, int] = {}
+        for task in self._tasks.values():
+            if task.resource is not None:
+                counts[task.resource] = counts.get(task.resource, 0) + 1
+        busiest = max(counts.values()) if counts else 0
+        return max(critical, busiest)
+
+
+# ----------------------------------------------------------------------
+# Cardinality helpers (shared by the encoder)
+# ----------------------------------------------------------------------
+
+
+def add_at_most_one(solver: CDCLSolver, lits: List[int]) -> None:
+    """At most one of ``lits`` true (pairwise for tiny sets, else a
+    sequential counter)."""
+    if len(lits) <= 1:
+        return
+    if len(lits) <= 5:
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                solver.add_clause([-lits[i], -lits[j]])
+        return
+    add_at_most_k(solver, lits, 1)
+
+
+def add_at_most_k(solver: CDCLSolver, lits: List[int], k: int) -> None:
+    """Sinz sequential-counter encoding of ``sum(lits) <= k``."""
+    n = len(lits)
+    if k >= n:
+        return
+    if k <= 0:
+        for lit in lits:
+            solver.add_clause([-lit])
+        return
+    # s[i][j]: at least j+1 of the first i+1 literals are true.
+    s = [[solver.new_var() for _ in range(k)] for _ in range(n)]
+    solver.add_clause([-lits[0], s[0][0]])
+    for i in range(1, n):
+        solver.add_clause([-lits[i], s[i][0]])
+        solver.add_clause([-s[i - 1][0], s[i][0]])
+        for j in range(1, k):
+            solver.add_clause([-lits[i], -s[i - 1][j - 1], s[i][j]])
+            solver.add_clause([-s[i - 1][j], s[i][j]])
+        solver.add_clause([-lits[i], -s[i - 1][k - 1]])

@@ -1,0 +1,249 @@
+"""Unit tests for the pure-python CDCL core and the CP bounds layer.
+
+The solver is the trust root of the optimal backend: an unsound SAT
+answer would silently turn "proven optimal" into a lie, so beyond the
+targeted edge cases the suite cross-checks the solver against brute
+force on a pile of random 3-SAT instances.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.optimal.solver import (
+    BoundsPropagator,
+    CDCLSolver,
+    add_at_most_k,
+    add_at_most_one,
+    luby,
+)
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_powers_of_two_minus_one_close_a_round(self):
+        # Position 2^k - 1 carries the new maximum 2^(k-1).
+        for k in range(1, 10):
+            assert luby(2**k - 1) == 2 ** (k - 1)
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference answer: does any assignment satisfy every clause?"""
+    for bits in itertools.product((False, True), repeat=num_vars):
+        def value(lit):
+            v = bits[abs(lit) - 1]
+            return v if lit > 0 else not v
+
+        if all(any(value(lit) for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+class TestCDCL:
+    def test_trivial_sat(self):
+        solver = CDCLSolver()
+        a, b = solver.new_var(), solver.new_var()
+        assert solver.add_clause([a, b])
+        assert solver.add_clause([-a])
+        assert solver.solve() is True
+        assert solver.model_value(b) is True
+        assert solver.model_value(a) is False
+
+    def test_trivial_unsat(self):
+        solver = CDCLSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        # add_clause returns False when the database is already
+        # root-level contradictory.
+        assert not solver.add_clause([-a])
+        assert solver.solve() is False
+
+    def test_empty_clause_is_unsat(self):
+        solver = CDCLSolver()
+        solver.new_var()
+        assert not solver.add_clause([])
+        assert solver.solve() is False
+
+    def test_no_clauses_is_sat(self):
+        solver = CDCLSolver()
+        solver.new_var()
+        assert solver.solve() is True
+
+    def test_assumptions_do_not_stick(self):
+        # The makespan loop relies on failed assumptions leaving the
+        # clause database satisfiable.
+        solver = CDCLSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a, b])
+        assert solver.solve(assumptions=[-b]) is False
+        assert solver.solve() is True
+        assert solver.model_value(b) is True
+        assert solver.solve(assumptions=[-b]) is False
+        assert solver.solve(assumptions=[b]) is True
+
+    def test_conflicting_assumptions(self):
+        solver = CDCLSolver()
+        a = solver.new_var()
+        solver.add_clause([a, -a])  # tautology; keeps the db non-empty
+        assert solver.solve(assumptions=[a, -a]) is False
+        assert solver.solve() is True
+
+    def test_pigeonhole_unsat(self):
+        # 4 pigeons into 3 holes: classically hard for resolution,
+        # classically easy to get wrong in a buggy 1UIP analysis.
+        pigeons, holes = 4, 3
+        solver = CDCLSolver()
+        var = {
+            (p, h): solver.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            solver.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[p1, h], -var[p2, h]])
+        assert solver.solve() is False
+        assert solver.stats.conflicts > 0
+
+    def test_random_3sat_matches_brute_force(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(150):
+            num_vars = rng.randint(3, 8)
+            num_clauses = rng.randint(2, 24)
+            clauses = [
+                [
+                    rng.choice((1, -1)) * v
+                    for v in rng.sample(range(1, num_vars + 1), 3)
+                ]
+                for _ in range(num_clauses)
+                if num_vars >= 3
+            ]
+            solver = CDCLSolver()
+            for _ in range(num_vars):
+                solver.new_var()
+            ok = True
+            for clause in clauses:
+                ok = solver.add_clause(clause) and ok
+            verdict = solver.solve() if ok else False
+            assert verdict == brute_force_sat(num_vars, clauses)
+            if verdict:
+                # The reported model must actually satisfy the formula.
+                for clause in clauses:
+                    assert any(solver.model_value(lit) for lit in clause)
+
+    def test_budget_exhaustion_returns_none(self):
+        pigeons, holes = 6, 5
+        solver = CDCLSolver()
+        var = {
+            (p, h): solver.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            solver.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[p1, h], -var[p2, h]])
+        assert solver.solve(conflict_budget=3) is None
+        # The instance is still decidable afterwards.
+        assert solver.solve() is False
+
+    def test_model_value_requires_model(self):
+        solver = CDCLSolver()
+        a = solver.new_var()
+        with pytest.raises(RuntimeError):
+            solver.model_value(a)
+
+
+class TestCardinality:
+    def _all_models(self, n, build):
+        """Count x-assignments extendable to a model."""
+        count = 0
+        for bits in itertools.product((False, True), repeat=n):
+            solver = CDCLSolver()
+            lits = [solver.new_var() for _ in range(n)]
+            build(solver, lits)
+            for lit, bit in zip(lits, bits):
+                solver.add_clause([lit if bit else -lit])
+            if solver.solve() is True:
+                count += 1
+        return count
+
+    def test_at_most_one(self):
+        n = 4
+        count = self._all_models(
+            n, lambda solver, lits: add_at_most_one(solver, lits)
+        )
+        assert count == 1 + n  # empty set or a singleton
+
+    def test_at_most_k(self):
+        n, k = 5, 2
+        count = self._all_models(
+            n, lambda solver, lits: add_at_most_k(solver, lits, k)
+        )
+        expected = sum(
+            1
+            for bits in itertools.product((0, 1), repeat=n)
+            if sum(bits) <= k
+        )
+        assert count == expected
+
+
+class TestBoundsPropagator:
+    def test_chain_windows(self):
+        cp = BoundsPropagator(horizon=5)
+        cp.add_task(1)
+        cp.add_task(2)
+        cp.add_task(3)
+        cp.add_arc(1, 2, 1)
+        cp.add_arc(2, 3, 2)
+        assert cp.propagate()
+        assert cp.window(1) == (0, 1)
+        assert cp.window(2) == (1, 2)
+        assert cp.window(3) == (3, 4)
+
+    def test_infeasible_chain(self):
+        cp = BoundsPropagator(horizon=2)
+        cp.add_task(1)
+        cp.add_task(2)
+        cp.add_arc(1, 2, 2)
+        assert not cp.propagate()
+
+    def test_span_reserves_trailing_cycles(self):
+        # A pinned 3-cycle delivery in a 3-cycle horizon must issue at 0.
+        cp = BoundsPropagator(horizon=3)
+        cp.add_task(1, span=3)
+        assert cp.propagate()
+        assert cp.window(1) == (0, 0)
+
+    def test_span_beyond_horizon_is_infeasible(self):
+        cp = BoundsPropagator(horizon=2)
+        cp.add_task(1, span=3)
+        assert not cp.propagate()
+
+    def test_lower_bound_resource_pressure(self):
+        # Four independent tasks on one resource need four cycles even
+        # though the critical path is one.
+        cp = BoundsPropagator(horizon=10)
+        for task_id in range(4):
+            cp.add_task(task_id, resource="U1")
+        assert cp.propagate()
+        assert cp.lower_bound() >= 4
+
+    def test_lower_bound_critical_path(self):
+        cp = BoundsPropagator(horizon=10)
+        cp.add_task(1, resource="U1")
+        cp.add_task(2, resource="U2")
+        cp.add_arc(1, 2, 3)
+        assert cp.propagate()
+        # Issue at 0, successor at 3, plus its own slot: 4 cycles.
+        assert cp.lower_bound() == 4
