@@ -1,0 +1,97 @@
+"""Split-Node DAG transfer materialisation — ``BENCH_sndag.json``.
+
+Builds and compiles the Table I/II workloads on Architecture I and II
+under both Split-Node DAG modes and writes
+``benchmarks/results/BENCH_sndag.json`` (schema ``repro/bench-sndag/v1``):
+per-workload build times for the eager and lazy constructions, the
+transfer-node populations (up-front expansion vs on-demand
+materialisation, avoided nodes, folded equivalent-cost paths), and the
+schedule-identity verdict.
+
+Gate: lazy and eager must produce bit-identical schedules everywhere,
+and the headline blowup case — Ex2 on Architecture I, whose eager
+expansion creates the paper-visible 43 transfer nodes — must show a
+real reduction.  CI regenerates and schema-validates the file on every
+push, so a lazy-path fidelity or coverage regression shows up in the
+artifact diff.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry import (
+    collect_sndag_bench,
+    make_sndag_report,
+    validate_sndag_report,
+    write_sndag_report,
+)
+
+from conftest import REPO_ROOT, full_mode, write_result
+
+
+def test_bench_sndag(benchmark, results_dir):
+    repeats = 5 if full_mode() else 3
+    entries = benchmark.pedantic(
+        lambda: collect_sndag_bench(repeats=repeats), rounds=1, iterations=1
+    )
+    path = results_dir / "BENCH_sndag.json"
+    write_sndag_report(str(path), entries)
+    write_sndag_report(str(REPO_ROOT / "BENCH_sndag.json"), entries)
+    payload = json.loads(path.read_text())
+    validate_sndag_report(payload)  # round-trips schema-valid
+
+    lines = [
+        "workload  machine    xfer eager  xfer lazy  avoided  folded"
+        "  build eager ms  build lazy ms  identical"
+    ]
+    for entry in entries:
+        lines.append(
+            f"{entry['workload']:8s}  {entry['machine']:9s}"
+            f"  {entry['eager_transfer_nodes']:10d}"
+            f"  {entry['lazy_transfer_nodes']:9d}"
+            f"  {entry['avoided_transfer_nodes']:7d}"
+            f"  {entry['paths_folded']:6d}"
+            f"  {1000 * entry['eager_build_s']:14.2f}"
+            f"  {1000 * entry['lazy_build_s']:13.2f}"
+            f"  {entry['identical']}"
+        )
+    write_result("sndag_materialization.txt", "\n".join(lines))
+
+    # Fidelity: bit-identical schedules on every workload x machine.
+    for entry in entries:
+        assert entry["identical"], (
+            f"{entry['workload']} on {entry['machine']}"
+        )
+
+    # The headline blowup case (ISSUE/ROADMAP): Ex2 on Architecture I
+    # eagerly expands 43 transfer nodes; lazy must materialise fewer.
+    ex2 = next(
+        e
+        for e in entries
+        if e["workload"] == "Ex2" and e["machine"].startswith("arch1")
+    )
+    assert ex2["eager_transfer_nodes"] == 43
+    assert ex2["lazy_transfer_nodes"] < ex2["eager_transfer_nodes"]
+    assert ex2["avoided_transfer_nodes"] > 0
+
+    # Lazy construction itself must never be slower than the eager
+    # expansion it skips by more than noise; assert the aggregate wins.
+    total_eager = sum(e["eager_build_s"] for e in entries)
+    total_lazy = sum(e["lazy_build_s"] for e in entries)
+    assert total_lazy <= total_eager * 1.25, (
+        f"lazy builds took {total_lazy:.4f}s vs eager {total_eager:.4f}s"
+    )
+
+
+def test_bench_sndag_report_shape(benchmark):
+    """A single-workload collection round-trips the schema."""
+    entries = benchmark.pedantic(
+        lambda: collect_sndag_bench(["Ex1"]), rounds=1, iterations=1
+    )
+    assert len(entries) == 2  # Ex1 on Architecture I and II
+    payload = make_sndag_report(entries)
+    validate_sndag_report(payload)
+    for entry in entries:
+        assert entry["eager_build_s"] > 0 and entry["lazy_build_s"] > 0
+        assert entry["identical"] is True

@@ -44,15 +44,17 @@ Commands
     (``BENCH_optimal.json``); exit 1 when any solve exhausted its
     conflict budget (the gap is then only an upper bound).
 ``fuzz [--seed N] [--iterations N] [--time-budget S] [--artifacts DIR]
-[--clique-kernel {bitmask,reference}] [--optimal-oracle]``
+[--clique-kernel {bitmask,reference}] [--sndag-mode {lazy,eager}]
+[--optimal-oracle]``
     Differential fuzzing: random (program, machine, config) triples
     compiled end to end, the simulator checked against the IR
     interpreter, failures minimized and written as reproducer files.
     ``--clique-kernel`` forces every case's covering kernel (the
-    bitmask-vs-reference equivalence guard); ``--optimal-oracle``
-    additionally solves every correct case's blocks to optimality and
-    reports heuristic gaps as the (non-failing) ``optimality``
-    outcome.
+    bitmask-vs-reference equivalence guard); ``--sndag-mode`` forces
+    the transfer-materialization mode (the lazy-vs-eager equivalence
+    guard); ``--optimal-oracle`` additionally solves every correct
+    case's blocks to optimality and reports heuristic gaps as the
+    (non-failing) ``optimality`` outcome.
 ``fuzz --replay FILE``
     Re-run one reproducer JSON file and report the outcome.
 ``verify SOURCE --machine SPEC [...] [--machines-dir DIR]
@@ -483,6 +485,9 @@ def _cmd_fuzz(args) -> int:
     config_override = None
     if args.clique_kernel:
         config_override = {"clique_kernel": args.clique_kernel}
+    if args.sndag_mode:
+        config_override = dict(config_override or {})
+        config_override["sndag_mode"] = args.sndag_mode
     stats = run_campaign(
         seed=args.seed,
         iterations=args.iterations,
@@ -1044,6 +1049,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("bitmask", "reference"),
         default=None,
         help="force every case's covering kernel (equivalence guard)",
+    )
+    fuzz.add_argument(
+        "--sndag-mode",
+        choices=("lazy", "eager"),
+        default=None,
+        help="force every case's transfer materialization mode "
+        "(lazy-vs-eager equivalence guard)",
     )
     fuzz.add_argument(
         "--cache-dir",

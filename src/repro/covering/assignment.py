@@ -89,20 +89,19 @@ class _CostModel:
         # from q through operand edges.
         closure = transitive_closure(self.dag.adjacency())
         self._descendants = closure
-        self._distance_cache: Dict[Tuple[str, str], int] = {}
 
     def independent(self, a: int, b: int) -> bool:
         """True when no dependence path connects the two original nodes."""
         return b not in self._descendants[a] and a not in self._descendants[b]
 
     def distance(self, source: str, destination: str) -> int:
-        """Cached bus-hop distance between two storages."""
-        key = (source, destination)
-        if key not in self._distance_cache:
-            self._distance_cache[key] = self.sn.transfer_db.distance(
-                source, destination
-            )
-        return self._distance_cache[key]
+        """Bus-hop distance between two storages.
+
+        Answered straight from the transfer database's BFS distance
+        table — the database caches per-source tables itself, so the
+        local memo this model used to keep is gone.
+        """
+        return self.sn.transfer_db.distance(source, destination)
 
     def incremental_cost(
         self, partial: _Partial, op_id: int, alternative: Alternative

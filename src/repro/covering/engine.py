@@ -156,7 +156,7 @@ def generate_block_solution(
     watch = Stopwatch()
     with watch, tm.span("covering.block", category="covering"):
         if sn is None:
-            sn = build_split_node_dag(dag, machine)
+            sn = build_split_node_dag(dag, machine, mode=config.sndag_mode)
         assignments = explore_assignments(sn, config)
         if not assignments:
             raise CoverageError(
@@ -227,6 +227,9 @@ def generate_block_solution(
                 )
                 best_index = index
         if best is not None:
+            if tm.enabled and sn.mode == "lazy":
+                xfer = sn.transfer_stats()
+                tm.count("sndag.transfer_nodes_avoided", xfer["avoided"])
             tm.count("covering.blocks", 1)
             tm.count("covering.spills", best.spill_count)
             tm.count("covering.reloads", best.reload_count)

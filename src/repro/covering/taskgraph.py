@@ -244,7 +244,9 @@ class TaskGraph:
         return self._build_chain(value_id, source, target)
 
     def _build_chain(self, value_id: int, source: str, target: str) -> ReadRef:
-        path = self._choose_path(source, target)
+        path = self._choose_path(
+            source, target, value_id=value_id, skip_delivered=True
+        )
         current = ReadRef(
             self._delivered.get((value_id, source)), source, value_id
         )
@@ -267,12 +269,42 @@ class TaskGraph:
             current = ReadRef(task_id, hop.destination, value_id)
         return current
 
-    def _choose_path(self, source: str, target: str) -> TransferPath:
-        """Least-congested minimal path (Section IV-B's heuristic)."""
+    def _choose_path(
+        self,
+        source: str,
+        target: str,
+        value_id: Optional[int] = None,
+        skip_delivered: bool = False,
+        always_last: bool = False,
+    ) -> TransferPath:
+        """Least-congested minimal path (Section IV-B's heuristic).
+
+        Congestion counts only the hops the caller would actually
+        materialise: with ``skip_delivered``, a hop whose destination
+        already holds the value (the ``_delivered`` cache) creates no
+        transfer task and so charges no bus load.  ``always_last``
+        exempts the final hop — store builders always emit it to carry
+        the store symbol, delivered or not.  Charging skipped hops used
+        to bias the choice away from paths that were actually cheaper.
+
+        When ``value_id`` is given, the demanded movement is also
+        reported to the Split-Node DAG so lazy mode can materialise its
+        canonical transfer chain (a no-op in eager mode).
+        """
         paths = self.sn.transfer_db.paths(source, target)
 
+        def materialises(hop, is_last: bool) -> bool:
+            if not skip_delivered or (always_last and is_last):
+                return True
+            return self._delivered.get((value_id, hop.destination)) is None
+
         def congestion(p: TransferPath) -> int:
-            return sum(self._bus_load[h.bus] for h in p)
+            last = len(p) - 1
+            return sum(
+                self._bus_load[h.bus]
+                for i, h in enumerate(p)
+                if materialises(h, i == last)
+            )
 
         chosen = min(paths, key=lambda p: (congestion(p), tuple(h.bus for h in p)))
         if len(paths) > 1:
@@ -296,6 +328,8 @@ class TaskGraph:
                         key=lambda a: (a["load"], a["buses"]),
                     ),
                 )
+        if value_id is not None:
+            self.sn.materialize_transfer(value_id, source, target)
         return chosen
 
     def _build_store(self, store_id: int) -> None:
@@ -323,7 +357,7 @@ class TaskGraph:
                         staging = rf
                         break
                 read = self._ensure_delivery(value_id, staging)
-                path = self._choose_path(staging, dm)
+                path = self._choose_path(staging, dm, value_id=value_id)
                 current = read
                 for hop in path[:-1]:
                     task_id = self._new_task(
@@ -368,7 +402,9 @@ class TaskGraph:
             return
         # Move the value to the storage adjacent to memory, then one
         # dedicated hop into memory carrying the store symbol.
-        path = self._choose_path(source, dm)
+        path = self._choose_path(
+            source, dm, value_id=value_id, skip_delivered=True, always_last=True
+        )
         prefix, last = path[:-1], path[-1]
         current = ReadRef(
             self._delivered.get((value_id, source)), source, value_id
@@ -548,7 +584,7 @@ class TaskGraph:
         # The spill itself: bank -> memory (first hop of a minimal path;
         # on multi-hop architectures the spill slot must be bus-adjacent
         # to the bank, so we spill via the full chain).
-        spill_path = self._choose_path(bank, dm)
+        spill_path = self._choose_path(bank, dm, value_id=value_id)
         current = ReadRef(delivery_id, bank, value_id)
         spill_ids: List[int] = []
         for hop in spill_path:
@@ -575,7 +611,7 @@ class TaskGraph:
         def reload_into(target: str) -> ReadRef:
             if target in reload_for_storage:
                 return reload_for_storage[target]
-            path = self._choose_path(dm, target)
+            path = self._choose_path(dm, target, value_id=value_id)
             ref = memory_read
             for hop in path:
                 task_id = self._new_task(

@@ -85,12 +85,25 @@ class TransferDatabase:
     the database records *every minimal-length* path; architectures with
     multiple buses therefore expose multiple path alternatives, which the
     covering engine chooses among heuristically (paper, Section IV-B).
+
+    Reachability and hop counts are answered by a per-source BFS distance
+    table (:meth:`has_path`, :meth:`distance`) without enumerating paths,
+    and unreachable pairs are cached as negative results — neither query
+    pays path materialisation or exception overhead on repeat.  The lazy
+    Split-Node DAG builder additionally asks for one *canonical
+    representative* per pair (:meth:`canonical_path`): all minimal paths
+    cost the same number of bus crossings, so equivalent-cost
+    alternatives fold into the lexicographically smallest route.
     """
 
     def __init__(self, machine: Machine, max_hops: int = 4):
         self._machine = machine
         self._max_hops = max_hops
         self._paths: Dict[Tuple[str, str], List[TransferPath]] = {}
+        #: source -> {reachable storage -> hops}; doubles as the negative
+        #: cache (absence within the bound = no path, no re-search).
+        self._distances: Dict[str, Dict[str, int]] = {}
+        self._canonical: Dict[Tuple[str, str], TransferPath] = {}
         self._neighbours: Dict[str, List[TransferHop]] = {}
         for storage in machine.storage_names():
             hops: List[TransferHop] = []
@@ -111,24 +124,83 @@ class TransferDatabase:
         if source == destination:
             return [()]
         key = (source, destination)
-        if key not in self._paths:
-            self._paths[key] = self._search(source, destination)
-        result = self._paths[key]
+        result = self._paths.get(key)
+        if result is None:
+            # Reachability first: an unreachable pair is settled by the
+            # (cached) distance table and never runs the path search —
+            # before, the empty search result was re-derived as a raise
+            # on every call.
+            if destination not in self._distance_table(source):
+                self._paths[key] = []
+                raise NoTransferPathError(source, destination)
+            result = self._search(source, destination)
+            self._paths[key] = result
         if not result:
             raise NoTransferPathError(source, destination)
         return list(result)
 
+    def _distance_table(self, source: str) -> Dict[str, int]:
+        """Hop counts from ``source`` to every storage reachable within
+        the bound — one plain BFS, no path materialisation."""
+        table = self._distances.get(source)
+        if table is None:
+            table = {source: 0}
+            frontier = [source]
+            for level in range(1, self._max_hops + 1):
+                next_frontier: List[str] = []
+                for at in frontier:
+                    for hop in self._neighbours[at]:
+                        if hop.destination not in table:
+                            table[hop.destination] = level
+                            next_frontier.append(hop.destination)
+                if not next_frontier:
+                    break
+                frontier = next_frontier
+            self._distances[source] = table
+        return table
+
     def has_path(self, source: str, destination: str) -> bool:
-        """True if any transfer path exists."""
-        try:
-            self.paths(source, destination)
+        """True if any transfer path exists (BFS table, no exceptions)."""
+        if source == destination:
             return True
-        except NoTransferPathError:
-            return False
+        return destination in self._distance_table(source)
 
     def distance(self, source: str, destination: str) -> int:
-        """Minimal number of bus crossings between the two storages."""
-        return len(self.paths(source, destination)[0])
+        """Minimal number of bus crossings between the two storages.
+
+        Answered from the BFS distance table; raises
+        :class:`NoTransferPathError` when unreachable within the bound.
+        """
+        if source == destination:
+            return 0
+        hops = self._distance_table(source).get(destination)
+        if hops is None:
+            raise NoTransferPathError(source, destination)
+        return hops
+
+    def canonical_path(self, source: str, destination: str) -> TransferPath:
+        """The canonical representative of all minimal paths for a pair.
+
+        Every minimal path between two storages crosses the same number
+        of buses, so the alternatives are equivalent in cost; the
+        representative is the lexicographically smallest by (storage
+        route, bus names).  The lazy Split-Node DAG materialises exactly
+        this path per demanded transfer instead of one node chain per
+        alternative.
+        """
+        key = (source, destination)
+        path = self._canonical.get(key)
+        if path is None:
+            path = min(
+                self.paths(source, destination),
+                key=lambda p: tuple((h.source, h.destination, h.bus) for h in p),
+            )
+            self._canonical[key] = path
+        return path
+
+    def path_count(self, source: str, destination: str) -> int:
+        """How many equivalent-cost minimal paths the pair offers."""
+        return len(self.paths(source, destination))
 
     def _search(self, source: str, destination: str) -> List[TransferPath]:
         # BFS level by level; collect every path that first reaches the

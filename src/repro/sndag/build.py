@@ -12,19 +12,45 @@ For the basic-block DAG and target machine, the builder creates:
   memory → consuming unit for leaves, producing unit → consuming unit
   for operation results, producing unit → memory for stores.  Paths from
   several split nodes reconverge: a transfer hop moving the same value
-  between the same storages over the same bus is created once.
+  between the same storages over the same bus is created once, and a
+  chain arriving at a shared hop from a different predecessor merges
+  into the hop's children.
 
 The resulting object carries everything the covering engine needs — the
 alternatives per operation, the transfer database, and the pattern
 matches — and reports the node counts in the paper's "Split-Node DAG
 #Nodes" column.
+
+Transfer materialisation modes
+------------------------------
+
+The paper's construction ("subsequently expanded to include
+multiple-step data transfers as well") is *eager*: every minimal path
+between every reachable (storage, storage) pair a value might cross is
+expanded into TRANSFER node chains up front.  Telemetry showed those
+nodes dominating the DAG (transfer ≈ 5 × split nodes on Ex2) while the
+covering engine itself answers all path questions straight from the
+:class:`~repro.isdl.databases.TransferDatabase`.
+
+``mode="lazy"`` therefore skips the up-front expansion: construction
+still verifies reachability for exactly the pairs the eager build would
+have enumerated (so unmappable machines fail identically), but TRANSFER
+nodes are only materialised on demand — :meth:`SplitNodeDAG.
+materialize_transfer` is called by the task-graph builder for each
+(value, source → destination) movement the chosen assignment actually
+needs, and all equivalent-cost minimal paths of a pair fold into the
+transfer database's canonical representative chain.  Alternative and
+store-split children then link directly to the operand/producer
+terminals.  Schedules are bit-identical between modes (the covering
+layers never read TRANSFER nodes); the eager mode remains available via
+``HeuristicConfig.sndag_mode`` as the differential oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.errors import UnmappableOperationError
+from repro.errors import NoTransferPathError, UnmappableOperationError
 from repro.ir.dag import BlockDAG
 from repro.ir.ops import Opcode, is_leaf, is_operation
 from repro.isdl.databases import OperationDatabase, TransferDatabase, TransferPath
@@ -34,13 +60,22 @@ from repro.sndag.patterns import PatternMatch, find_pattern_matches
 from repro.telemetry.session import current as _telemetry
 from repro.utils.ids import IdAllocator
 
+#: Transfer-materialisation modes of :func:`build_split_node_dag`.
+SNDAG_MODES = ("eager", "lazy")
+
 
 class SplitNodeDAG:
     """The Split-Node DAG of one basic block on one machine."""
 
-    def __init__(self, dag: BlockDAG, machine: Machine):
+    def __init__(self, dag: BlockDAG, machine: Machine, mode: str = "eager"):
+        if mode not in SNDAG_MODES:
+            raise ValueError(
+                f"unknown Split-Node DAG mode {mode!r}; expected one of "
+                f"{SNDAG_MODES}"
+            )
         self.dag = dag
         self.machine = machine
+        self.mode = mode
         self.op_db = OperationDatabase(machine)
         self.transfer_db = TransferDatabase(machine)
         self.pattern_matches: List[PatternMatch] = []
@@ -54,6 +89,14 @@ class SplitNodeDAG:
         self.alternatives_of: Dict[int, List[int]] = {}
         #: (moved original id, source, destination, bus) -> TRANSFER id
         self._transfer_index: Dict[Tuple[int, str, str, str], int] = {}
+        #: lazy mode: (moved original id, source, destination) demands
+        #: already answered, -> last hop's node id
+        self._demanded: Dict[Tuple[int, str, str], Optional[int]] = {}
+        #: lazy mode: equivalent-cost minimal paths folded into the
+        #: canonical representative across all demands so far.
+        self.transfer_paths_folded = 0
+        #: eager-equivalent transfer-node count (computed on demand).
+        self._eager_transfer_count: Optional[int] = None
 
     # -- construction helpers (used by build_split_node_dag) -------------
 
@@ -83,6 +126,12 @@ class SplitNodeDAG:
         ``terminal`` is the Split-Node-DAG node producing the moved value
         (a VALUE node or a SPLIT node); the first hop points at it.
         Returns the last hop's node id, or ``terminal`` for empty paths.
+
+        Paths reconverge: a hop moving the same value between the same
+        storages over the same bus is shared.  A chain arriving at a
+        shared hop with a *different* predecessor merges its predecessor
+        into the hop's children (the hop can be fed either way) instead
+        of silently dropping the new route.
         """
         below = terminal
         for hop in path:
@@ -98,8 +147,102 @@ class SplitNodeDAG:
                     children=(below,) if below is not None else (),
                 )
                 self._transfer_index[key] = node_id
+            else:
+                node = self.nodes[node_id]
+                if below is not None and below not in node.children:
+                    self._set_children(node_id, list(node.children) + [below])
             below = node_id
         return below
+
+    # -- lazy transfer materialisation ------------------------------------
+
+    def terminal_node(self, original_id: int) -> int:
+        """The Split-Node-DAG node a transfer chain of this value starts
+        from: the VALUE node for leaves, the SPLIT node for operations."""
+        node = self.dag.node(original_id)
+        if is_leaf(node.opcode):
+            return self.value_of[original_id]
+        return self.split_of[original_id]
+
+    def materialize_transfer(
+        self, value_id: int, source: str, destination: str
+    ) -> Optional[int]:
+        """Materialise the transfer chain one demanded movement needs.
+
+        Called by the task-graph builder for each (value, source →
+        destination) data movement the chosen assignment requires.  In
+        eager mode this is a no-op (every path already exists); in lazy
+        mode the pair's equivalent-cost minimal paths fold into the
+        transfer database's canonical representative, whose hop chain is
+        created once and shared across demands.  Returns the last hop's
+        node id (``None`` for a no-op or an empty path).
+        """
+        if self.mode != "lazy" or source == destination:
+            return None
+        key = (value_id, source, destination)
+        if key in self._demanded:
+            return self._demanded[key]
+        path = self.transfer_db.canonical_path(source, destination)
+        folded = self.transfer_db.path_count(source, destination) - 1
+        before = len(self.nodes)
+        last = self.transfer_chain(value_id, path, self.terminal_node(value_id))
+        created = len(self.nodes) - before
+        self._demanded[key] = last
+        self.transfer_paths_folded += folded
+        tm = _telemetry()
+        if tm.enabled:
+            tm.count("sndag.transfer_nodes", created)
+            tm.count("sndag.transfer_nodes_materialized", created)
+            if folded:
+                tm.count("sndag.transfer_paths_folded", folded)
+            jr = tm.journal
+            if jr.enabled:
+                jr.emit(
+                    "sndag.materialize",
+                    value=value_id,
+                    source=source,
+                    destination=destination,
+                    buses=[h.bus for h in path],
+                    created=created,
+                    folded=folded,
+                )
+        return last
+
+    def eager_transfer_node_count(self) -> int:
+        """Transfer nodes the eager construction would have built.
+
+        Mirrors the eager enumeration — every minimal path between every
+        possible (producing storage, consuming storage) pair, for
+        operand deliveries and stores alike — but only counts the
+        distinct (value, source, destination, bus) hop keys instead of
+        creating nodes.  In eager mode this equals the actual count; in
+        lazy mode it is the baseline the materialised count is measured
+        against (``avoided = eager - materialized``).
+        """
+        if self._eager_transfer_count is not None:
+            return self._eager_transfer_count
+        keys: Set[Tuple[int, str, str, str]] = set()
+
+        def count_paths(moved: int, source: str, destination: str) -> None:
+            if source == destination:
+                return
+            for path in self.transfer_db.paths(source, destination):
+                for hop in path:
+                    keys.add((moved, hop.source, hop.destination, hop.bus))
+
+        for op_id in self.alternatives_of:
+            for alt_id in self.alternatives_of[op_id]:
+                alternative = self.nodes[alt_id].alternative
+                destination = self.machine.unit(alternative.unit).register_file
+                for operand_id in _alternative_operands(self, op_id, alternative):
+                    for source in _possible_storages(self, operand_id):
+                        count_paths(operand_id, source, destination)
+        for store_id in self.dag.stores:
+            producer = self.dag.node(store_id).operands[0]
+            for source in _possible_storages(self, producer):
+                count_paths(producer, source, self.machine.data_memory)
+        self._eager_transfer_count = len(keys)
+        return self._eager_transfer_count
 
     # -- queries ----------------------------------------------------------
 
@@ -151,17 +294,44 @@ class SplitNodeDAG:
             "total": len(self.nodes),
         }
 
+    def transfer_stats(self) -> Dict[str, int]:
+        """Materialisation accounting for the transfer-node layer.
+
+        ``materialized`` counts TRANSFER nodes actually in the DAG,
+        ``eager`` what the eager construction would have built, and
+        ``avoided`` their difference (clamped at zero: spill/reload
+        demands can materialise movements the eager enumeration never
+        contained).
+        """
+        materialized = self.stats()["transfer_nodes"]
+        eager = self.eager_transfer_node_count()
+        return {
+            "materialized": materialized,
+            "eager": eager,
+            "avoided": max(0, eager - materialized),
+            "paths_folded": self.transfer_paths_folded,
+        }
+
     def __repr__(self) -> str:
         s = self.stats()
         return (
-            f"SplitNodeDAG(machine={self.machine.name!r}, total={s['total']}, "
+            f"SplitNodeDAG(machine={self.machine.name!r}, mode={self.mode!r}, "
+            f"total={s['total']}, "
             f"splits={s['split_nodes']}, alts={s['alternative_nodes']}, "
             f"xfers={s['transfer_nodes']})"
         )
 
 
-def build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
+def build_split_node_dag(
+    dag: BlockDAG, machine: Machine, mode: str = "eager"
+) -> SplitNodeDAG:
     """Convert a basic-block DAG into its Split-Node DAG on ``machine``.
+
+    ``mode`` selects transfer materialisation: ``"eager"`` (the paper's
+    construction — every multi-hop path expanded up front) or ``"lazy"``
+    (transfer chains created on demand per assignment; see the module
+    docstring).  Both modes accept and reject exactly the same (DAG,
+    machine) pairs and lead to bit-identical schedules.
 
     Raises :class:`UnmappableOperationError` if some operation cannot be
     executed by any functional unit (directly or inside a complex match).
@@ -169,7 +339,7 @@ def build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
     dag.validate()
     tm = _telemetry()
     with tm.span("sndag.build", category="sndag"):
-        sn = _build_split_node_dag(dag, machine)
+        sn = _build_split_node_dag(dag, machine, mode)
     if tm.enabled:
         stats = sn.stats()
         tm.count("sndag.value_nodes", stats["value_nodes"])
@@ -181,8 +351,10 @@ def build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
     return sn
 
 
-def _build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
-    sn = SplitNodeDAG(dag, machine)
+def _build_split_node_dag(
+    dag: BlockDAG, machine: Machine, mode: str
+) -> SplitNodeDAG:
+    sn = SplitNodeDAG(dag, machine, mode=mode)
     sn.pattern_matches = find_pattern_matches(dag, machine)
     matches_by_root: Dict[int, List[PatternMatch]] = {}
     for match in sn.pattern_matches:
@@ -257,7 +429,16 @@ def _build_split_node_dag(dag: BlockDAG, machine: Machine) -> SplitNodeDAG:
         sn.split_of[store_id] = split_id
         children: List[int] = []
         for source in _possible_storages(sn, producer):
-            terminal = _terminal_node(sn, producer)
+            terminal = sn.terminal_node(producer)
+            if sn.mode == "lazy":
+                # Same reachability contract as the eager expansion, no
+                # path chains: the store's value must be able to get
+                # back to data memory from every producing storage.
+                if not sn.transfer_db.has_path(source, machine.data_memory):
+                    raise NoTransferPathError(source, machine.data_memory)
+                if terminal not in children:
+                    children.append(terminal)
+                continue
             for path in sn.transfer_db.paths(source, machine.data_memory):
                 last = sn.transfer_chain(producer, path, terminal)
                 if last is not None and last not in children:
@@ -279,12 +460,20 @@ def _possible_storages(sn: SplitNodeDAG, original_id: int) -> List[str]:
     return storages
 
 
-def _terminal_node(sn: SplitNodeDAG, original_id: int) -> int:
-    """The Split-Node-DAG node a transfer chain of this value ends at."""
-    node = sn.dag.node(original_id)
-    if is_leaf(node.opcode):
-        return sn.value_of[original_id]
-    return sn.split_of[original_id]
+def _alternative_operands(
+    sn: SplitNodeDAG, op_id: int, alternative: Alternative
+) -> Tuple[int, ...]:
+    """External operand ids of an alternative (pattern-aware)."""
+    if not alternative.from_pattern:
+        return sn.dag.node(op_id).operands
+    for match in sn.pattern_matches:
+        if (
+            match.root == op_id
+            and match.unit == alternative.unit
+            and match.op.name == alternative.op_name
+        ):
+            return match.operands
+    return sn.dag.node(op_id).operands
 
 
 def _operand_links(
@@ -294,16 +483,25 @@ def _operand_links(
     the nodes delivering that operand into the unit's register file.
 
     For an operand producible in the consumer's own register file, the
-    link goes straight to the operand's split node (no transfer); for
-    every other possible source storage, transfer chains are created (and
-    shared) along each minimal path.
+    link goes straight to the operand's split node (no transfer).  In
+    eager mode, transfer chains are created (and shared) along each
+    minimal path from every other possible source storage; in lazy mode
+    the same reachability is verified (unmappable machines fail
+    identically) but the link goes straight to the operand's terminal —
+    chains appear later, on demand, per chosen assignment.
     """
     destination = sn.machine.unit(consumer_unit).register_file
     children: List[int] = []
     for operand_id in operand_ids:
-        terminal = _terminal_node(sn, operand_id)
+        terminal = sn.terminal_node(operand_id)
         for source in _possible_storages(sn, operand_id):
             if source == destination:
+                if terminal not in children:
+                    children.append(terminal)
+                continue
+            if sn.mode == "lazy":
+                if not sn.transfer_db.has_path(source, destination):
+                    raise NoTransferPathError(source, destination)
                 if terminal not in children:
                     children.append(terminal)
                 continue

@@ -39,15 +39,20 @@ from repro.telemetry.trace import chrome_trace, validate_trace
 from repro.telemetry.bench import (
     BENCH_SCHEMA,
     COVER_BENCH_SCHEMA,
+    SNDAG_BENCH_SCHEMA,
     bench_entry,
     collect_codegen_bench,
     collect_cover_bench,
+    collect_sndag_bench,
     make_bench_report,
     make_cover_report,
+    make_sndag_report,
     validate_bench_report,
     validate_cover_report,
+    validate_sndag_report,
     write_bench_report,
     write_cover_report,
+    write_sndag_report,
 )
 
 __all__ = [
@@ -68,13 +73,18 @@ __all__ = [
     "validate_trace",
     "BENCH_SCHEMA",
     "COVER_BENCH_SCHEMA",
+    "SNDAG_BENCH_SCHEMA",
     "bench_entry",
     "collect_codegen_bench",
     "collect_cover_bench",
+    "collect_sndag_bench",
     "make_bench_report",
     "make_cover_report",
+    "make_sndag_report",
     "validate_bench_report",
     "validate_cover_report",
+    "validate_sndag_report",
     "write_bench_report",
     "write_cover_report",
+    "write_sndag_report",
 ]

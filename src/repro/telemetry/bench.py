@@ -32,6 +32,16 @@ whether the two schedules were bit-identical.  Entries flagged
 acceptance bar applies to.  Written by
 ``benchmarks/test_bench_cover_hotpath.py``; CI regenerates and
 schema-validates it on every push.
+
+``BENCH_sndag.json`` (schema ``repro/bench-sndag/v1``) is the
+transfer-materialisation ledger: each entry builds and compiles one
+Table I/II workload under both Split-Node DAG modes
+(``sndag_mode="eager"`` vs ``"lazy"``), records build times, the
+transfer-node populations (eager up-front expansion vs lazily
+materialised on demand, plus avoided nodes and folded equivalent
+paths), and whether the two schedules were bit-identical.  Written by
+``benchmarks/test_bench_sndag.py``; CI regenerates and
+schema-validates it on every push.
 """
 
 from __future__ import annotations
@@ -411,4 +421,157 @@ def validate_cover_report(payload: Any) -> None:
         raise ValueError(
             "cover bench report needs at least one heavy (clique-bound) "
             "workload entry"
+        )
+
+
+# ----------------------------------------------------------------------
+# Split-Node DAG transfer-materialisation bench (BENCH_sndag.json)
+# ----------------------------------------------------------------------
+
+SNDAG_BENCH_SCHEMA = "repro/bench-sndag/v1"
+
+
+def collect_sndag_bench(
+    workload_names: Optional[List[str]] = None,
+    repeats: int = 1,
+) -> List[Dict[str, Any]]:
+    """Compare eager vs lazy Split-Node DAG construction per workload.
+
+    For every Table I/II workload on Architecture I and II, the builder
+    runs in both modes (best-of-``repeats`` wall clock each), the block
+    is then *compiled* under both modes and the schedules compared
+    task-for-task, and the transfer-node populations are recorded: what
+    eager expansion created up front vs what the lazy build materialised
+    on demand across the explored assignments.  Returns the ``entries``
+    payload of ``BENCH_sndag.json``.
+    """
+    from repro.covering.config import HeuristicConfig
+    from repro.covering.engine import generate_block_solution
+    from repro.eval.workloads import WORKLOADS
+    from repro.isdl.builtin_machines import architecture_two, example_architecture
+    from repro.sndag.build import build_split_node_dag
+
+    machines = (example_architecture(4), architecture_two(4))
+    entries: List[Dict[str, Any]] = []
+    for load in WORKLOADS:
+        if workload_names is not None and load.name not in workload_names:
+            continue
+        dag = load.build()
+        for machine in machines:
+            timings: Dict[str, float] = {}
+            for mode in ("eager", "lazy"):
+                best = None
+                for _ in range(max(1, repeats)):
+                    start = time.perf_counter()
+                    build_split_node_dag(dag, machine, mode=mode)
+                    elapsed = time.perf_counter() - start
+                    if best is None or elapsed < best:
+                        best = elapsed
+                timings[mode] = best
+            solutions = {}
+            schedules = {}
+            for mode in ("eager", "lazy"):
+                config = HeuristicConfig(sndag_mode=mode)
+                solution = generate_block_solution(dag, machine, config)
+                solutions[mode] = solution
+                schedules[mode] = [
+                    sorted(
+                        solution.graph.tasks[task].describe()
+                        for task in word
+                    )
+                    for word in solution.schedule
+                ]
+            lazy = solutions["lazy"].sn
+            stats = lazy.transfer_stats()
+            eager_total = solutions["eager"].sn.stats()["total"]
+            entries.append(
+                {
+                    "workload": load.name,
+                    "machine": machine.name,
+                    "eager_build_s": timings["eager"],
+                    "lazy_build_s": timings["lazy"],
+                    "build_speedup": timings["eager"]
+                    / max(timings["lazy"], 1e-9),
+                    "eager_transfer_nodes": stats["eager"],
+                    "lazy_transfer_nodes": stats["materialized"],
+                    "avoided_transfer_nodes": stats["avoided"],
+                    "paths_folded": stats["paths_folded"],
+                    "eager_total_nodes": eager_total,
+                    "lazy_total_nodes": lazy.stats()["total"],
+                    "identical": schedules["eager"] == schedules["lazy"],
+                    "metrics": {
+                        "instructions": solutions["lazy"].instruction_count,
+                        "spills": solutions["lazy"].spill_count,
+                        "reloads": solutions["lazy"].reload_count,
+                    },
+                }
+            )
+    return entries
+
+
+def make_sndag_report(entries: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap sndag-bench entries in the versioned envelope."""
+    return {"schema": SNDAG_BENCH_SCHEMA, "entries": list(entries)}
+
+
+def write_sndag_report(path: str, entries: List[Dict[str, Any]]) -> None:
+    """Write a schema-valid ``BENCH_sndag.json`` (validated first)."""
+    payload = make_sndag_report(entries)
+    validate_sndag_report(payload)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_sndag_report(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches the
+    ``repro/bench-sndag/v1`` schema."""
+    if not isinstance(payload, dict):
+        raise ValueError("sndag bench report must be a JSON object")
+    if payload.get("schema") != SNDAG_BENCH_SCHEMA:
+        raise ValueError(
+            f"sndag bench schema must be {SNDAG_BENCH_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("sndag bench report needs a non-empty 'entries' list")
+    for position, entry in enumerate(entries):
+        where = f"entry #{position}"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where} is not an object")
+        for key in ("workload", "machine"):
+            if not isinstance(entry.get(key), str) or not entry[key]:
+                raise ValueError(f"{where}: missing string {key!r}")
+        for key in ("eager_build_s", "lazy_build_s", "build_speedup"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{where}: {key!r} must be a non-negative number"
+                )
+        for key in (
+            "eager_transfer_nodes",
+            "lazy_transfer_nodes",
+            "avoided_transfer_nodes",
+            "paths_folded",
+            "eager_total_nodes",
+            "lazy_total_nodes",
+        ):
+            value = entry.get(key)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"{where}: {key!r} must be a non-negative int"
+                )
+        if entry.get("identical") is not True:
+            raise ValueError(
+                f"{where}: lazy and eager disagreed on the schedule for "
+                f"{entry['workload']!r} — lazy materialisation must be "
+                f"bit-identical to the eager construction"
+            )
+        if not isinstance(entry.get("metrics"), dict):
+            raise ValueError(f"{where}: missing 'metrics' object")
+    if not any(entry["avoided_transfer_nodes"] > 0 for entry in entries):
+        raise ValueError(
+            "sndag bench report shows no avoided transfer nodes anywhere "
+            "— lazy materialisation is not doing its job"
         )

@@ -136,6 +136,59 @@ class TestConstruction:
             assert task.bus == "B2"  # only B2 reaches RF3
 
 
+class TestCongestionOverMaterializedHops:
+    """Regression: `_choose_path` used to charge bus load for every hop
+    of a candidate path, including hops the `_delivered` cache skips —
+    biasing the choice away from routes that were actually cheaper."""
+
+    @pytest.fixture
+    def two_route_machine(self):
+        # Two minimal DM->R2 routes: via R1 (B1 then B2) and via R3
+        # (B3 then B4).  R1 is where operands land first, so the via-R1
+        # route's first hop is usually already delivered.
+        from repro.isdl import parse_machine
+
+        return parse_machine(
+            "machine m { memory DM size 8;"
+            " regfile R1 size 4; regfile R2 size 4; regfile R3 size 4;"
+            " unit U1 regfile R1 { op ADD; }"
+            " unit U2 regfile R2 { op SUB; }"
+            " unit U3 regfile R3 { op MUL; }"
+            " bus B1 connects DM, R1;"
+            " bus B2 connects R1, R2;"
+            " bus B3 connects DM, R3;"
+            " bus B4 connects R3, R2; }"
+        )
+
+    def test_delivered_prefix_reuses_loaded_route(self, two_route_machine):
+        # add = a + b runs on U1 (loads a and b into R1 over B1, load 2);
+        # sub = a - add runs on U2 and needs `a` in R2.  The via-R1
+        # route's DM->R1 hop is already delivered, so only its R1->R2
+        # hop (B2, load 0) materialises — it ties with the via-R3 route
+        # and wins the bus-name tie-break.  Charging the skipped B1 hop
+        # used to send the value the long way through R3.
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        add = dag.operation(Opcode.ADD, (a, b))
+        sub = dag.operation(Opcode.SUB, (a, add))
+        dag.store("x", sub)
+        graph = _graph_for(dag, two_route_machine)
+        a_to_r2 = [
+            t
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.XFER and t.value == a and t.dest_storage == "R2"
+        ]
+        assert len(a_to_r2) == 1
+        assert a_to_r2[0].bus == "B2"
+        assert a_to_r2[0].source_storage == "R1"
+        a_buses = {
+            t.bus
+            for t in graph.tasks.values()
+            if t.kind is TaskKind.XFER and t.value == a
+        }
+        assert "B3" not in a_buses and "B4" not in a_buses
+
+
 class TestSpilling:
     def _delivery_with_pending(self, graph):
         for task_id in graph.register_deliveries():

@@ -306,6 +306,7 @@ class TestKindsRegistry:
         import repro.covering.cover
         import repro.covering.engine
         import repro.covering.taskgraph
+        import repro.sndag.build
         import inspect
 
         emitted = set()
@@ -315,6 +316,7 @@ class TestKindsRegistry:
             repro.covering.cover,
             repro.covering.engine,
             repro.covering.taskgraph,
+            repro.sndag.build,
         ):
             source = inspect.getsource(module)
             for kind in DECISION_KINDS:
@@ -322,5 +324,5 @@ class TestKindsRegistry:
                     emitted.add(kind)
         assert emitted <= DECISION_KINDS
         # Everything except the two journal-capture bookends comes from
-        # the covering layer.
+        # the covering layer plus the lazy Split-Node DAG materializer.
         assert DECISION_KINDS - emitted == set()

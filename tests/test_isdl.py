@@ -321,6 +321,57 @@ class TestTransferDatabase:
         # 4 storages fully connected by one bus: 4*3 ordered pairs.
         assert len(hops) == 12
 
+    def test_distance_does_not_enumerate_paths(self, arch_dual):
+        # Hop counts come from the BFS distance table; the minimal-path
+        # enumeration must stay untouched (it used to be forced just to
+        # measure a length).
+        db = TransferDatabase(arch_dual)
+        assert db.distance("DM", "RF3") == 2
+        assert db.has_path("DM", "RF3")
+        assert db._paths == {}
+
+    def test_distance_consistent_with_minimal_paths(self, arch_dual):
+        db = TransferDatabase(arch_dual)
+        storages = arch_dual.storage_names()
+        for source in storages:
+            for destination in storages:
+                if db.has_path(source, destination):
+                    paths = db.paths(source, destination)
+                    assert db.distance(source, destination) == len(paths[0])
+
+    def test_unreachable_negative_result_is_cached(self):
+        machine = parse_machine(
+            "machine m { memory DM size 8; regfile R1 size 2;"
+            " regfile R2 size 2;"
+            " unit U1 regfile R1 { op ADD; } unit U2 regfile R2 { op SUB; }"
+            " bus B1 connects DM, R1; }"
+        )
+        db = TransferDatabase(machine)
+        for _ in range(2):  # second round must hit the caches
+            with pytest.raises(NoTransferPathError):
+                db.paths("DM", "R2")
+            with pytest.raises(NoTransferPathError):
+                db.distance("R1", "R2")
+            assert not db.has_path("R1", "R2")
+        # The cached negative entry stays an entry, not a re-search.
+        assert db._paths[("DM", "R2")] == []
+
+    def test_canonical_path_is_smallest_minimal_path(self, arch_dual):
+        db = TransferDatabase(arch_dual)
+        paths = db.paths("DM", "RF3")
+        assert db.path_count("DM", "RF3") == len(paths) == 2
+        canonical = db.canonical_path("DM", "RF3")
+        assert canonical in paths
+        assert canonical == min(
+            paths,
+            key=lambda p: tuple((h.source, h.destination, h.bus) for h in p),
+        )
+        # Stable across calls (cached).
+        assert db.canonical_path("DM", "RF3") is canonical
+
+    def test_canonical_path_same_storage(self, arch1):
+        assert TransferDatabase(arch1).canonical_path("RF1", "RF1") == ()
+
 
 class TestBuiltinMachines:
     def test_fig3_architecture_op_sets(self, arch1):

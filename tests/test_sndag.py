@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import UnmappableOperationError
 from repro.ir import BlockDAG, Opcode
+from repro.isdl import parse_machine
 from repro.sndag import (
     SNKind,
     build_split_node_dag,
@@ -89,6 +90,48 @@ class TestFig4Structure:
         assert sn.producer_storage(leaf, None) == "DM"
         op = fig2_dag.operation_nodes()[0]
         assert sn.producer_storage(op, "U2") == "RF2"
+
+
+class TestTransferChainReconvergence:
+    """Regression: a reconverging chain arriving at a shared TRANSFER
+    node with a *different* predecessor used to be silently dropped —
+    the ``_transfer_index`` hit reused the node without merging the new
+    ``below`` child."""
+
+    @pytest.fixture
+    def shared_final_hop_machine(self):
+        # Two parallel buses DM<->R1 and a single R1<->R2 link: the two
+        # minimal DM->R2 paths differ in their first hop but share the
+        # final R1->R2 hop over B3.
+        return parse_machine(
+            "machine m { memory DM size 8;"
+            " regfile R1 size 2; regfile R2 size 2;"
+            " unit U1 regfile R1 { op SUB; }"
+            " unit U2 regfile R2 { op ADD; }"
+            " bus B1 connects DM, R1;"
+            " bus B2 connects DM, R1;"
+            " bus B3 connects R1, R2; }"
+        )
+
+    def test_shared_final_hop_keeps_both_feeders(self, shared_final_hop_machine):
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        dag.store("x", dag.operation(Opcode.ADD, (a, b)))
+        sn = build_split_node_dag(dag, shared_final_hop_machine)
+        for leaf in (a, b):
+            final_hops = [
+                n
+                for n in sn.nodes.values()
+                if n.kind is SNKind.TRANSFER
+                and n.original_id == leaf
+                and n.destination == "R2"
+            ]
+            assert len(final_hops) == 1  # shared via _transfer_index
+            feeder_buses = {
+                sn.node(child).bus for child in final_hops[0].children
+            }
+            # Both first hops feed the shared node, not just the first.
+            assert feeder_buses == {"B1", "B2"}
 
 
 class TestMultiHopTransfers:

@@ -1,0 +1,209 @@
+"""Lazy transfer materialisation: unit tests and the differential suite.
+
+The Split-Node DAG's lazy mode must be *observationally identical* to
+the paper's eager construction everywhere the covering engine looks:
+same accepted/rejected (DAG, machine) pairs, bit-identical schedules on
+every example program x machine file x clique kernel, and on the frozen
+fuzz corpus.  The only permitted difference is the TRANSFER node
+population — created on demand instead of up front.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.asmgen.program import compile_function
+from repro.covering import HeuristicConfig, generate_block_solution
+from repro.errors import CoverageError, NoTransferPathError, ReproError
+from repro.frontend import compile_source
+from repro.fuzz import load_case
+from repro.ir import BlockDAG, Opcode
+from repro.isdl import parse_machine
+from repro.sndag import SNKind, build_split_node_dag
+
+from conftest import build_fig2_dag
+
+REPO = Path(__file__).parent.parent
+MACHINE_FILES = sorted((REPO / "machines").glob("*.isdl"))
+EXAMPLE_FILES = sorted((REPO / "examples").glob("*.minic"))
+CORPUS_FILES = sorted((Path(__file__).parent / "corpus").glob("gen-*.json"))
+
+KERNELS = ("bitmask", "reference")
+MODES = ("lazy", "eager")
+
+#: Small fixed exploration budget, matching the golden-schedule suite:
+#: the differential property must hold at any budget, so the cheap one
+#: keeps the full examples-x-machines matrix fast.
+SMALL = {"num_assignments": 2, "frontier_limit": 16}
+
+
+class TestLazyConstruction:
+    def test_lazy_build_creates_no_transfer_nodes(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1, mode="lazy")
+        assert sn.mode == "lazy"
+        assert sn.stats()["transfer_nodes"] == 0
+
+    def test_non_transfer_population_matches_eager(self, fig2_dag, arch1):
+        lazy = build_split_node_dag(fig2_dag, arch1, mode="lazy").stats()
+        eager = build_split_node_dag(fig2_dag, arch1, mode="eager").stats()
+        for key in ("value_nodes", "split_nodes", "alternative_nodes"):
+            assert lazy[key] == eager[key]
+
+    def test_unknown_mode_rejected(self, fig2_dag, arch1):
+        with pytest.raises(ValueError):
+            build_split_node_dag(fig2_dag, arch1, mode="sometimes")
+        with pytest.raises(ValueError):
+            HeuristicConfig(sndag_mode="sometimes")
+
+    def test_materialize_transfer_is_noop_in_eager_mode(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1, mode="eager")
+        before = len(sn.nodes)
+        leaf = fig2_dag.leaf_nodes()[0]
+        assert sn.materialize_transfer(leaf, "DM", "RF2") is None
+        assert len(sn.nodes) == before
+
+    def test_materialize_transfer_dedups_demands(self, fig2_dag, arch1):
+        sn = build_split_node_dag(fig2_dag, arch1, mode="lazy")
+        leaf = fig2_dag.leaf_nodes()[0]
+        first = sn.materialize_transfer(leaf, "DM", "RF2")
+        created = sn.stats()["transfer_nodes"]
+        assert created == 1  # single-bus machine: one-hop chain
+        assert sn.materialize_transfer(leaf, "DM", "RF2") == first
+        assert sn.stats()["transfer_nodes"] == created
+
+    def test_materialized_chains_reconverge_like_eager(self, fig2_dag, arch_dual):
+        # Two demands whose canonical chains share a prefix reuse the
+        # shared hops via the same _transfer_index as the eager build.
+        sn = build_split_node_dag(fig2_dag, arch_dual, mode="lazy")
+        leaf = fig2_dag.leaf_nodes()[0]
+        sn.materialize_transfer(leaf, "DM", "RF1")
+        one_hop = sn.stats()["transfer_nodes"]
+        sn.materialize_transfer(leaf, "DM", "RF3")
+        # DM->RF3 goes through an adjacent file; if the canonical route
+        # runs over the already-materialized DM->RF1 hop, it is shared.
+        chain = sn.transfer_db.canonical_path("DM", "RF3")
+        expected = one_hop + len(chain)
+        if chain[0].destination == "RF1":
+            expected -= 1
+        assert sn.stats()["transfer_nodes"] == expected
+
+    def test_eager_count_matches_eager_build(self):
+        # The lazy baseline estimator must agree exactly with what the
+        # eager construction really creates.
+        cases = [
+            (build_fig2_dag(), "arch1"),
+            (build_fig2_dag(), "dualbus"),
+            (build_fig2_dag(), "arch2"),
+        ]
+        for dag, name in cases:
+            machine = parse_machine(
+                (REPO / "machines" / f"{name}.isdl").read_text()
+            )
+            eager = build_split_node_dag(dag, machine, mode="eager")
+            lazy = build_split_node_dag(dag, machine, mode="lazy")
+            expected = eager.stats()["transfer_nodes"]
+            assert eager.eager_transfer_node_count() == expected
+            assert lazy.eager_transfer_node_count() == expected
+
+    def test_both_modes_reject_unreachable_machines(self):
+        machine = parse_machine(
+            "machine m { memory DM size 8; regfile R1 size 2;"
+            " regfile R2 size 2;"
+            " unit U1 regfile R1 { op ADD; } unit U2 regfile R2 { op SUB; }"
+            " bus B1 connects DM, R1; }"
+        )
+        dag = BlockDAG()
+        a, b = dag.var("a"), dag.var("b")
+        dag.store("x", dag.operation(Opcode.SUB, (a, b)))  # needs R2
+        for mode in MODES:
+            with pytest.raises(NoTransferPathError):
+                build_split_node_dag(dag, machine, mode=mode)
+
+    def test_lazy_solution_materializes_fewer_than_eager(self, fig2_dag, arch1):
+        solution = generate_block_solution(
+            fig2_dag, arch1, HeuristicConfig(sndag_mode="lazy")
+        )
+        stats = solution.sn.transfer_stats()
+        assert stats["materialized"] == solution.sn.stats()["transfer_nodes"]
+        assert stats["materialized"] < stats["eager"]
+        assert stats["avoided"] == stats["eager"] - stats["materialized"]
+
+    def test_equivalent_paths_fold_into_canonical(self):
+        # Two parallel DM<->R1 buses: eager builds a transfer node per
+        # bus, lazy folds them into one canonical chain and counts it.
+        machine = parse_machine(
+            "machine m { memory DM size 8; regfile R1 size 4;"
+            " unit U1 regfile R1 { op ADD; }"
+            " bus B1 connects DM, R1;"
+            " bus B2 connects DM, R1; }"
+        )
+        dag = BlockDAG()
+        dag.store("x", dag.operation(Opcode.ADD, (dag.var("a"), dag.var("b"))))
+        solution = generate_block_solution(
+            dag, machine, HeuristicConfig(sndag_mode="lazy")
+        )
+        assert solution.sn.transfer_paths_folded > 0
+        buses = {
+            n.bus
+            for n in solution.sn.nodes.values()
+            if n.kind is SNKind.TRANSFER
+        }
+        assert len(buses) <= 1  # canonical representative only
+
+
+def _canonical_compile(function, machine, config):
+    """Schedule every block and canonicalise, or a stable error tag."""
+    try:
+        compiled = compile_function(function, machine, config)
+    except ReproError as error:
+        return ("error", type(error).__name__)
+    return {
+        name: [
+            sorted(
+                block.solution.graph.tasks[task_id].describe()
+                for task_id in word
+            )
+            for word in block.solution.schedule
+        ]
+        for name, block in compiled.blocks.items()
+    }
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLE_FILES, ids=lambda p: p.stem
+)
+@pytest.mark.parametrize(
+    "machine_file", MACHINE_FILES, ids=lambda p: p.stem
+)
+def test_examples_bit_identical_across_modes(example, machine_file):
+    function = compile_source(example.read_text())
+    machine = parse_machine(machine_file.read_text())
+    for kernel in KERNELS:
+        outcomes = {}
+        for mode in MODES:
+            config = HeuristicConfig(
+                clique_kernel=kernel, sndag_mode=mode, **SMALL
+            )
+            outcomes[mode] = _canonical_compile(function, machine, config)
+        assert outcomes["lazy"] == outcomes["eager"], (
+            f"{example.stem} on {machine_file.stem} ({kernel}): "
+            f"lazy and eager disagree"
+        )
+
+
+@pytest.mark.parametrize("case_file", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_bit_identical_across_modes(case_file):
+    case = load_case(case_file)
+    function = compile_source(case.source)
+    machine = parse_machine(case.machine_isdl)
+    base = case.heuristic_config()
+    for kernel in KERNELS:
+        outcomes = {}
+        for mode in MODES:
+            config = base.with_(clique_kernel=kernel, sndag_mode=mode)
+            outcomes[mode] = _canonical_compile(function, machine, config)
+        assert outcomes["lazy"] == outcomes["eager"], (
+            f"{case_file.stem} ({kernel}): lazy and eager disagree"
+        )
