@@ -80,6 +80,18 @@ Commands
     (``{"id": ..., "source": "y = a + b;", "machine": "arch1"}``), one
     JSON result per stdout line, every compile backed by the
     persistent block cache.
+``explore [--seed N] [--population N] [--workers N] [--budget N]
+[--machines-dir DIR] [--corpus DIR] [--cache-dir DIR] [--json FILE]``
+    Architecture exploration service (:mod:`repro.explore`): generate a
+    seeded population of machine variants (parametric mutants of the
+    bundled machines plus fuzz-generator samples), evaluate each
+    against the workload suite across a process pool warm-started by
+    the persistent block cache, rank by code size / lower-bound gap /
+    datapath area, and write the deterministic Pareto frontier artifact
+    ``BENCH_explore.json`` (schema `repro/bench-explore/v1`).  With
+    ``--budget N`` the frontier's small gapped blocks are re-solved by
+    the optimal backend to label heuristic slack vs intrinsic gap.  For
+    a fixed seed the artifact is byte-identical for any worker count.
 ``explain SOURCE --machine SPEC [--kernel {bitmask,reference}] [--json]
 [--html FILE] [--full] [--diff SPEC] [--diff-kernel K]``
     Compile under a decision journal and report *why* the covering
@@ -823,6 +835,53 @@ def _cmd_batch(args) -> int:
     return 1 if totals["errors"] else 0
 
 
+def _cmd_explore(args) -> int:
+    import os
+
+    from repro.explore import (
+        corpus_workloads,
+        default_workloads,
+        explore_report_bytes,
+        format_explore_table,
+        load_base_machines,
+        run_explore,
+        validate_explore_report,
+        write_explore_report,
+    )
+
+    machines_dir = args.machines_dir
+    if machines_dir is not None and not os.path.isdir(machines_dir):
+        raise ReproError(f"--machines-dir {machines_dir!r}: no such directory")
+    bases = load_base_machines(machines_dir)
+    suite = default_workloads(".")
+    if args.corpus:
+        suite = suite + corpus_workloads(args.corpus)
+    payload, timing = run_explore(
+        seed=args.seed,
+        population=args.population,
+        workers=args.workers,
+        budget=args.budget,
+        workloads=suite,
+        bases=bases,
+        cache_dir=args.cache_dir,
+    )
+    # With --json -, stdout is the artifact; the table moves to stderr.
+    table_stream = sys.stderr if args.json == "-" else sys.stdout
+    print(format_explore_table(payload), file=table_stream)
+    if args.json == "-":
+        validate_explore_report(payload)
+        sys.stdout.buffer.write(explore_report_bytes(payload))
+    elif args.json:
+        write_explore_report(args.json, payload)
+        print(f"; wrote {args.json}", file=sys.stderr)
+    print(
+        f"; {timing['evaluations']} evaluation(s) in "
+        f"{timing['wall_s']:.1f}s with {timing['workers']} worker(s)",
+        file=sys.stderr,
+    )
+    return 0 if payload["totals"]["frontier"] else 1
+
+
 def _cmd_serve(args) -> int:
     from repro.serve.service import serve_stream
 
@@ -1186,6 +1245,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only failures and the final summary",
     )
 
+    explore = commands.add_parser(
+        "explore",
+        help="explore the machine space; emit the Pareto frontier "
+        "artifact BENCH_explore.json",
+    )
+    explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="population RNG seed (default: 0)",
+    )
+    explore.add_argument(
+        "--population",
+        type=int,
+        default=50,
+        metavar="N",
+        help="candidate machines to generate (default: 50)",
+    )
+    explore.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="process-pool size; 0 evaluates serially (default: 0)",
+    )
+    explore.add_argument(
+        "--budget",
+        type=int,
+        default=0,
+        metavar="N",
+        help="optimal-backend conflict budget for tightening frontier "
+        "gaps; 0 disables (default: 0)",
+    )
+    explore.add_argument(
+        "--machines-dir",
+        metavar="DIR",
+        default=None,
+        help="seed the population from every .isdl file in DIR "
+        "(default: the bundled machines)",
+    )
+    explore.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="add every reproducer JSON in DIR to the workload suite",
+    )
+    explore.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent block-solution cache directory",
+    )
+    explore.add_argument(
+        "--json",
+        metavar="FILE",
+        default="BENCH_explore.json",
+        help="artifact path, or - for stdout (default: "
+        "BENCH_explore.json)",
+    )
+
     explain = commands.add_parser(
         "explain",
         help="audit why the covering search chose each schedule",
@@ -1243,6 +1361,7 @@ _HANDLERS = {
     "explain": _cmd_explain,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "explore": _cmd_explore,
 }
 
 

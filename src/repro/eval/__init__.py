@@ -10,7 +10,13 @@ from repro.eval.experiments import (
     PAPER_TABLE2,
 )
 from repro.eval.reporting import format_rows, format_comparison
-from repro.eval.sweeps import SweepPoint, SweepResult, sweep, register_file_sweep
+from repro.eval.sweeps import (
+    RankEntry,
+    SweepPoint,
+    SweepResult,
+    sweep,
+    register_file_sweep,
+)
 from repro.eval.applications import Application, APPLICATIONS, application
 
 __all__ = [
@@ -26,6 +32,7 @@ __all__ = [
     "PAPER_TABLE2",
     "format_rows",
     "format_comparison",
+    "RankEntry",
     "SweepPoint",
     "SweepResult",
     "sweep",

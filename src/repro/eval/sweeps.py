@@ -11,7 +11,16 @@ candidates by.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import CoverageError
 from repro.ir.dag import BlockDAG
@@ -34,6 +43,25 @@ class SweepPoint:
     failed: Optional[str] = None
 
 
+class RankEntry(NamedTuple):
+    """One machine's place in a sweep ranking.
+
+    Tuple-shaped for backward compatibility (``entry[0]`` is the
+    machine, ``entry[1]`` the code size), with the failure count as an
+    explicit third field instead of a ``-1`` sentinel poisoning the
+    size column.
+    """
+
+    machine: str
+    instructions: int
+    failures: int
+
+    @property
+    def usable(self) -> bool:
+        """True when every workload compiled on this machine."""
+        return self.failures == 0
+
+
 @dataclass
 class SweepResult:
     """All points of a sweep plus ranking helpers."""
@@ -41,16 +69,24 @@ class SweepResult:
     points: List[SweepPoint] = field(default_factory=list)
 
     def total_instructions(self, machine: str) -> int:
-        """Summed code size over all workloads on ``machine`` (the
-        paper's ROM metric); failed compiles count as unusable."""
-        total = 0
-        for point in self.points:
-            if point.machine != machine:
-                continue
-            if point.failed:
-                return -1
-            total += point.instructions
-        return total
+        """Summed code size over the workloads that *compiled* on
+        ``machine`` (the paper's ROM metric).  Failed compiles are not
+        folded into this number — check :meth:`failure_count` (or the
+        :class:`RankEntry` ``failures`` field) to see how much of the
+        suite the total actually covers."""
+        return sum(
+            point.instructions
+            for point in self.points
+            if point.machine == machine and not point.failed
+        )
+
+    def failure_count(self, machine: str) -> int:
+        """How many workloads failed to compile on ``machine``."""
+        return sum(
+            1
+            for point in self.points
+            if point.machine == machine and point.failed
+        )
 
     def machines(self) -> List[str]:
         """Machine names in first-seen order."""
@@ -60,16 +96,42 @@ class SweepResult:
                 seen.append(point.machine)
         return seen
 
-    def ranking(self) -> List[Tuple[str, int]]:
-        """Machines by total code size, cheapest first; unusable last."""
-        totals = [
-            (name, self.total_instructions(name)) for name in self.machines()
+    def mean_utilization(self, machine: str) -> Dict[str, float]:
+        """Per-resource utilization averaged over the workloads that
+        compiled on ``machine`` (empty if none did)."""
+        totals: Dict[str, float] = {}
+        compiled = 0
+        for point in self.points:
+            if point.machine != machine or point.failed:
+                continue
+            compiled += 1
+            for resource, fraction in point.utilization.items():
+                totals[resource] = totals.get(resource, 0.0) + fraction
+        return {
+            resource: total / compiled
+            for resource, total in sorted(totals.items())
+        }
+
+    def ranking(self) -> List[RankEntry]:
+        """Machines by total code size, cheapest first.
+
+        Fully-usable machines (zero failures) lead, ordered by code
+        size; machines with failures follow, ordered by how much of the
+        suite they lost — their ``instructions`` field still reports
+        the size of what *did* compile, so a near-miss candidate is
+        visible rather than collapsed to a sentinel."""
+        entries = [
+            RankEntry(
+                machine=name,
+                instructions=self.total_instructions(name),
+                failures=self.failure_count(name),
+            )
+            for name in self.machines()
         ]
-        usable = sorted(
-            (t for t in totals if t[1] >= 0), key=lambda t: (t[1], t[0])
+        return sorted(
+            entries,
+            key=lambda e: (e.failures > 0, e.failures, e.instructions, e.machine),
         )
-        broken = [t for t in totals if t[1] < 0]
-        return usable + broken
 
     def table(self) -> str:
         """Workload x machine code-size table plus the ranking."""
@@ -95,9 +157,11 @@ class SweepResult:
             lines.append(f"{workload:8s}  " + "  ".join(row))
         lines.append("")
         lines.append("ranking (total instructions, cheapest first):")
-        for position, (name, total) in enumerate(self.ranking(), 1):
-            label = "unusable" if total < 0 else str(total)
-            lines.append(f"  {position}. {name}: {label}")
+        for position, entry in enumerate(self.ranking(), 1):
+            label = str(entry.instructions)
+            if entry.failures:
+                label += f" ({entry.failures} workload(s) failed)"
+            lines.append(f"  {position}. {entry.machine}: {label}")
         return "\n".join(lines)
 
 

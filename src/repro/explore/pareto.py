@@ -1,0 +1,66 @@
+"""Pareto-dominance over candidate cost vectors.
+
+The exploration service ranks machines on several axes at once
+(datapath area proxy, total code size, lower-bound gap); no single
+scalar orders them, so the artifact reports the **Pareto frontier**:
+every candidate not dominated by another.  Dominance is the standard
+weak-dominance relation — at least as good everywhere, strictly better
+somewhere; candidates with *identical* vectors do not dominate each
+other, so exact ties all stay on the frontier (a designer wants to see
+both machines, they are different datapaths at the same cost point).
+
+Vectors may be ``None`` (a candidate that failed to compile part of
+the suite has no comparable cost): such candidates never dominate and
+are never on the frontier, but remain in the report with their failure
+counts — Castañeda Lozano & Schulte's survey motivates ranking by
+lower-bound gap only where the evaluation actually closed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Vector = Tuple[float, ...]
+
+
+def dominates(first: Sequence[float], second: Sequence[float]) -> bool:
+    """True when ``first`` weakly dominates ``second`` (<= on every
+    axis, < on at least one).  Identical vectors dominate neither way."""
+    if len(first) != len(second):
+        raise ValueError(
+            f"cost vectors must share axes: {len(first)} vs {len(second)}"
+        )
+    strictly_better = False
+    for a, b in zip(first, second):
+        if a > b:
+            return False
+        if a < b:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(
+    vectors: Dict[str, Optional[Sequence[float]]],
+) -> List[str]:
+    """Names of the non-dominated candidates.
+
+    ``vectors`` maps candidate name to its cost vector (or ``None`` for
+    failed candidates, which are excluded).  The result is sorted by
+    cost vector then name, so it is deterministic regardless of dict
+    insertion order.
+    """
+    comparable = {
+        name: tuple(vector)
+        for name, vector in vectors.items()
+        if vector is not None
+    }
+    frontier = [
+        name
+        for name, vector in comparable.items()
+        if not any(
+            dominates(other, vector)
+            for other_name, other in comparable.items()
+            if other_name != name
+        )
+    ]
+    return sorted(frontier, key=lambda name: (comparable[name], name))

@@ -1,0 +1,446 @@
+"""The architecture-exploration service: ``run_explore``.
+
+Orchestrates the full loop the paper's introduction sketches —
+generate machine variants, compile a workload suite on each, rank, and
+report — as one deterministic, parallel pipeline:
+
+1. **Population** (:mod:`repro.explore.population`): a seeded stream of
+   base machines, parametric mutants, and machgen samples.
+2. **Evaluation** (:mod:`repro.explore.evaluate`): every candidate
+   compiles the whole suite, fanned across a ``ProcessPoolExecutor``
+   (``workers > 0``) with all workers sharing one persistent block
+   cache; ``workers = 0`` evaluates in-process.  ``pool.map`` keeps
+   candidate order, and compilation itself is deterministic, so the
+   result stream is identical for any worker count.
+3. **Optional tightening**: with ``budget > 0``, frontier candidates'
+   small gapped workloads are re-solved by the optimal backend
+   (:mod:`repro.optimal`) to label how much of each gap is heuristic
+   slack vs intrinsic; the frontier axes stay on the heuristic numbers.
+4. **Artifact**: the ``repro/bench-explore/v1`` payload — candidates,
+   per-workload records, and the Pareto frontier over
+   ``(area, instructions, gap)``.  The payload carries **no wall-clock
+   or worker-count data**, so a fixed seed reproduces it byte for byte
+   across machines and ``--workers`` settings; timing is returned
+   separately for the CLI to print.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.evaluate import (
+    default_workloads,
+    evaluate_candidate,
+    make_payloads,
+    tighten_candidate,
+)
+from repro.explore.pareto import dominates, pareto_frontier
+from repro.explore.population import ExploreCandidate, build_population
+from repro.telemetry import current as _telemetry
+
+#: Versioned envelope of the exploration artifact.
+EXPLORE_SCHEMA = "repro/bench-explore/v1"
+
+#: The frontier's cost axes, all minimised, in vector order.
+AXES: Tuple[str, ...] = ("area", "instructions", "gap")
+
+#: Blocks above this task count are not worth an exact re-solve under a
+#: smoke-sized conflict budget (the optimal backend's frontier).
+TIGHTEN_TASK_LIMIT = 24
+
+
+def candidate_vector(record: Dict[str, Any]) -> Optional[Tuple[float, ...]]:
+    """The candidate's frontier cost vector, or ``None`` when any
+    workload failed (no comparable total exists)."""
+    if record["failures"]:
+        return None
+    metrics = record["metrics"]
+    return (record["area"], metrics["instructions"], metrics["gap"])
+
+
+def _aggregate(candidate: ExploreCandidate, evaluation: Dict[str, Any]) -> Dict[str, Any]:
+    """Fold per-workload records into one candidate artifact record."""
+    instructions = spills = cycles = tasks = lower = gap = 0
+    failures = 0
+    for record in evaluation["workloads"]:
+        if record["status"] != "ok":
+            failures += 1
+            continue
+        metrics = record["metrics"]
+        instructions += metrics["instructions"]
+        spills += metrics["spills"]
+        cycles += metrics["cycles"]
+        tasks += metrics["tasks"]
+        lower += metrics["lower_bound"]
+        gap += metrics["gap"]
+    evaluated = len(evaluation["workloads"]) - failures
+    return {
+        "name": candidate.name,
+        "origin": candidate.origin,
+        "area": candidate.area,
+        "failures": failures,
+        "workloads_ok": evaluated,
+        "metrics": {
+            "instructions": instructions,
+            "spills": spills,
+            "cycles": cycles,
+            "tasks": tasks,
+            "lower_bound": lower,
+            "gap": gap,
+            "ipc": round(tasks / cycles, 4) if cycles else 0.0,
+        },
+        "workloads": evaluation["workloads"],
+        "optimal": None,
+        "frontier": False,
+    }
+
+
+def run_explore(
+    seed: int = 0,
+    population: int = 50,
+    workers: int = 0,
+    budget: int = 0,
+    workloads: Optional[Sequence[Tuple[str, str]]] = None,
+    bases: Optional[Sequence[Any]] = None,
+    cache_dir: Optional[str] = None,
+    machgen_share: float = 0.35,
+    config: Optional[Dict[str, Any]] = None,
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Run one exploration; returns ``(payload, timing)``.
+
+    ``payload`` is the deterministic ``repro/bench-explore/v1``
+    artifact; ``timing`` holds the wall-clock and worker-count facts
+    that must stay *out* of the artifact for it to be bit-reproducible
+    across worker counts.
+    """
+    tm = _telemetry()
+    started = time.perf_counter()
+    suite = list(workloads) if workloads is not None else default_workloads(".")
+    if not suite:
+        raise ValueError("exploration needs at least one workload")
+
+    with tm.span("explore.population", category="explore"):
+        candidates = build_population(
+            seed, population, bases=bases, machgen_share=machgen_share
+        )
+    payloads = make_payloads(candidates, suite, config=config)
+
+    with tm.span("explore.evaluate", category="explore"):
+        evaluations = _map_candidates(payloads, workers, cache_dir)
+    tm.count("explore.evaluations", len(evaluations))
+
+    records = [
+        _aggregate(candidate, evaluation)
+        for candidate, evaluation in zip(candidates, evaluations)
+    ]
+    failures = sum(r["failures"] for r in records)
+    tm.count(
+        "explore.workloads_ok", sum(r["workloads_ok"] for r in records)
+    )
+    tm.count("explore.workload_failures", failures)
+
+    vectors = {record["name"]: candidate_vector(record) for record in records}
+    frontier_names = pareto_frontier(vectors)
+    by_name = {record["name"]: record for record in records}
+    for name in frontier_names:
+        by_name[name]["frontier"] = True
+    tm.count("explore.frontier_size", len(frontier_names))
+
+    if budget > 0:
+        with tm.span("explore.tighten", category="explore"):
+            _tighten_frontier(
+                by_name, frontier_names, candidates, suite, budget,
+                workers, config,
+            )
+
+    isdl_by_name = {c.name: c.isdl for c in candidates}
+    frontier = [
+        {
+            "name": name,
+            "origin": by_name[name]["origin"],
+            "area": by_name[name]["area"],
+            "instructions": by_name[name]["metrics"]["instructions"],
+            "gap": by_name[name]["metrics"]["gap"],
+            "ipc": by_name[name]["metrics"]["ipc"],
+            "isdl": isdl_by_name[name],
+        }
+        for name in frontier_names
+    ]
+    payload = {
+        "schema": EXPLORE_SCHEMA,
+        "meta": {
+            "seed": seed,
+            "population": len(records),
+            "requested_population": population,
+            "budget": budget,
+            "machgen_share": machgen_share,
+            "axes": list(AXES),
+            "workloads": [name for name, _source in suite],
+        },
+        "candidates": records,
+        "frontier": frontier,
+        "totals": {
+            "candidates": len(records),
+            "frontier": len(frontier),
+            "workload_failures": failures,
+            "workloads_ok": sum(r["workloads_ok"] for r in records),
+        },
+    }
+    timing = {
+        "wall_s": time.perf_counter() - started,
+        "workers": workers,
+        "evaluations": len(records) * len(suite),
+    }
+    return payload, timing
+
+
+def _map_candidates(
+    payloads: List[Dict[str, Any]],
+    workers: int,
+    cache_dir: Optional[str],
+) -> List[Dict[str, Any]]:
+    """Evaluate payloads in order, pooled or in-process."""
+    if workers > 0:
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(
+                    partial(evaluate_candidate, cache_dir=cache_dir),
+                    payloads,
+                )
+            )
+    return [evaluate_candidate(payload, cache_dir) for payload in payloads]
+
+
+def _tighten_frontier(
+    by_name: Dict[str, Dict[str, Any]],
+    frontier_names: List[str],
+    candidates: Sequence[ExploreCandidate],
+    suite: Sequence[Tuple[str, str]],
+    budget: int,
+    workers: int,
+    config: Optional[Dict[str, Any]],
+) -> None:
+    """Annotate frontier candidates with exact small-block gap labels."""
+    tm = _telemetry()
+    sources = dict(suite)
+    isdl_by_name = {c.name: c.isdl for c in candidates}
+    payloads = []
+    for name in frontier_names:
+        record = by_name[name]
+        worthwhile = [
+            {"name": wl["workload"], "source": sources[wl["workload"]]}
+            for wl in record["workloads"]
+            if wl["status"] == "ok"
+            and wl["metrics"]["gap"] > 0
+            and wl["metrics"]["max_block_tasks"] <= TIGHTEN_TASK_LIMIT
+        ]
+        if worthwhile:
+            payloads.append(
+                {
+                    "name": name,
+                    "isdl": isdl_by_name[name],
+                    "workloads": worthwhile,
+                    "config": dict(config or {}),
+                }
+            )
+    if not payloads:
+        return
+    if workers > 0:
+        from concurrent.futures import ProcessPoolExecutor
+        from functools import partial
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(partial(tighten_candidate, budget=budget), payloads)
+            )
+    else:
+        results = [tighten_candidate(payload, budget) for payload in payloads]
+    for result in results:
+        tightened = {
+            "budget": budget,
+            "workloads": result["workloads"],
+        }
+        by_name[result["name"]]["optimal"] = tightened
+        tm.count("explore.tightened_workloads", len(result["workloads"]))
+        for record in result["workloads"]:
+            if record["status"] == "ok":
+                tm.count(
+                    "explore.gap_cycles_closed",
+                    record["heuristic_cycles"] - record["optimal_cycles"],
+                )
+
+
+# ----------------------------------------------------------------------
+# Artifact validation / IO / rendering
+# ----------------------------------------------------------------------
+
+
+def validate_explore_report(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a well-formed
+    ``repro/bench-explore/v1`` artifact (including frontier honesty:
+    members are failure-free and mutually non-dominated)."""
+    if not isinstance(payload, dict):
+        raise ValueError("explore report must be a JSON object")
+    if payload.get("schema") != EXPLORE_SCHEMA:
+        raise ValueError(
+            f"explore report schema must be {EXPLORE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    meta = payload.get("meta")
+    if not isinstance(meta, dict):
+        raise ValueError("explore report needs a 'meta' object")
+    for key in ("seed", "population", "budget"):
+        if not isinstance(meta.get(key), int):
+            raise ValueError(f"meta: {key!r} must be an int")
+    if meta.get("axes") != list(AXES):
+        raise ValueError(f"meta: 'axes' must be {list(AXES)}")
+    if not isinstance(meta.get("workloads"), list) or not meta["workloads"]:
+        raise ValueError("meta: needs a non-empty 'workloads' list")
+    candidates = payload.get("candidates")
+    if not isinstance(candidates, list) or not candidates:
+        raise ValueError("explore report needs a non-empty 'candidates' list")
+    names = set()
+    for position, record in enumerate(candidates):
+        where = f"candidate #{position}"
+        if not isinstance(record, dict):
+            raise ValueError(f"{where} is not an object")
+        name = record.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where}: missing string 'name'")
+        if name in names:
+            raise ValueError(f"{where}: duplicate candidate name {name!r}")
+        names.add(name)
+        for key in ("area", "failures", "workloads_ok"):
+            if not isinstance(record.get(key), int) or record[key] < 0:
+                raise ValueError(
+                    f"{where}: {key!r} must be a non-negative int"
+                )
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError(f"{where}: missing 'metrics'")
+        for key in ("instructions", "spills", "cycles", "gap"):
+            if not isinstance(metrics.get(key), int) or metrics[key] < 0:
+                raise ValueError(
+                    f"{where}: metrics.{key} must be a non-negative int"
+                )
+        workloads = record.get("workloads")
+        if not isinstance(workloads, list) or len(workloads) != len(
+            meta["workloads"]
+        ):
+            raise ValueError(
+                f"{where}: needs one workload record per suite member"
+            )
+        for wl in workloads:
+            if wl.get("status") not in WORKLOAD_STATUSES_:
+                raise ValueError(
+                    f"{where}: bad workload status {wl.get('status')!r}"
+                )
+            if wl["status"] == "ok" and not isinstance(wl.get("metrics"), dict):
+                raise ValueError(f"{where}: ok workload needs metrics")
+            if wl["status"] != "ok" and not isinstance(wl.get("error"), str):
+                raise ValueError(f"{where}: failed workload needs 'error'")
+    frontier = payload.get("frontier")
+    if not isinstance(frontier, list):
+        raise ValueError("explore report needs a 'frontier' list")
+    by_name = {record["name"]: record for record in candidates}
+    vectors = []
+    for position, member in enumerate(frontier):
+        where = f"frontier #{position}"
+        if not isinstance(member, dict):
+            raise ValueError(f"{where} is not an object")
+        name = member.get("name")
+        if name not in by_name:
+            raise ValueError(f"{where}: unknown candidate {name!r}")
+        record = by_name[name]
+        if record["failures"]:
+            raise ValueError(
+                f"{where}: {name!r} failed {record['failures']} workload(s) "
+                f"and cannot be on the frontier"
+            )
+        if not record.get("frontier"):
+            raise ValueError(f"{where}: {name!r} not flagged as frontier")
+        if not isinstance(member.get("isdl"), str) or not member["isdl"]:
+            raise ValueError(f"{where}: missing machine 'isdl' text")
+        vectors.append(
+            (name, (member["area"], member["instructions"], member["gap"]))
+        )
+    for name, vector in vectors:
+        for other_name, other in vectors:
+            if other_name != name and dominates(other, vector):
+                raise ValueError(
+                    f"frontier member {name!r} is dominated by "
+                    f"{other_name!r} — not a Pareto frontier"
+                )
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        raise ValueError("explore report needs a 'totals' object")
+    if totals.get("candidates") != len(candidates):
+        raise ValueError("totals: 'candidates' disagrees with the list")
+    if totals.get("frontier") != len(frontier):
+        raise ValueError("totals: 'frontier' disagrees with the list")
+
+
+#: Mirrors :data:`repro.explore.evaluate.WORKLOAD_STATUSES` without the
+#: import cycle at validation time.
+WORKLOAD_STATUSES_ = ("ok", "coverage_error", "error")
+
+
+def explore_report_bytes(payload: Dict[str, Any]) -> bytes:
+    """The canonical byte serialization (what determinism tests compare
+    and ``write_explore_report`` writes)."""
+    return (
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def write_explore_report(path: str, payload: Dict[str, Any]) -> None:
+    """Validate and write a ``BENCH_explore.json`` artifact."""
+    validate_explore_report(payload)
+    with open(path, "wb") as handle:
+        handle.write(explore_report_bytes(payload))
+
+
+def format_explore_table(payload: Dict[str, Any], top: int = 12) -> str:
+    """Human-readable summary: the frontier plus the closest also-rans."""
+    lines = [
+        f"explored {payload['totals']['candidates']} machine(s), "
+        f"{payload['totals']['workload_failures']} workload failure(s); "
+        f"frontier holds {payload['totals']['frontier']}"
+    ]
+    lines.append("")
+    lines.append(
+        f"{'machine':24s} {'origin':28s} {'area':>6s} {'instr':>6s} "
+        f"{'gap':>4s} {'ipc':>6s}  frontier"
+    )
+    ranked = sorted(
+        payload["candidates"],
+        key=lambda r: (
+            not r["frontier"],
+            r["failures"] > 0,
+            r["metrics"]["instructions"] if not r["failures"] else 0,
+            r["area"],
+            r["name"],
+        ),
+    )
+    for record in ranked[:top]:
+        metrics = record["metrics"]
+        if record["failures"]:
+            cost = f"{'fail':>6s} {'-':>4s} {'-':>6s}"
+        else:
+            cost = (
+                f"{metrics['instructions']:6d} {metrics['gap']:4d} "
+                f"{metrics['ipc']:6.2f}"
+            )
+        marker = "*" if record["frontier"] else ""
+        lines.append(
+            f"{record['name']:24.24s} {record['origin']:28.28s} "
+            f"{record['area']:6d} {cost}  {marker}"
+        )
+    if len(payload["candidates"]) > top:
+        lines.append(f"... {len(payload['candidates']) - top} more")
+    return "\n".join(lines)

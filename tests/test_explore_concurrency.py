@@ -1,0 +1,69 @@
+"""Exploration determinism across worker counts.
+
+The acceptance contract for ``repro explore`` is that the artifact is
+a pure function of the seed: a serial run, a pooled run, and a pooled
+run warm-started from a shared cache directory must all serialize to
+the same bytes.  The payload therefore carries no wall-clock or
+worker-count data (timing is returned separately), ``pool.map``
+preserves candidate order, and compilation itself is deterministic.
+
+Kept deliberately small (a handful of bases, a trimmed workload suite)
+but marked ``slow`` alongside the other multi-process tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import (
+    default_workloads,
+    explore_report_bytes,
+    load_base_machines,
+    run_explore,
+    validate_explore_report,
+)
+
+pytestmark = pytest.mark.slow
+
+SEED = 3
+POPULATION = 6
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return {
+        "bases": load_base_machines()[:3],
+        "workloads": default_workloads(None)[:3],
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_bytes(inputs):
+    payload, timing = run_explore(
+        seed=SEED, population=POPULATION, workers=1, **inputs
+    )
+    validate_explore_report(payload)
+    assert timing["workers"] == 1
+    return explore_report_bytes(payload)
+
+
+def test_pooled_run_is_byte_identical(inputs, serial_bytes):
+    payload, timing = run_explore(
+        seed=SEED, population=POPULATION, workers=4, **inputs
+    )
+    assert timing["workers"] == 4
+    assert explore_report_bytes(payload) == serial_bytes
+
+
+def test_cache_warmed_run_is_byte_identical(inputs, serial_bytes, tmp_path):
+    cache = str(tmp_path / "cache")
+    cold, _ = run_explore(
+        seed=SEED, population=POPULATION, workers=4, cache_dir=cache, **inputs
+    )
+    assert explore_report_bytes(cold) == serial_bytes
+    # Second run over the now-populated cache: every block is a hit,
+    # and hits must not leak into the artifact either.
+    warm, _ = run_explore(
+        seed=SEED, population=POPULATION, workers=4, cache_dir=cache, **inputs
+    )
+    assert explore_report_bytes(warm) == serial_bytes

@@ -1,0 +1,121 @@
+"""Property suite for the machine generator and exploration mutants.
+
+The exploration service leans on two machine sources — the fuzzer's
+``random_machine`` generator and the parametric mutation operators in
+:mod:`repro.explore.population`.  Every machine either produces must
+uphold the same contract the bundled machines do: it parses back from
+its own ISDL text, the round-trip is a fixed point, every register
+bank its functional units read from can reach every other one over the
+bus fabric (otherwise covering cannot route operands), and a trivial
+block actually compiles on it.
+"""
+
+import random
+
+import pytest
+
+from repro.asmgen import compile_function
+from repro.explore import build_population, structure_fingerprint
+from repro.frontend import compile_source
+from repro.fuzz.machgen import random_machine
+from repro.isdl.databases import TransferDatabase
+from repro.isdl.parser import parse_machine
+from repro.isdl.writer import machine_to_isdl
+
+GENERATOR_SEEDS = list(range(16))
+
+#: One straight-line block every machine must handle: machgen machines
+#: always implement ADD, and every bundled base machine does too.
+TRIVIAL_SOURCE = "x = a + b;"
+
+
+def unit_banks(machine):
+    """The register banks the machine's units actually use, plus the
+    data memory (loads/stores route through it)."""
+    banks = {unit.register_file for unit in machine.units}
+    banks.add(machine.data_memory)
+    return sorted(banks)
+
+
+def assert_round_trips(machine):
+    text = machine_to_isdl(machine)
+    parsed = parse_machine(text)
+    assert machine_to_isdl(parsed) == text
+    assert parsed.name == machine.name
+    assert parsed.unit_names() == machine.unit_names()
+
+
+def assert_banks_reachable(machine):
+    transfers = TransferDatabase(machine)
+    banks = unit_banks(machine)
+    for source in banks:
+        for destination in banks:
+            if source == destination:
+                continue
+            assert transfers.has_path(source, destination), (
+                f"{machine.name}: no transfer path "
+                f"{source} -> {destination}"
+            )
+
+
+class TestGeneratedMachines:
+    @pytest.fixture(params=GENERATOR_SEEDS)
+    def machine(self, request):
+        return random_machine(random.Random(request.param), request.param)
+
+    def test_round_trips_through_isdl(self, machine):
+        assert_round_trips(machine)
+
+    def test_unit_banks_mutually_reachable(self, machine):
+        assert_banks_reachable(machine)
+
+    def test_compiles_trivial_block(self, machine):
+        compiled = compile_function(compile_source(TRIVIAL_SOURCE), machine)
+        assert compiled.total_instructions > 0
+
+    def test_generator_is_deterministic(self, request):
+        first = random_machine(random.Random(7), 7)
+        second = random_machine(random.Random(7), 7)
+        assert machine_to_isdl(first) == machine_to_isdl(second)
+
+
+class TestPopulationMachines:
+    """The same contract holds for every candidate a population emits —
+    mutants included, whatever operator produced them."""
+
+    @pytest.fixture(scope="class")
+    def candidates(self):
+        return build_population(seed=11, size=24)
+
+    def test_population_reaches_requested_size(self, candidates):
+        assert len(candidates) == 24
+
+    def test_every_candidate_round_trips(self, candidates):
+        for candidate in candidates:
+            machine = parse_machine(candidate.isdl)
+            assert_round_trips(machine)
+
+    def test_every_candidate_banks_reachable(self, candidates):
+        for candidate in candidates:
+            assert_banks_reachable(parse_machine(candidate.isdl))
+
+    def test_names_and_structures_unique(self, candidates):
+        names = [candidate.name for candidate in candidates]
+        assert len(set(names)) == len(names)
+        fingerprints = [
+            structure_fingerprint(parse_machine(candidate.isdl))
+            for candidate in candidates
+        ]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_population_is_deterministic(self, candidates):
+        again = build_population(seed=11, size=24)
+        assert again == candidates
+
+    def test_different_seed_differs(self, candidates):
+        other = build_population(seed=12, size=24)
+        assert other != candidates
+
+    def test_origins_cover_all_streams(self, candidates):
+        kinds = {candidate.origin.split(":")[0] for candidate in candidates}
+        assert kinds == {"base", "mutant", "machgen"}

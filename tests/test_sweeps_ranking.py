@@ -1,0 +1,129 @@
+"""Unit tests for the sweep ranking helpers — failure accounting,
+utilization aggregation, and the ``RankEntry`` ordering — on synthetic
+sweep points, so every corner (all-failed machines, partial failures,
+ties) is exercised without compiling anything."""
+
+from __future__ import annotations
+
+from repro.eval import RankEntry, SweepPoint, SweepResult
+
+
+def point(machine, workload="w", instructions=0, failed=None, util=None):
+    return SweepPoint(
+        workload=workload,
+        machine=machine,
+        instructions=instructions,
+        spills=0,
+        registers_used={},
+        utilization=util or {},
+        failed=failed,
+    )
+
+
+def result(*points):
+    return SweepResult(points=list(points))
+
+
+class TestTotals:
+    def test_totals_count_successes_only(self):
+        sweep = result(
+            point("m", "a", instructions=10),
+            point("m", "b", instructions=5),
+            point("m", "c", failed="too small"),
+        )
+        assert sweep.total_instructions("m") == 15
+        assert sweep.failure_count("m") == 1
+
+    def test_all_failed_machine_totals_zero_not_sentinel(self):
+        sweep = result(
+            point("m", "a", failed="boom"), point("m", "b", failed="boom")
+        )
+        assert sweep.total_instructions("m") == 0
+        assert sweep.failure_count("m") == 2
+
+    def test_unknown_machine_is_empty(self):
+        sweep = result(point("m", "a", instructions=3))
+        assert sweep.total_instructions("ghost") == 0
+        assert sweep.failure_count("ghost") == 0
+
+
+class TestMeanUtilization:
+    def test_averages_over_compiled_points(self):
+        sweep = result(
+            point("m", "a", instructions=1, util={"U1": 0.5, "B1": 1.0}),
+            point("m", "b", instructions=1, util={"U1": 0.25, "B1": 0.5}),
+        )
+        assert sweep.mean_utilization("m") == {"U1": 0.375, "B1": 0.75}
+
+    def test_failed_points_excluded(self):
+        sweep = result(
+            point("m", "a", instructions=1, util={"U1": 1.0}),
+            point("m", "b", failed="boom", util={"U1": 0.0}),
+        )
+        assert sweep.mean_utilization("m") == {"U1": 1.0}
+
+    def test_all_failed_machine_is_empty(self):
+        sweep = result(point("m", "a", failed="boom"))
+        assert sweep.mean_utilization("m") == {}
+
+
+class TestRanking:
+    def test_usable_machines_lead_by_size(self):
+        sweep = result(
+            point("big", "a", instructions=20),
+            point("small", "a", instructions=10),
+            point("broken", "a", failed="boom"),
+        )
+        ranking = sweep.ranking()
+        assert [entry.machine for entry in ranking] == [
+            "small",
+            "big",
+            "broken",
+        ]
+
+    def test_failing_machines_sorted_by_failures(self):
+        sweep = result(
+            point("worse", "a", failed="x"),
+            point("worse", "b", failed="x"),
+            point("near_miss", "a", instructions=7),
+            point("near_miss", "b", failed="x"),
+            point("fine", "a", instructions=50),
+            point("fine", "b", instructions=50),
+        )
+        ranking = sweep.ranking()
+        assert [entry.machine for entry in ranking] == [
+            "fine",
+            "near_miss",
+            "worse",
+        ]
+        near_miss = ranking[1]
+        # The partial total stays visible instead of collapsing to -1.
+        assert near_miss.instructions == 7
+        assert near_miss.failures == 1
+        assert not near_miss.usable
+
+    def test_entries_are_tuple_compatible(self):
+        sweep = result(point("m", "a", instructions=4))
+        entry = sweep.ranking()[0]
+        assert isinstance(entry, RankEntry)
+        assert entry[0] == "m"
+        assert entry[1] == 4
+        assert entry[2] == 0
+        assert entry.usable
+
+    def test_size_ties_break_by_name(self):
+        sweep = result(
+            point("zeta", "a", instructions=9),
+            point("alpha", "a", instructions=9),
+        )
+        assert [e.machine for e in sweep.ranking()] == ["alpha", "zeta"]
+
+    def test_table_labels_failures(self):
+        sweep = result(
+            point("ok", "a", instructions=3),
+            point("bad", "a", failed="boom"),
+        )
+        table = sweep.table()
+        assert "fail" in table
+        assert "1 workload(s) failed" in table
+        assert "unusable" not in table
