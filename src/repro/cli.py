@@ -69,19 +69,41 @@ Commands
     Certify every fuzz reproducer in ``DIR`` on its own recorded
     machine and config.
 ``batch [SOURCE ...] [--machine SPEC ...] [--machines-dir DIR]
-[--jobs FILE] [--cache-dir DIR] [--workers N] [--validate] [--json FILE]``
+[--jobs FILE] [--cache-dir DIR] [--workers N] [--validate] [--json FILE]
+[--metrics-out FILE]``
     Batch compile service: fan every (source, machine) pair — or an
     explicit JSON job list — across a process pool, warm-started by the
     persistent content-addressed block cache at ``--cache-dir``.
     Prints a per-job summary table; ``--json`` writes the structured
-    `repro/serve/v1` report (``-`` for stdout).
-``serve [--cache-dir DIR] [--validate]``
+    `repro/serve/v1` report (``-`` for stdout); ``--metrics-out``
+    writes the canonical deterministic `repro/metrics/v1` export of
+    the merged fleet metrics (byte-identical for any ``--workers``).
+``serve [--cache-dir DIR] [--validate] [--metrics-out FILE]
+[--events-out FILE] [--flight-dir DIR] [--flight-threshold S]``
     Line-oriented compile service: one JSON job request per stdin line
     (``{"id": ..., "source": "y = a + b;", "machine": "arch1"}``), one
     JSON result per stdout line, every compile backed by the
-    persistent block cache.
+    persistent block cache.  ``--metrics-out`` exports the stream's
+    merged `repro/metrics/v1` snapshot, ``--events-out`` writes the
+    `repro/events/v1` request log, and ``--flight-dir`` arms the
+    flight recorder (dump slow/failing requests as self-contained
+    artifacts; ``--flight-threshold`` sets the latency bar in seconds).
+``metrics FILE [--prom] [--json] [--diff FILE2]``
+    Validate and render a `repro/metrics/v1` export: the default
+    human-readable table, ``--prom`` Prometheus text exposition,
+    ``--json`` the validated payload back out, or ``--diff`` per-metric
+    deltas against a second export (exit 1 when they differ).
+``trend [--root DIR] [--baseline FILE] [--json FILE] [--verbose]
+[--write-baseline]``
+    The bench-trend regression gate: flatten the repo-root
+    ``BENCH_*.json`` artifacts into named quality metrics and compare
+    them against the committed baseline manifest
+    (``benchmarks/trend_baseline.json``), exiting 1 when any gated
+    metric moved in the losing direction beyond its tolerance.
+    ``--write-baseline`` (re)freezes the manifest from current values.
 ``explore [--seed N] [--population N] [--workers N] [--budget N]
-[--machines-dir DIR] [--corpus DIR] [--cache-dir DIR] [--json FILE]``
+[--machines-dir DIR] [--corpus DIR] [--cache-dir DIR] [--json FILE]
+[--metrics-out FILE]``
     Architecture exploration service (:mod:`repro.explore`): generate a
     seeded population of machine variants (parametric mutants of the
     bundled machines plus fuzz-generator samples), evaluate each
@@ -795,13 +817,24 @@ def _batch_jobs(args) -> List:
 def _cmd_batch(args) -> int:
     import json as json_module
 
-    from repro.serve.service import run_batch, validate_batch_report
+    from repro.serve.service import (
+        merge_result_snapshots,
+        run_batch,
+        validate_batch_report,
+    )
 
     jobs = _batch_jobs(args)
     report = run_batch(
         jobs, cache_dir=args.cache_dir, workers=args.workers
     )
     validate_batch_report(report)
+    if args.metrics_out:
+        from repro.obs.export import write_metrics_export
+
+        write_metrics_export(
+            args.metrics_out, merge_result_snapshots(report["results"])
+        )
+        print(f"; wrote metrics {args.metrics_out}", file=sys.stderr)
     if args.json:
         text = json_module.dumps(report, indent=2, sort_keys=True)
         if args.json == "-":
@@ -874,6 +907,11 @@ def _cmd_explore(args) -> int:
     elif args.json:
         write_explore_report(args.json, payload)
         print(f"; wrote {args.json}", file=sys.stderr)
+    if args.metrics_out:
+        from repro.obs.export import write_metrics_export
+
+        write_metrics_export(args.metrics_out, timing["obs"])
+        print(f"; wrote metrics {args.metrics_out}", file=sys.stderr)
     print(
         f"; {timing['evaluations']} evaluation(s) in "
         f"{timing['wall_s']:.1f}s with {timing['workers']} worker(s)",
@@ -890,13 +928,115 @@ def _cmd_serve(args) -> int:
         sys.stdout,
         cache_dir=args.cache_dir,
         validate=args.validate,
+        metrics_out=args.metrics_out,
+        events_out=args.events_out,
+        flight_dir=args.flight_dir,
+        flight_threshold=args.flight_threshold,
     )
     print(
         f"; served {served['requests']} request(s): "
         f"{served['ok']} ok, {served['failed']} failed",
         file=sys.stderr,
     )
+    for flag, what in (
+        ("metrics_out", "metrics"),
+        ("events_out", "events"),
+        ("flight_dir", "flight artifacts"),
+    ):
+        value = getattr(args, flag)
+        if value:
+            print(f"; wrote {what} {value}", file=sys.stderr)
     return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json as json_module
+
+    from repro.obs.export import (
+        diff_metrics,
+        render_metrics_diff,
+        render_metrics_table,
+        snapshot_from_export,
+        to_prometheus,
+        validate_metrics_export,
+    )
+
+    def load_export(path: str):
+        try:
+            with open(path) as handle:
+                payload = json_module.load(handle)
+        except (OSError, ValueError) as error:
+            raise ReproError(f"cannot read {path}: {error}") from error
+        try:
+            validate_metrics_export(payload)
+        except ValueError as error:
+            raise ReproError(f"{path}: {error}") from error
+        return payload
+
+    payload = load_export(args.file)
+    if args.diff:
+        other = load_export(args.diff)
+        diff = diff_metrics(payload, other)
+        if args.json:
+            print(json_module.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_metrics_diff(diff))
+        return 0 if diff["identical"] else 1
+    if args.prom:
+        print(to_prometheus(snapshot_from_export(payload)), end="")
+    elif args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_metrics_table(payload))
+    return 0
+
+
+def _cmd_trend(args) -> int:
+    import json as json_module
+    import os
+
+    from repro.obs.trend import (
+        DEFAULT_BASELINE,
+        collect_current_metrics,
+        compare,
+        format_trend_table,
+        load_baseline,
+        make_baseline,
+        write_baseline,
+    )
+
+    baseline_path = args.baseline or os.path.join(args.root, DEFAULT_BASELINE)
+    current = collect_current_metrics(args.root)
+    if args.write_baseline:
+        if not current:
+            raise ReproError(
+                f"no BENCH_*.json artifacts under {args.root!r} — nothing "
+                f"to freeze into a baseline"
+            )
+        write_baseline(baseline_path, make_baseline(current))
+        print(
+            f"; wrote baseline {baseline_path} ({len(current)} metric(s))",
+            file=sys.stderr,
+        )
+        return 0
+    try:
+        baseline = load_baseline(baseline_path)
+    except OSError as error:
+        raise ReproError(
+            f"cannot read baseline {baseline_path}: {error} "
+            f"(create one with 'repro trend --write-baseline')"
+        ) from error
+    except ValueError as error:
+        raise ReproError(f"{baseline_path}: {error}") from error
+    report = compare(baseline, current)
+    print(format_trend_table(report, verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(
+                json_module.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+        print(f"; wrote {args.json}", file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1187,6 +1327,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the repro/serve/v1 report here ('-' for stdout)",
     )
+    batch.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the canonical repro/metrics/v1 export of the merged "
+        "fleet metrics (deterministic: byte-identical for any --workers)",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -1203,6 +1349,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--validate",
         action="store_true",
         help="certify every block with the independent validator",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the stream's merged repro/metrics/v1 export here",
+    )
+    serve.add_argument(
+        "--events-out",
+        metavar="FILE",
+        default=None,
+        help="write the repro/events/v1 JSON-lines request log here",
+    )
+    serve.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="arm the flight recorder: dump self-contained artifacts "
+        "for slow or failing requests into DIR",
+    )
+    serve.add_argument(
+        "--flight-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="latency above which a request counts as slow (default: "
+        "only failing requests are dumped)",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="validate, render, or diff repro/metrics/v1 exports",
+    )
+    metrics.add_argument("file", help="metrics export JSON file")
+    metrics.add_argument(
+        "--prom",
+        action="store_true",
+        help="render as Prometheus text exposition format",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the validated payload (or diff) as JSON",
+    )
+    metrics.add_argument(
+        "--diff",
+        metavar="FILE2",
+        help="compare against a second export; exit 1 when they differ",
+    )
+
+    trend = commands.add_parser(
+        "trend",
+        help="bench-trend regression gate over the BENCH_*.json artifacts",
+    )
+    trend.add_argument(
+        "--root",
+        metavar="DIR",
+        default=".",
+        help="directory holding the BENCH_*.json artifacts (default: .)",
+    )
+    trend.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="baseline manifest (default: ROOT/benchmarks/"
+        "trend_baseline.json)",
+    )
+    trend.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the repro/trend/v1 comparison report here",
+    )
+    trend.add_argument(
+        "--verbose",
+        "-v",
+        action="store_true",
+        help="list every metric, not just the interesting rows",
+    )
+    trend.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="(re)freeze the baseline manifest from current values",
     )
 
     verify = commands.add_parser(
@@ -1303,6 +1532,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact path, or - for stdout (default: "
         "BENCH_explore.json)",
     )
+    explore.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        help="write the exploration's merged repro/metrics/v1 export "
+        "(deterministic: byte-identical for any --workers)",
+    )
 
     explain = commands.add_parser(
         "explain",
@@ -1362,6 +1598,8 @@ _HANDLERS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "explore": _cmd_explore,
+    "metrics": _cmd_metrics,
+    "trend": _cmd_trend,
 }
 
 

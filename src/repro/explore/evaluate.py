@@ -71,7 +71,10 @@ def evaluate_candidate(
     ``payload`` is self-contained: ``{"name", "isdl", "workloads":
     [{"name", "source"}, ...], "config": {...}}`` — a worker process
     never depends on the parent's object graph.  Returns the candidate
-    result with one record per workload, in suite order.
+    result with one record per workload, in suite order, plus an
+    ``"obs"`` service-metrics snapshot the pool parent merges into the
+    fleet view (:func:`repro.explore.service.run_explore` keeps it out
+    of the byte-reproducible artifact).
     """
     from repro.asmgen.program import compile_function
     from repro.covering.config import HeuristicConfig
@@ -79,11 +82,14 @@ def evaluate_candidate(
     from repro.explain.quality import quality_report
     from repro.frontend import compile_source
     from repro.isdl.parser import parse_machine
+    from repro.obs.metrics import MetricsRegistry, use_registry
 
     result: Dict[str, Any] = {
         "name": payload["name"],
         "workloads": [],
     }
+    registry = MetricsRegistry()
+    registry.count("obs.candidates_total")
     machine = parse_machine(payload["isdl"])
     config = HeuristicConfig.default().with_(**payload.get("config", {}))
     for workload in payload["workloads"]:
@@ -93,11 +99,13 @@ def evaluate_candidate(
             "error": None,
             "metrics": None,
         }
+        registry.count("obs.workloads_total")
         try:
             function = compile_source(workload["source"])
-            compiled = compile_function(
-                function, machine, config, cache_dir=cache_dir
-            )
+            with use_registry(registry):
+                compiled = compile_function(
+                    function, machine, config, cache_dir=cache_dir
+                )
         except CoverageError as error:
             record["status"] = "coverage_error"
             record["error"] = str(error)
@@ -109,7 +117,18 @@ def evaluate_candidate(
             record["error"] = f"{type(error).__name__}: {error}"
         else:
             record["metrics"] = _workload_metrics(compiled, quality_report)
+        if record["status"] == "ok":
+            registry.count("obs.workloads_ok")
+            registry.observe(
+                "obs.request_instructions", record["metrics"]["instructions"]
+            )
+            registry.observe(
+                "obs.request_spills", record["metrics"]["spills"]
+            )
+        else:
+            registry.count("obs.workloads_failed")
         result["workloads"].append(record)
+    result["obs"] = registry.snapshot().to_dict()
     return result
 
 

@@ -1,0 +1,108 @@
+"""Service-level observability for the compile services.
+
+``repro.telemetry`` answers "what did *this one compile* do"; this
+package answers "what is the *service* doing" — mergeable fleet-wide
+metric snapshots (:mod:`repro.obs.metrics`), structured JSON-lines
+request logs (:mod:`repro.obs.events`), Prometheus/JSON exporters
+(:mod:`repro.obs.export`), a bounded flight recorder for slow or
+failing requests (:mod:`repro.obs.recorder`), and a benchmark-trend
+regression gate (:mod:`repro.obs.trend`).
+
+Everything in this package is pure stdlib and deterministic by
+construction: metric merges are associative and commutative, request
+IDs are content-derived, and the canonical JSON export excludes
+volatile (timing-dependent) metrics so the same seeded workload
+produces byte-identical exports at any worker count.
+"""
+
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    make_request_id,
+    read_events,
+    request_event,
+    stream_event,
+    validate_event,
+)
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    diff_metrics,
+    metrics_bytes,
+    render_metrics_diff,
+    render_metrics_table,
+    snapshot_export,
+    snapshot_from_export,
+    to_prometheus,
+    validate_metrics_export,
+    write_metrics_export,
+)
+from repro.obs.metrics import (
+    METRIC_CATALOG,
+    NULL_REGISTRY,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+    current_registry,
+    use_registry,
+)
+from repro.obs.recorder import (
+    FLIGHT_SCHEMA,
+    FLIGHT_SUMMARY_SCHEMA,
+    FlightRecorder,
+    read_flight_artifact,
+    validate_flight_artifact,
+)
+from repro.obs.trend import (
+    DEFAULT_BASELINE,
+    TREND_BASELINE_SCHEMA,
+    TREND_SCHEMA,
+    collect_current_metrics,
+    compare,
+    format_trend_table,
+    load_baseline,
+    make_baseline,
+    validate_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "METRICS_SCHEMA",
+    "FLIGHT_SCHEMA",
+    "FLIGHT_SUMMARY_SCHEMA",
+    "TREND_BASELINE_SCHEMA",
+    "TREND_SCHEMA",
+    "DEFAULT_BASELINE",
+    "METRIC_CATALOG",
+    "NULL_REGISTRY",
+    "EventLog",
+    "FlightRecorder",
+    "HistogramState",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "collect_current_metrics",
+    "compare",
+    "current_registry",
+    "diff_metrics",
+    "format_trend_table",
+    "load_baseline",
+    "make_baseline",
+    "make_request_id",
+    "metrics_bytes",
+    "read_events",
+    "read_flight_artifact",
+    "render_metrics_diff",
+    "render_metrics_table",
+    "request_event",
+    "snapshot_export",
+    "snapshot_from_export",
+    "stream_event",
+    "to_prometheus",
+    "use_registry",
+    "validate_baseline",
+    "validate_event",
+    "validate_flight_artifact",
+    "validate_metrics_export",
+    "write_baseline",
+    "write_metrics_export",
+]

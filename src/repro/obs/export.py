@@ -1,0 +1,333 @@
+"""Metric-snapshot exporters: canonical JSON and Prometheus text.
+
+Two audiences, two formats:
+
+- **``repro/metrics/v1`` JSON** — the canonical artifact written by
+  ``--metrics-out`` and consumed by ``repro metrics``.  It fills in the
+  *entire* catalog (untouched metrics export as zeros) so every export
+  has the same shape, and by default it excludes volatile metrics
+  (latencies, pool-scheduling-dependent cache counts), so the same
+  seeded workload produces **byte-identical** exports regardless of
+  worker count — the property the concurrency tests and the obs-smoke
+  CI job assert with a plain ``cmp``.
+- **Prometheus text format** — what a monitoring stack scrapes.  It
+  keeps the volatile metrics (a scrape *wants* live latency), renders
+  histograms as cumulative ``_bucket{le=...}`` series, and carries the
+  catalog help text as ``# HELP`` lines.
+
+``validate_metrics_export`` re-derives every internal consistency
+property (known names, bucket arithmetic, quantile recomputation), so a
+tampered or hand-built artifact is rejected, not trusted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.metrics import (
+    METRIC_CATALOG,
+    HistogramState,
+    MetricsSnapshot,
+    histogram_quantile,
+)
+
+#: Versioned envelope of the canonical JSON export.
+METRICS_SCHEMA = "repro/metrics/v1"
+
+#: Quantiles stamped onto every exported histogram.
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99))
+
+
+def snapshot_export(
+    snapshot: MetricsSnapshot, include_volatile: bool = False
+) -> Dict[str, Any]:
+    """The ``repro/metrics/v1`` payload for ``snapshot``.
+
+    Every catalog metric appears (zeros when untouched); volatile
+    metrics appear only with ``include_volatile=True``, and the flag is
+    recorded in the payload so a validator knows which shape to expect.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, Optional[float]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(METRIC_CATALOG):
+        spec = METRIC_CATALOG[name]
+        if spec.volatile and not include_volatile:
+            continue
+        if spec.kind == "counter":
+            counters[name] = snapshot.counters.get(name, 0)
+        elif spec.kind == "gauge":
+            gauges[name] = snapshot.gauges.get(name)
+        else:
+            state = snapshot.histograms.get(name)
+            if state is None:
+                state = HistogramState(bounds=tuple(spec.buckets or ()))
+            entry = state.to_dict()
+            for label, q in QUANTILES:
+                entry[label] = state.quantile(q)
+            histograms[name] = entry
+    return {
+        "schema": METRICS_SCHEMA,
+        "volatile_included": include_volatile,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+def metrics_bytes(payload: Dict[str, Any]) -> bytes:
+    """The canonical byte serialization (what ``--metrics-out`` writes
+    and the byte-identity tests compare)."""
+    return (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )
+
+
+def write_metrics_export(
+    path: str,
+    snapshot: MetricsSnapshot,
+    include_volatile: bool = False,
+) -> Dict[str, Any]:
+    """Validate and write a snapshot's canonical export; returns the
+    payload."""
+    payload = snapshot_export(snapshot, include_volatile=include_volatile)
+    validate_metrics_export(payload)
+    with open(path, "wb") as handle:
+        handle.write(metrics_bytes(payload))
+    return payload
+
+
+def snapshot_from_export(payload: Dict[str, Any]) -> MetricsSnapshot:
+    """Rebuild a :class:`MetricsSnapshot` from a validated export."""
+    return MetricsSnapshot.from_dict(
+        {
+            "counters": payload["counters"],
+            "gauges": {
+                name: value
+                for name, value in payload["gauges"].items()
+                if value is not None
+            },
+            "histograms": {
+                name: {
+                    key: entry[key]
+                    for key in ("bounds", "counts", "count", "total", "min", "max")
+                }
+                for name, entry in payload["histograms"].items()
+            },
+        }
+    )
+
+
+def validate_metrics_export(payload: Any) -> None:
+    """Raise :class:`ValueError` unless ``payload`` is a well-formed
+    ``repro/metrics/v1`` export."""
+    if not isinstance(payload, dict):
+        raise ValueError("metrics export must be a JSON object")
+    if payload.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"metrics export schema must be {METRICS_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    include_volatile = payload.get("volatile_included")
+    if not isinstance(include_volatile, bool):
+        raise ValueError("metrics export needs boolean 'volatile_included'")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(payload.get(section), dict):
+            raise ValueError(f"metrics export needs a {section!r} object")
+    expected = {
+        name
+        for name, spec in METRIC_CATALOG.items()
+        if include_volatile or not spec.volatile
+    }
+    seen = (
+        set(payload["counters"])
+        | set(payload["gauges"])
+        | set(payload["histograms"])
+    )
+    if seen != expected:
+        missing = sorted(expected - seen)
+        unknown = sorted(seen - expected)
+        raise ValueError(
+            f"metrics export names disagree with the catalog "
+            f"(missing {missing}, unknown {unknown})"
+        )
+    for name, value in payload["counters"].items():
+        spec = METRIC_CATALOG[name]
+        if spec.kind != "counter":
+            raise ValueError(f"{name!r} exported as counter but is {spec.kind}")
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(f"counter {name!r} must be a non-negative int")
+    for name, value in payload["gauges"].items():
+        spec = METRIC_CATALOG[name]
+        if spec.kind != "gauge":
+            raise ValueError(f"{name!r} exported as gauge but is {spec.kind}")
+        if value is not None and not isinstance(value, (int, float)):
+            raise ValueError(f"gauge {name!r} must be a number or null")
+    for name, entry in payload["histograms"].items():
+        spec = METRIC_CATALOG[name]
+        if spec.kind != "histogram":
+            raise ValueError(
+                f"{name!r} exported as histogram but is {spec.kind}"
+            )
+        where = f"histogram {name!r}"
+        if not isinstance(entry, dict):
+            raise ValueError(f"{where} must be an object")
+        if tuple(entry.get("bounds", ())) != tuple(spec.buckets or ()):
+            raise ValueError(f"{where}: bounds disagree with the catalog")
+        counts = entry.get("counts")
+        if (
+            not isinstance(counts, list)
+            or len(counts) != len(spec.buckets or ()) + 1
+            or any(not isinstance(n, int) or n < 0 for n in counts)
+        ):
+            raise ValueError(f"{where}: malformed bucket counts")
+        if entry.get("count") != sum(counts):
+            raise ValueError(
+                f"{where}: 'count' disagrees with the bucket sum"
+            )
+        if entry["count"] == 0 and (
+            entry.get("min") is not None or entry.get("max") is not None
+        ):
+            raise ValueError(f"{where}: empty histogram carries min/max")
+        for label, q in QUANTILES:
+            recomputed = histogram_quantile(
+                tuple(entry["bounds"]), counts, q, maximum=entry.get("max")
+            )
+            if entry.get(label) != recomputed:
+                raise ValueError(
+                    f"{where}: {label} is {entry.get(label)!r}, bucket "
+                    f"arithmetic says {recomputed!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: Union[int, float]) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """The snapshot in the Prometheus text exposition format (volatile
+    metrics included — a scrape wants live latency)."""
+    lines: List[str] = []
+    for name in sorted(METRIC_CATALOG):
+        spec = METRIC_CATALOG[name]
+        prom = _prom_name(name)
+        lines.append(f"# HELP {prom} {spec.help}")
+        if spec.kind == "counter":
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {snapshot.counters.get(name, 0)}")
+        elif spec.kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            value = snapshot.gauges.get(name)
+            lines.append(f"{prom} {_prom_value(value if value is not None else 0)}")
+        else:
+            lines.append(f"# TYPE {prom} histogram")
+            state = snapshot.histograms.get(name)
+            if state is None:
+                state = HistogramState(bounds=tuple(spec.buckets or ()))
+            cumulative = 0
+            for bound, count in zip(state.bounds, state.counts):
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{prom}_bucket{{le="+Inf"}} {state.count}')
+            lines.append(f"{prom}_sum {_prom_value(state.total)}")
+            lines.append(f"{prom}_count {state.count}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Rendering / diffing
+# ----------------------------------------------------------------------
+
+
+def render_metrics_table(payload: Dict[str, Any]) -> str:
+    """Human-readable table of a validated export."""
+    lines: List[str] = [
+        f"metrics snapshot ({payload['schema']}"
+        + (", volatile included)" if payload["volatile_included"] else ")")
+    ]
+    width = max(
+        (len(n) for section in ("counters", "gauges", "histograms")
+         for n in payload[section]),
+        default=10,
+    )
+    for name in sorted(payload["counters"]):
+        lines.append(f"  {name:<{width}}  {payload['counters'][name]}")
+    for name in sorted(payload["gauges"]):
+        value = payload["gauges"][name]
+        lines.append(
+            f"  {name:<{width}}  "
+            + ("-" if value is None else f"{value:g}")
+        )
+    for name in sorted(payload["histograms"]):
+        entry = payload["histograms"][name]
+        lines.append(
+            f"  {name:<{width}}  count {entry['count']}  "
+            f"p50 {entry['p50']:g}  p90 {entry['p90']:g}  "
+            f"p99 {entry['p99']:g}"
+        )
+    return "\n".join(lines)
+
+
+def diff_metrics(
+    before: Dict[str, Any], after: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Per-metric deltas between two validated exports.
+
+    Only names present in both payloads are compared (so a
+    deterministic export diffs cleanly against a volatile-included
+    one); histograms compare observation counts and totals.
+    """
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(before["counters"]) & set(after["counters"])):
+        a, b = before["counters"][name], after["counters"][name]
+        if a != b:
+            rows.append(
+                {"metric": name, "kind": "counter", "before": a,
+                 "after": b, "delta": b - a}
+            )
+    for name in sorted(set(before["gauges"]) & set(after["gauges"])):
+        a, b = before["gauges"][name], after["gauges"][name]
+        if a != b:
+            rows.append(
+                {"metric": name, "kind": "gauge", "before": a, "after": b,
+                 "delta": None if a is None or b is None else b - a}
+            )
+    for name in sorted(set(before["histograms"]) & set(after["histograms"])):
+        a, b = before["histograms"][name], after["histograms"][name]
+        if a["counts"] != b["counts"] or a["total"] != b["total"]:
+            rows.append(
+                {"metric": name, "kind": "histogram",
+                 "before": a["count"], "after": b["count"],
+                 "delta": b["count"] - a["count"]}
+            )
+    return {"identical": not rows, "changes": rows}
+
+
+def render_metrics_diff(diff: Dict[str, Any]) -> str:
+    if diff["identical"]:
+        return "snapshots are identical"
+    lines = [f"{len(diff['changes'])} metric(s) differ"]
+    for row in diff["changes"]:
+        delta = row["delta"]
+        rendered = "?" if delta is None else f"{delta:+g}"
+        lines.append(
+            f"  {row['metric']:<28}  {row['before']} -> {row['after']} "
+            f"({rendered})"
+        )
+    return "\n".join(lines)

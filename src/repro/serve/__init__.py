@@ -40,6 +40,7 @@ from repro.serve.service import (
     CompileJob,
     execute_job,
     make_batch_report,
+    merge_result_snapshots,
     run_batch,
     serve_stream,
     validate_batch_report,
@@ -63,6 +64,7 @@ __all__ = [
     "CompileJob",
     "execute_job",
     "make_batch_report",
+    "merge_result_snapshots",
     "run_batch",
     "serve_stream",
     "validate_batch_report",

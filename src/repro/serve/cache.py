@@ -49,7 +49,9 @@ misses; the compile then proceeds cold and re-stores a good entry.
 
 Telemetry (all zero-overhead without a session): ``serve.cache_hits``,
 ``serve.cache_misses``, ``serve.cache_stores``, ``serve.cache_evictions``,
-``serve.cache_bad_entries``.
+``serve.cache_bad_entries``.  The same events also bump the ambient
+service-metrics registry (``obs.cache_*``, see :mod:`repro.obs.metrics`)
+when one is installed, so fleet-level exports see cache behaviour too.
 """
 
 from __future__ import annotations
@@ -72,6 +74,7 @@ from repro.serve.codec import (
     solution_from_dict,
     solution_to_dict,
 )
+from repro.obs.metrics import current_registry as _obs_registry
 from repro.telemetry.session import current as _telemetry
 
 #: Entry envelope format; bump together with :data:`CODEC_FORMAT` bumps.
@@ -218,6 +221,7 @@ class BlockCache:
     def _count(self, what: str, n: int = 1) -> None:
         self.counters[what] += n
         _telemetry().count(f"serve.cache_{what}", n)
+        _obs_registry().count(f"obs.cache_{what}", n)
 
     def _reject(self, path: Path, error: Exception) -> None:
         """A bad entry: count it, log it as a miss, drop the file."""

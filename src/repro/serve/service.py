@@ -69,23 +69,36 @@ _CACHE_COUNTERS = ("hits", "misses", "stores", "evictions", "bad_entries")
 
 
 def execute_job(
-    payload: Dict[str, Any], cache_dir: Optional[str] = None
+    payload: Dict[str, Any],
+    cache_dir: Optional[str] = None,
+    flight: bool = False,
 ) -> Dict[str, Any]:
     """Compile one job dict and return its result dict.
 
     Module-level and dict-in/dict-out so ``ProcessPoolExecutor`` can
     pickle it; imports stay inside so pool workers pay them once.
+
+    Every result carries its own service-metrics snapshot under
+    ``"obs"`` (see :mod:`repro.obs.metrics`) so a pool parent can merge
+    per-worker measurements into one fleet view, plus a deterministic
+    telemetry span summary under ``"telemetry"``.  With ``flight=True``
+    the compile also records a decision journal and Chrome trace,
+    returned under ``"flight"`` for the flight recorder to dump — the
+    caller pops that key before writing the result anywhere.
     """
     from repro.asmgen.program import compile_function
     from repro.covering.config import HeuristicConfig
     from repro.errors import CoverageError, ReproError, VerificationError
+    from repro.explain import DecisionJournal
     from repro.frontend import compile_source
     from repro.isdl.parser import parse_machine
-    from repro.telemetry import TelemetrySession, use_session
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.telemetry import TelemetryReport, TelemetrySession, use_session
 
     job = CompileJob.from_dict(payload)
     result: Dict[str, Any] = {
         "job_id": job.job_id,
+        "request_id": payload.get("request_id"),
         "status": "ok",
         "machine": None,
         "error": None,
@@ -95,13 +108,15 @@ def execute_job(
         "cache": {},
         "wall_s": 0.0,
     }
-    session = TelemetrySession()
+    journal = DecisionJournal() if flight else None
+    session = TelemetrySession(journal=journal) if flight else TelemetrySession()
+    registry = MetricsRegistry()
     started = time.perf_counter()
     try:
         machine = parse_machine(job.machine_isdl)
         result["machine"] = machine.name
         config = HeuristicConfig.default().with_(**job.config)
-        with use_session(session):
+        with use_session(session), use_registry(registry):
             function = compile_source(job.source)
             compiled = compile_function(
                 function,
@@ -138,6 +153,26 @@ def execute_job(
         name: session.counter(f"serve.cache_{name}")
         for name in _CACHE_COUNTERS
     }
+    registry.count("obs.requests_total")
+    registry.count(f"obs.requests_{result['status']}")
+    if result["status"] == "ok":
+        metrics = result["metrics"]
+        registry.count("obs.instructions_total", metrics["instructions"])
+        registry.count("obs.spills_total", metrics["spills"])
+        registry.count("obs.blocks_total", metrics["blocks"])
+        registry.observe("obs.request_instructions", metrics["instructions"])
+        registry.observe("obs.request_blocks", metrics["blocks"])
+        registry.observe("obs.request_spills", metrics["spills"])
+    registry.observe("obs.request_wall_seconds", result["wall_s"])
+    result["obs"] = registry.snapshot().to_dict()
+    report = TelemetryReport.from_session(session)
+    result["telemetry"] = report.span_summary()
+    if flight:
+        result["flight"] = {
+            "telemetry": report.to_dict(),
+            "trace": session.chrome_trace(),
+            "journal": list(journal.entries),
+        }
     return result
 
 
@@ -158,7 +193,13 @@ def run_batch(
             pool against).
         chunksize: jobs per pool task (only with ``workers > 0``).
     """
+    from repro.obs.events import make_request_id
+
     ordered = [job.to_dict() for job in jobs]
+    for seq, payload in enumerate(ordered):
+        payload["request_id"] = make_request_id(
+            seq, json.dumps(payload, sort_keys=True)
+        )
     started = time.perf_counter()
     if workers > 0:
         from concurrent.futures import ProcessPoolExecutor
@@ -183,7 +224,15 @@ def make_batch_report(
     wall_s: float = 0.0,
     workers: int = 0,
 ) -> Dict[str, Any]:
-    """Wrap per-job results in the versioned envelope with totals."""
+    """Wrap per-job results in the versioned envelope with totals.
+
+    Per-result ``"obs"`` snapshots (one per worker-side compile) are
+    folded into one fleet-level snapshot, exported under the report's
+    top-level ``"obs"`` key with volatile metrics included — the report
+    is a diagnostic document, not the canonical byte-stable export.
+    """
+    from repro.obs.export import snapshot_export
+
     cache = {name: 0 for name in _CACHE_COUNTERS}
     for result in results:
         for name in _CACHE_COUNTERS:
@@ -193,10 +242,15 @@ def make_batch_report(
     structured = sum(
         1 for r in results if r["status"] in STRUCTURED_FAILURES
     )
+    merged = merge_result_snapshots(results)
+    merged.set_gauge("obs.workers", float(workers))
+    if probes:
+        merged.set_gauge("obs.cache_hit_rate", cache["hits"] / probes)
     return {
         "schema": SERVE_SCHEMA,
         "workers": workers,
         "results": results,
+        "obs": snapshot_export(merged, include_volatile=True),
         "totals": {
             "jobs": len(results),
             "ok": ok,
@@ -208,6 +262,23 @@ def make_batch_report(
             "cache_hit_rate": (cache["hits"] / probes) if probes else 0.0,
         },
     }
+
+
+def merge_result_snapshots(results: List[Dict[str, Any]]):
+    """Fold every result's ``"obs"`` snapshot into one fleet snapshot.
+
+    This is the merge the whole registry design exists for: each pool
+    worker measured its own requests; the fold is associative and
+    commutative, so the fleet view is independent of worker count and
+    completion order.
+    """
+    from repro.obs.metrics import MetricsSnapshot
+
+    return MetricsSnapshot.merge(
+        MetricsSnapshot.from_dict(result["obs"])
+        for result in results
+        if isinstance(result.get("obs"), dict)
+    )
 
 
 def validate_batch_report(payload: Any) -> None:
@@ -248,6 +319,19 @@ def validate_batch_report(payload: Any) -> None:
         for name in _CACHE_COUNTERS:
             if not isinstance(cache.get(name), int):
                 raise ValueError(f"{where}: cache counter {name!r} missing")
+        obs = result.get("obs")
+        if not isinstance(obs, dict) or not isinstance(
+            obs.get("counters"), dict
+        ):
+            raise ValueError(f"{where}: missing 'obs' metrics snapshot")
+    obs_export = payload.get("obs")
+    if obs_export is not None:
+        from repro.obs.export import validate_metrics_export
+
+        try:
+            validate_metrics_export(obs_export)
+        except ValueError as error:
+            raise ValueError(f"batch report 'obs' export: {error}")
     totals = payload.get("totals")
     if not isinstance(totals, dict):
         raise ValueError("batch report needs a 'totals' object")
@@ -266,6 +350,10 @@ def serve_stream(
     output,
     cache_dir: Optional[str] = None,
     validate: bool = False,
+    metrics_out: Optional[str] = None,
+    events_out: Optional[str] = None,
+    flight_dir: Optional[str] = None,
+    flight_threshold: Optional[float] = None,
 ) -> Dict[str, int]:
     """The ``repro serve`` loop: JSON job lines in, JSON result lines out.
 
@@ -278,12 +366,44 @@ def serve_stream(
     ``machine`` is a CLI machine spec (builtin key or ISDL path);
     ``machine_isdl`` inlines the description.  Results are written to
     ``output`` one JSON object per line, in request order, with the same
-    shape as :func:`execute_job` results.  Malformed requests produce a
-    ``status: "error"`` line instead of killing the service.  Returns a
-    small summary (requests served / ok / failed).
+    shape as :func:`execute_job` results.  Every request gets a stable
+    content-derived ID (``req-<seq>-<digest>``) echoed in the response
+    line, the events log, and any flight-recorder artifact.  A
+    malformed or non-JSON line produces a structured ``status:
+    "error"`` response (and an ``obs.requests_bad`` bump) instead of
+    killing the service.  Returns a small summary (requests served /
+    ok / failed).
+
+    Observability side channels, all optional:
+
+    - ``metrics_out`` — canonical deterministic ``repro/metrics/v1``
+      export of the whole stream's merged metrics.
+    - ``events_out`` — ``repro/events/v1`` JSON-lines request log.
+    - ``flight_dir`` (+ ``flight_threshold`` seconds) — flight recorder
+      dumping self-contained artifacts for slow or failing requests.
     """
     from repro.cli import resolve_machine
     from repro.isdl.writer import machine_to_isdl
+    from repro.obs.events import (
+        EventLog,
+        make_request_id,
+        request_event,
+        stream_event,
+    )
+    from repro.obs.export import snapshot_export, write_metrics_export
+    from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+    from repro.obs.recorder import FlightRecorder
+
+    stream_registry = MetricsRegistry()
+    snapshots = []
+    event_log = EventLog(events_out) if events_out is not None else None
+    recorder = (
+        FlightRecorder(flight_dir, threshold_s=flight_threshold)
+        if flight_dir is not None
+        else None
+    )
+    if event_log is not None:
+        event_log.emit(stream_event("stream_start"))
 
     served = {"requests": 0, "ok": 0, "failed": 0}
     for line in requests:
@@ -291,6 +411,11 @@ def serve_stream(
         if not line:
             continue
         served["requests"] += 1
+        request_id = make_request_id(served["requests"], line)
+        stream_registry.observe(
+            "obs.request_line_bytes", len(line.encode("utf-8"))
+        )
+        bad_request = False
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
@@ -313,14 +438,63 @@ def serve_stream(
                 config=dict(request.get("config", {})),
                 validate=bool(request.get("validate", validate)),
             )
-            result = execute_job(job.to_dict(), cache_dir)
+            payload = job.to_dict()
+            payload["request_id"] = request_id
+            result = execute_job(payload, cache_dir, flight=recorder is not None)
         except Exception as error:  # noqa: BLE001 - the service must live
+            bad_request = True
             result = {
                 "job_id": None,
+                "request_id": request_id,
                 "status": "error",
                 "error": f"bad request: {error}",
+                "metrics": {},
                 "cache": {name: 0 for name in _CACHE_COUNTERS},
+                "wall_s": 0.0,
             }
+            stream_registry.count("obs.requests_total")
+            stream_registry.count("obs.requests_bad")
+        flight_payload = result.pop("flight", None)
+        request_snapshot = result.pop("obs", None)
+        if request_snapshot is not None:
+            snapshots.append(MetricsSnapshot.from_dict(request_snapshot))
+        artifact_name = None
+        if recorder is not None:
+            artifact_metrics = {}
+            if request_snapshot is not None:
+                artifact_metrics = snapshot_export(
+                    MetricsSnapshot.from_dict(request_snapshot),
+                    include_volatile=True,
+                )
+            artifact_name = recorder.observe(
+                request_id,
+                line,
+                result,
+                result.get("wall_s", 0.0),
+                metrics=artifact_metrics,
+                flight=flight_payload,
+            )
+            if artifact_name is not None:
+                stream_registry.count("obs.flight_dumps")
+        if event_log is not None:
+            event_log.emit(
+                request_event(
+                    request_id,
+                    "bad_request" if bad_request else result["status"],
+                    job_id=result.get("job_id"),
+                    machine=result.get("machine"),
+                    wall_s=result.get("wall_s"),
+                    metrics=result.get("metrics") or {},
+                    error=result.get("error"),
+                    telemetry=result.get("telemetry"),
+                    journal_entries=(
+                        len(flight_payload["journal"])
+                        if flight_payload is not None
+                        else None
+                    ),
+                    flight_artifact=artifact_name,
+                )
+            )
         if result["status"] == "ok":
             served["ok"] += 1
         else:
@@ -330,4 +504,24 @@ def serve_stream(
             output.flush()
         except (AttributeError, OSError):
             pass
+
+    if event_log is not None:
+        event_log.emit(stream_event("stream_end", **served))
+        stream_registry.count("obs.events_emitted", event_log.emitted)
+        event_log.close()
+    if recorder is not None:
+        recorder.write_summary()
+    if metrics_out is not None:
+        merged = MetricsSnapshot.merge(
+            [stream_registry.snapshot()] + snapshots
+        )
+        probes = merged.counters.get("obs.cache_hits", 0) + merged.counters.get(
+            "obs.cache_misses", 0
+        )
+        if probes:
+            merged.set_gauge(
+                "obs.cache_hit_rate",
+                merged.counters.get("obs.cache_hits", 0) / probes,
+            )
+        write_metrics_export(metrics_out, merged)
     return served

@@ -152,6 +152,20 @@ class TelemetryReport:
             "histograms": {k: dict(v) for k, v in self.histograms.items()},
         }
 
+    def span_summary(self) -> Dict[str, Any]:
+        """Deterministic span-tree digest for request logs.
+
+        Only structure (paths, in tree order) and call counts — no wall
+        or CPU times — so the same compile always produces the same
+        summary and the events log stays byte-reproducible.
+        """
+        return {
+            "spans": [
+                {"path": "/".join(s.path), "calls": s.calls}
+                for s in self.phases
+            ],
+        }
+
 
 def _tree_order(phases: List[PhaseStats]) -> List[PhaseStats]:
     """Depth-first order: every phase directly after its parent chain."""

@@ -82,3 +82,25 @@ def test_every_emitted_counter_is_documented():
         "counters emitted but absent from the docs/observability.md "
         f"glossary: {missing}"
     )
+
+
+def test_every_obs_catalog_metric_is_documented():
+    """The service-metrics catalog (repro.obs) is part of the glossary.
+
+    The registry is catalog-strict, so METRIC_CATALOG *is* the complete
+    inventory of obs.* names — every one must be matched by a glossary
+    row so a new service metric cannot land undocumented.
+    """
+    from repro.obs.metrics import METRIC_CATALOG
+
+    patterns = glossary_patterns()
+    assert all(name.startswith("obs.") for name in METRIC_CATALOG)
+    missing = [
+        name
+        for name in sorted(METRIC_CATALOG)
+        if not any(fnmatchcase(name, pattern) for pattern in patterns)
+    ]
+    assert not missing, (
+        "obs catalog metrics absent from the docs/observability.md "
+        f"glossary: {missing}"
+    )

@@ -1,0 +1,337 @@
+"""The service-metrics registry, snapshots, and exporters.
+
+The property that carries the whole design is *mergeability*: worker
+snapshots fold into one fleet view no matter how the pool grouped or
+ordered them, so the canonical ``repro/metrics/v1`` export is
+byte-identical at any worker count.  Merge associativity/commutativity
+is property-tested with hypothesis; the exporters are tested both for
+acceptance of their own output and for rejection of tampered payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    diff_metrics,
+    metrics_bytes,
+    render_metrics_diff,
+    render_metrics_table,
+    snapshot_export,
+    snapshot_from_export,
+    to_prometheus,
+    validate_metrics_export,
+    write_metrics_export,
+)
+from repro.obs.metrics import (
+    METRIC_CATALOG,
+    NULL_REGISTRY,
+    HistogramState,
+    MetricsRegistry,
+    MetricsSnapshot,
+    current_registry,
+    histogram_quantile,
+    use_registry,
+)
+
+
+class TestCatalog:
+    def test_every_name_is_namespaced(self):
+        assert all(name.startswith("obs.") for name in METRIC_CATALOG)
+
+    def test_kinds_are_consistent(self):
+        for spec in METRIC_CATALOG.values():
+            assert spec.kind in ("counter", "gauge", "histogram")
+            assert (spec.buckets is not None) == (spec.kind == "histogram")
+            assert spec.help
+
+    def test_histogram_bounds_strictly_increasing(self):
+        for spec in METRIC_CATALOG.values():
+            if spec.kind == "histogram":
+                assert list(spec.buckets) == sorted(set(spec.buckets))
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.count("obs.requests_total")
+        registry.count("obs.requests_total", 4)
+        assert registry.counter("obs.requests_total") == 5
+        assert registry.counter("obs.requests_ok") == 0
+
+    def test_unknown_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError, match="METRIC_CATALOG"):
+            registry.count("obs.nonexistent")
+        with pytest.raises(KeyError):
+            registry.set_gauge("obs.nope", 1.0)
+        with pytest.raises(KeyError):
+            registry.observe("obs.never", 1.0)
+
+    def test_wrong_kind_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError, match="is a gauge"):
+            registry.count("obs.workers")
+        with pytest.raises(KeyError, match="is a counter"):
+            registry.observe("obs.requests_total", 1)
+
+    def test_counters_are_monotonic(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="monotonic"):
+            registry.count("obs.requests_total", -1)
+
+    def test_gauge_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("obs.workers", 4)
+        registry.set_gauge("obs.workers", 2)
+        assert registry.snapshot().gauges["obs.workers"] == 2.0
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.count("obs.requests_total")
+        snapshot = registry.snapshot()
+        registry.count("obs.requests_total")
+        assert snapshot.counter("obs.requests_total") == 1
+
+    def test_snapshot_pickles(self):
+        registry = MetricsRegistry()
+        registry.count("obs.requests_total", 3)
+        registry.observe("obs.request_instructions", 17)
+        registry.set_gauge("obs.workers", 4)
+        snapshot = registry.snapshot()
+        clone = pickle.loads(pickle.dumps(snapshot))
+        assert clone.to_dict() == snapshot.to_dict()
+
+    def test_ambient_registry(self):
+        assert current_registry() is NULL_REGISTRY
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert current_registry() is registry
+            current_registry().count("obs.requests_total")
+        assert current_registry() is NULL_REGISTRY
+        assert registry.counter("obs.requests_total") == 1
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.count("anything.at.all")
+        NULL_REGISTRY.set_gauge("anything", 1.0)
+        NULL_REGISTRY.observe("anything", 1.0)
+        assert NULL_REGISTRY.counter("anything") == 0
+        assert not NULL_REGISTRY.enabled
+
+
+class TestHistograms:
+    def test_bucketing_is_le(self):
+        state = HistogramState(bounds=(1, 2, 4))
+        for value in (1, 2, 3, 4, 99):
+            state.observe(value)
+        assert state.counts == [1, 1, 2, 1]
+        assert state.count == 5
+        assert state.minimum == 1
+        assert state.maximum == 99
+
+    def test_quantiles_are_bucket_bounds(self):
+        state = HistogramState(bounds=(1, 2, 4, 8))
+        for value in (1, 2, 2, 3, 5):
+            state.observe(value)
+        assert state.quantile(0.50) == 2.0
+        assert state.quantile(0.90) == 8.0
+
+    def test_overflow_quantile_reports_maximum(self):
+        state = HistogramState(bounds=(1, 2))
+        state.observe(50)
+        assert state.quantile(0.99) == 50.0
+
+    def test_empty_quantile_is_zero(self):
+        assert histogram_quantile((1, 2), [0, 0, 0], 0.5) == 0.0
+
+    def test_merge_requires_same_bounds(self):
+        with pytest.raises(ValueError, match="different bounds"):
+            HistogramState(bounds=(1,)).merged_with(
+                HistogramState(bounds=(1, 2))
+            )
+
+
+def _snapshot(counts, observations, gauge=None):
+    registry = MetricsRegistry()
+    for name, n in counts:
+        registry.count(name, n)
+    for value in observations:
+        registry.observe("obs.request_instructions", value)
+    if gauge is not None:
+        registry.set_gauge("obs.workers", gauge)
+    return registry.snapshot()
+
+
+COUNTER_NAMES = st.sampled_from(
+    ["obs.requests_total", "obs.requests_ok", "obs.spills_total"]
+)
+SNAPSHOTS = st.builds(
+    _snapshot,
+    st.lists(st.tuples(COUNTER_NAMES, st.integers(0, 50)), max_size=4),
+    st.lists(st.integers(0, 5000), max_size=6),
+    st.one_of(st.none(), st.integers(0, 8)),
+)
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=SNAPSHOTS, b=SNAPSHOTS)
+    def test_merge_commutative(self, a, b):
+        assert a.merged_with(b).to_dict() == b.merged_with(a).to_dict()
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=SNAPSHOTS, b=SNAPSHOTS, c=SNAPSHOTS)
+    def test_merge_associative(self, a, b, c):
+        left = a.merged_with(b).merged_with(c)
+        right = a.merged_with(b.merged_with(c))
+        assert left.to_dict() == right.to_dict()
+
+    @settings(max_examples=30, deadline=None)
+    @given(parts=st.lists(SNAPSHOTS, min_size=1, max_size=5))
+    def test_fold_equals_pairwise(self, parts):
+        folded = MetricsSnapshot.merge(parts)
+        pairwise = parts[0]
+        for part in parts[1:]:
+            pairwise = pairwise.merged_with(part)
+        assert folded.to_dict() == pairwise.to_dict()
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=SNAPSHOTS, b=SNAPSHOTS)
+    def test_merged_export_is_grouping_independent(self, a, b):
+        one = metrics_bytes(snapshot_export(MetricsSnapshot.merge([a, b])))
+        two = metrics_bytes(snapshot_export(b.merged_with(a)))
+        assert one == two
+
+    def test_merge_semantics(self):
+        a = _snapshot([("obs.requests_total", 2)], [10], gauge=1)
+        b = _snapshot([("obs.requests_total", 3)], [100], gauge=4)
+        merged = a.merged_with(b)
+        assert merged.counter("obs.requests_total") == 5
+        assert merged.gauges["obs.workers"] == 4.0
+        hist = merged.histograms["obs.request_instructions"]
+        assert hist.count == 2
+        assert hist.minimum == 10
+        assert hist.maximum == 100
+
+
+class TestExport:
+    def test_export_fills_catalog_and_validates(self):
+        payload = snapshot_export(_snapshot([("obs.requests_total", 1)], [7]))
+        validate_metrics_export(payload)
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["volatile_included"] is False
+        deterministic = {
+            name for name, spec in METRIC_CATALOG.items() if not spec.volatile
+        }
+        seen = (
+            set(payload["counters"])
+            | set(payload["gauges"])
+            | set(payload["histograms"])
+        )
+        assert seen == deterministic
+        assert payload["counters"]["obs.requests_ok"] == 0
+
+    def test_volatile_export_carries_everything(self):
+        payload = snapshot_export(
+            _snapshot([], [], gauge=2), include_volatile=True
+        )
+        validate_metrics_export(payload)
+        assert "obs.request_wall_seconds" in payload["histograms"]
+        assert payload["gauges"]["obs.workers"] == 2.0
+
+    def test_round_trip_through_snapshot(self):
+        snapshot = _snapshot([("obs.requests_total", 2)], [5, 9])
+        payload = snapshot_export(snapshot)
+        rebuilt = snapshot_from_export(payload)
+        assert metrics_bytes(snapshot_export(rebuilt)) == metrics_bytes(payload)
+
+    def test_write_and_read(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        payload = write_metrics_export(
+            str(path), _snapshot([("obs.requests_total", 1)], [])
+        )
+        assert path.read_bytes() == metrics_bytes(payload)
+
+    @pytest.mark.parametrize(
+        "tamper",
+        [
+            lambda p: p.update(schema="repro/metrics/v0"),
+            lambda p: p.update(volatile_included="yes"),
+            lambda p: p["counters"].update({"obs.requests_total": -1}),
+            lambda p: p["counters"].update({"obs.made_up": 0}),
+            lambda p: p["counters"].pop("obs.requests_total"),
+            lambda p: p["histograms"]["obs.request_instructions"].update(
+                count=99
+            ),
+            lambda p: p["histograms"]["obs.request_instructions"].update(
+                p50=123.0
+            ),
+            lambda p: p["histograms"]["obs.request_instructions"].update(
+                bounds=[1, 2]
+            ),
+        ],
+    )
+    def test_tampered_export_rejected(self, tamper):
+        payload = snapshot_export(_snapshot([("obs.requests_total", 1)], [7]))
+        tamper(payload)
+        with pytest.raises(ValueError):
+            validate_metrics_export(payload)
+
+    def test_empty_histogram_with_minmax_rejected(self):
+        payload = snapshot_export(_snapshot([], []))
+        payload["histograms"]["obs.request_blocks"]["min"] = 1
+        with pytest.raises(ValueError, match="min/max"):
+            validate_metrics_export(payload)
+
+
+class TestPrometheus:
+    def test_text_format(self):
+        text = to_prometheus(_snapshot([("obs.requests_total", 3)], [5, 900]))
+        assert "# HELP obs_requests_total" in text
+        assert "# TYPE obs_requests_total counter" in text
+        assert "obs_requests_total 3" in text
+        assert 'obs_request_instructions_bucket{le="+Inf"} 2' in text
+        assert "obs_request_instructions_count 2" in text
+        assert "obs_request_instructions_sum 905" in text
+        # volatile metrics are present in a scrape
+        assert "# TYPE obs_request_wall_seconds histogram" in text
+
+    def test_buckets_are_cumulative(self):
+        text = to_prometheus(_snapshot([], [1, 2, 3]))
+        lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("obs_request_instructions_bucket")
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+
+class TestDiffAndRender:
+    def test_identical(self):
+        payload = snapshot_export(_snapshot([("obs.requests_total", 1)], []))
+        diff = diff_metrics(payload, payload)
+        assert diff["identical"]
+        assert render_metrics_diff(diff) == "snapshots are identical"
+
+    def test_changed(self):
+        before = snapshot_export(_snapshot([("obs.requests_total", 1)], [5]))
+        after = snapshot_export(_snapshot([("obs.requests_total", 4)], [5, 6]))
+        diff = diff_metrics(before, after)
+        assert not diff["identical"]
+        kinds = {row["metric"]: row for row in diff["changes"]}
+        assert kinds["obs.requests_total"]["delta"] == 3
+        assert kinds["obs.request_instructions"]["delta"] == 1
+        assert "obs.requests_total" in render_metrics_diff(diff)
+
+    def test_render_table(self):
+        payload = snapshot_export(_snapshot([("obs.requests_total", 2)], [9]))
+        table = render_metrics_table(payload)
+        assert "obs.requests_total" in table
+        assert "p50" in table

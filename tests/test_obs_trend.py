@@ -1,0 +1,312 @@
+"""The bench-trend regression gate: collection, baselines, the CLI.
+
+Synthetic BENCH artifacts in a tmp root exercise every gate semantic
+(directions, tolerances, non-gating timing metrics, missing and new
+metrics); the CLI tests drive ``repro trend`` end to end including the
+exit-1-on-tamper acceptance criterion; and one test pins the *real*
+committed baseline against the committed BENCH artifacts so the gate
+the CI runs is also the gate the test suite runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trend import (
+    DEFAULT_BASELINE,
+    TREND_BASELINE_SCHEMA,
+    TREND_SCHEMA,
+    collect_current_metrics,
+    compare,
+    format_trend_table,
+    load_baseline,
+    make_baseline,
+    validate_baseline,
+    write_baseline,
+)
+
+REPO = Path(__file__).parent.parent
+
+BENCHES = {
+    "BENCH_codegen.json": {
+        "entries": [
+            {
+                "workload": "fir4",
+                "machine": "arch1_r4",
+                "metrics": {"instructions": 20, "spills": 2},
+            }
+        ]
+    },
+    "BENCH_cover.json": {
+        "entries": [
+            {
+                "workload": "sop8",
+                "machine": "arch1_r4",
+                "metrics": {"instructions": 30},
+                "identical": True,
+                "speedup": 2.5,
+            }
+        ]
+    },
+    "BENCH_serve.json": {
+        "entries": [
+            {
+                "mix": "zipf",
+                "warm_hit_rate": 0.9,
+                "identical": True,
+                "speedup": 3.0,
+            }
+        ]
+    },
+    "BENCH_sndag.json": {
+        "entries": [
+            {
+                "workload": "fir4",
+                "machine": "fig6",
+                "lazy_transfer_nodes": 10,
+                "identical": True,
+                "build_speedup": 1.4,
+            }
+        ]
+    },
+    "BENCH_optimal.json": {
+        "summary": {
+            "proven": 20, "budget_exhausted": 0, "gap_cycles": 18,
+            "improved": 12,
+        }
+    },
+    "BENCH_explore.json": {
+        "totals": {"frontier": 5, "candidates": 12, "workload_failures": 7}
+    },
+}
+
+
+@pytest.fixture
+def bench_root(tmp_path):
+    for name, payload in BENCHES.items():
+        (tmp_path / name).write_text(json.dumps(payload))
+    return tmp_path
+
+
+class TestCollect:
+    def test_flattens_every_artifact(self, bench_root):
+        metrics = collect_current_metrics(bench_root)
+        assert metrics["codegen.fir4.arch1_r4.instructions"] == {
+            "value": 20, "direction": "min", "tolerance": 0.0, "gate": True,
+        }
+        assert metrics["cover.sop8.arch1_r4.identical"]["value"] == 1
+        assert metrics["serve.zipf.warm_hit_rate"]["direction"] == "max"
+        assert metrics["optimal.summary.gap_cycles"]["direction"] == "min"
+        assert metrics["explore.totals.workload_failures"]["direction"] == "min"
+        assert metrics["sndag.fir4.fig6.lazy_transfer_nodes"]["gate"]
+
+    def test_timing_metrics_do_not_gate(self, bench_root):
+        metrics = collect_current_metrics(bench_root)
+        for name in (
+            "cover.sop8.arch1_r4.speedup",
+            "serve.zipf.speedup",
+            "sndag.fir4.fig6.build_speedup",
+        ):
+            assert metrics[name]["gate"] is False
+
+    def test_missing_artifacts_contribute_nothing(self, tmp_path):
+        assert collect_current_metrics(tmp_path) == {}
+
+
+class TestBaseline:
+    def test_round_trip(self, bench_root, tmp_path):
+        baseline = make_baseline(collect_current_metrics(bench_root))
+        assert baseline["schema"] == TREND_BASELINE_SCHEMA
+        path = tmp_path / "baseline.json"
+        write_baseline(path, baseline)
+        assert load_baseline(path) == baseline
+
+    @pytest.mark.parametrize(
+        "tamper",
+        [
+            lambda b: b.update(schema="nope"),
+            lambda b: b.update(metrics={}),
+            lambda b: b["metrics"]["optimal.summary.proven"].update(
+                direction="sideways"
+            ),
+            lambda b: b["metrics"]["optimal.summary.proven"].update(
+                tolerance=-1
+            ),
+            lambda b: b["metrics"]["optimal.summary.proven"].update(
+                value="many"
+            ),
+            lambda b: b["metrics"]["optimal.summary.proven"].pop("gate"),
+        ],
+    )
+    def test_tampered_baseline_rejected(self, bench_root, tamper):
+        baseline = make_baseline(collect_current_metrics(bench_root))
+        tamper(baseline)
+        with pytest.raises(ValueError):
+            validate_baseline(baseline)
+
+
+class TestCompare:
+    def _baseline(self, bench_root):
+        return make_baseline(collect_current_metrics(bench_root))
+
+    def test_unchanged_is_ok(self, bench_root):
+        baseline = self._baseline(bench_root)
+        report = compare(baseline, collect_current_metrics(bench_root))
+        assert report["schema"] == TREND_SCHEMA
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert "trend: OK" in format_trend_table(report)
+
+    def test_min_metric_rising_regresses(self, bench_root):
+        baseline = self._baseline(bench_root)
+        current = collect_current_metrics(bench_root)
+        current["codegen.fir4.arch1_r4.instructions"]["value"] = 25
+        report = compare(baseline, current)
+        assert not report["ok"]
+        assert report["regressions"] == ["codegen.fir4.arch1_r4.instructions"]
+        assert "trend: REGRESSION" in format_trend_table(report)
+
+    def test_max_metric_falling_regresses(self, bench_root):
+        baseline = self._baseline(bench_root)
+        current = collect_current_metrics(bench_root)
+        current["optimal.summary.proven"]["value"] = 19
+        assert compare(baseline, current)["regressions"] == [
+            "optimal.summary.proven"
+        ]
+
+    def test_improvement_is_ok(self, bench_root):
+        baseline = self._baseline(bench_root)
+        current = collect_current_metrics(bench_root)
+        current["codegen.fir4.arch1_r4.instructions"]["value"] = 15
+        current["optimal.summary.proven"]["value"] = 25
+        assert compare(baseline, current)["ok"]
+
+    def test_tolerance_allows_slack(self, bench_root):
+        baseline = self._baseline(bench_root)
+        baseline["metrics"]["serve.zipf.warm_hit_rate"]["tolerance"] = 0.1
+        current = collect_current_metrics(bench_root)
+        current["serve.zipf.warm_hit_rate"]["value"] = 0.85  # within 10%
+        assert compare(baseline, current)["ok"]
+        current["serve.zipf.warm_hit_rate"]["value"] = 0.7  # beyond it
+        assert not compare(baseline, current)["ok"]
+
+    def test_ungated_drop_is_info(self, bench_root):
+        baseline = self._baseline(bench_root)
+        current = collect_current_metrics(bench_root)
+        current["cover.sop8.arch1_r4.speedup"]["value"] = 0.1
+        report = compare(baseline, current)
+        assert report["ok"]
+        row = next(
+            r for r in report["rows"]
+            if r["metric"] == "cover.sop8.arch1_r4.speedup"
+        )
+        assert row["status"] == "info"
+
+    def test_missing_gated_metric_regresses(self, bench_root):
+        baseline = self._baseline(bench_root)
+        current = collect_current_metrics(bench_root)
+        del current["optimal.summary.proven"]
+        report = compare(baseline, current)
+        assert not report["ok"]
+        assert report["missing"] == ["optimal.summary.proven"]
+
+    def test_new_metric_is_informational(self, bench_root):
+        baseline = self._baseline(bench_root)
+        current = collect_current_metrics(bench_root)
+        current["codegen.new_workload.arch1_r4.instructions"] = {
+            "value": 9, "direction": "min", "tolerance": 0.0, "gate": True,
+        }
+        report = compare(baseline, current)
+        assert report["ok"]
+        assert report["new_metrics"] == [
+            "codegen.new_workload.arch1_r4.instructions"
+        ]
+
+
+class TestTrendCli:
+    def test_write_baseline_then_gate(self, bench_root, capsys):
+        assert main(["trend", "--root", str(bench_root)
+                     , "--write-baseline"]) == 0
+        baseline_path = bench_root / DEFAULT_BASELINE
+        assert baseline_path.exists()
+        assert main(["trend", "--root", str(bench_root)]) == 0
+        assert "trend: OK" in capsys.readouterr().out
+
+    def test_tampered_baseline_exits_1(self, bench_root, capsys):
+        main(["trend", "--root", str(bench_root), "--write-baseline"])
+        baseline_path = bench_root / DEFAULT_BASELINE
+        baseline = json.loads(baseline_path.read_text())
+        baseline["metrics"]["optimal.summary.proven"]["value"] = 25
+        baseline_path.write_text(json.dumps(baseline))
+        assert main(["trend", "--root", str(bench_root)]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "trend: REGRESSION" in out
+
+    def test_json_report(self, bench_root, tmp_path):
+        main(["trend", "--root", str(bench_root), "--write-baseline"])
+        report_path = tmp_path / "report.json"
+        assert main(
+            ["trend", "--root", str(bench_root), "--json", str(report_path)]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == TREND_SCHEMA and report["ok"]
+
+    def test_missing_baseline_is_actionable(self, bench_root, capsys):
+        assert main(["trend", "--root", str(bench_root)]) == 2
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_empty_root_refuses_to_freeze(self, tmp_path):
+        assert main(["trend", "--root", str(tmp_path),
+                     "--write-baseline"]) == 2
+
+    def test_committed_baseline_gates_committed_benches(self, capsys):
+        """The acceptance criterion: the real repo passes its own gate."""
+        assert (REPO / DEFAULT_BASELINE).exists(), (
+            "benchmarks/trend_baseline.json must be committed"
+        )
+        assert main(["trend", "--root", str(REPO)]) == 0
+        assert "trend: OK" in capsys.readouterr().out
+
+
+class TestMetricsCli:
+    def _export(self, tmp_path, name="m.json"):
+        from repro.obs.export import write_metrics_export
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.count("obs.requests_total", 2)
+        registry.observe("obs.request_instructions", 11)
+        path = tmp_path / name
+        write_metrics_export(str(path), registry.snapshot())
+        return path
+
+    def test_render_and_prom(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        assert main(["metrics", str(path)]) == 0
+        assert "obs.requests_total" in capsys.readouterr().out
+        assert main(["metrics", str(path), "--prom"]) == 0
+        assert "# TYPE obs_requests_total counter" in capsys.readouterr().out
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        a = self._export(tmp_path, "a.json")
+        b = self._export(tmp_path, "b.json")
+        assert main(["metrics", str(a), "--diff", str(b)]) == 0
+        payload = json.loads(b.read_text())
+        payload["counters"]["obs.requests_total"] = 7
+        # keep it valid, just different
+        b.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        assert main(["metrics", str(a), "--diff", str(b)]) == 1
+        assert "obs.requests_total" in capsys.readouterr().out
+
+    def test_tampered_export_is_an_error(self, tmp_path, capsys):
+        path = self._export(tmp_path)
+        payload = json.loads(path.read_text())
+        payload["counters"]["obs.requests_total"] = -5
+        path.write_text(json.dumps(payload))
+        assert main(["metrics", str(path)]) == 2
+        assert "non-negative" in capsys.readouterr().err
